@@ -1,0 +1,218 @@
+//! Combining (global reduction) via the time-reversed broadcast tree.
+//!
+//! The paper credits Cidon, Gopal and Kutten \[6\] with the combining
+//! problem in a postal-like model and builds BCAST by the same approach.
+//! Combining is the time reversal of broadcasting: if a broadcast
+//! schedule has an edge "p sends to q during `[s, s+1]`, q receives
+//! during `[s+λ−1, s+λ]`", then reflecting every instant `t ↦ T − t`
+//! (with `T = f_λ(n)`) yields a valid postal schedule in which q sends
+//! during `[T−s−λ, T−s−λ+1]` and p receives during `[T−s−1, T−s]` — the
+//! port constraints are symmetric under reversal. Running the reversed
+//! generalized-Fibonacci tree therefore combines `n` values into `p_0`
+//! in exactly `f_λ(n)` time, which is optimal (a combining algorithm run
+//! backwards is a broadcast, so Lemma 5 applies).
+//!
+//! Values are combined with addition here; any commutative, associative
+//! reduction works identically.
+
+use crate::fib_tree::{BroadcastTree, TreeNode};
+use postal_model::{Latency, Time};
+use postal_sim::prelude::*;
+
+/// The payload of a combining message: a partial sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partial(pub u64);
+
+/// The reversed-tree plan for one processor.
+#[derive(Debug, Clone)]
+struct Plan {
+    /// Parent to send the accumulated value to (`None` for the root).
+    parent: Option<ProcId>,
+    /// When to send it: `T − ready`, where `ready` is this node's receive
+    /// time in the forward broadcast tree.
+    send_at: Time,
+    /// How many child contributions to expect first.
+    children: usize,
+}
+
+/// Per-processor combining program.
+pub struct CombineProgram {
+    plan: Plan,
+    acc: u64,
+    received: usize,
+    sent: bool,
+}
+
+impl Program<Partial> for CombineProgram {
+    fn on_start(&mut self, ctx: &mut dyn Context<Partial>) {
+        if self.plan.parent.is_some() {
+            ctx.wake_at(self.plan.send_at);
+        }
+    }
+
+    fn on_receive(&mut self, _ctx: &mut dyn Context<Partial>, _from: ProcId, p: Partial) {
+        self.acc += p.0;
+        self.received += 1;
+    }
+
+    fn on_wake(&mut self, ctx: &mut dyn Context<Partial>) {
+        assert_eq!(
+            self.received,
+            self.plan.children,
+            "reversed schedule must deliver all child contributions before \
+             the send slot ({:?} at {})",
+            ctx.me(),
+            ctx.now()
+        );
+        assert!(!self.sent, "combining sends exactly once");
+        self.sent = true;
+        let parent = self.plan.parent.expect("only non-roots wake");
+        ctx.send(parent, Partial(self.acc));
+    }
+}
+
+/// The outcome of a combining run.
+#[derive(Debug)]
+pub struct CombineOutcome {
+    /// The simulation report.
+    pub report: RunReport<Partial>,
+    /// The total accumulated at the root (root's own value + the two
+    /// partial sums... i.e. everything).
+    pub root_total: u64,
+}
+
+/// Builds the combining programs for the given values (one per
+/// processor; `values[0]` belongs to `p_0`).
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn combine_programs(values: &[u64], latency: Latency) -> Vec<Box<dyn Program<Partial>>> {
+    let n = values.len();
+    assert!(n >= 1, "combining needs at least one value");
+    let tree = BroadcastTree::build(n as u64, latency);
+    let horizon = tree.completion();
+
+    let mut plans: Vec<Plan> = vec![
+        Plan {
+            parent: None,
+            send_at: Time::ZERO,
+            children: 0,
+        };
+        n
+    ];
+    collect_plans(&tree.root, None, horizon, &mut plans);
+
+    let mut programs: Vec<Box<dyn Program<Partial>>> = Vec::with_capacity(n);
+    for (i, plan) in plans.iter().enumerate() {
+        programs.push(Box::new(CombineProgram {
+            plan: plan.clone(),
+            acc: values[i],
+            received: 0,
+            sent: false,
+        }));
+    }
+    programs
+}
+
+/// Combines `values` (one per processor, `values[0]` belonging to `p_0`)
+/// into `p_0` along the reversed Fibonacci tree. Completes in exactly
+/// `f_λ(n)` and is model-clean.
+///
+/// ```
+/// use postal_algos::ext::combine::run_combine;
+/// use postal_model::{Latency, Time};
+///
+/// let outcome = run_combine(&[1, 2, 3, 4, 5], Latency::from_int(2));
+/// assert_eq!(outcome.root_total, 15);
+/// assert_eq!(outcome.report.completion, Time::from_int(4)); // f_2(5)
+/// ```
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn run_combine(values: &[u64], latency: Latency) -> CombineOutcome {
+    let n = values.len();
+    let programs = combine_programs(values, latency);
+    let model = Uniform(latency);
+    let report = Simulation::new(n, &model)
+        .run(programs)
+        .expect("combining cannot diverge");
+
+    // The root's total is its own value plus everything it received.
+    let root_total = values[0]
+        + report
+            .trace
+            .received_by(ProcId::ROOT)
+            .map(|t| t.payload.0)
+            .sum::<u64>();
+    CombineOutcome { report, root_total }
+}
+
+fn collect_plans(node: &TreeNode, parent: Option<ProcId>, horizon: Time, out: &mut [Plan]) {
+    out[node.proc.index()] = Plan {
+        parent,
+        send_at: horizon - node.ready,
+        children: node.children.len(),
+    };
+    for child in &node.children {
+        collect_plans(child, Some(node.proc), horizon, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::runtimes;
+
+    #[test]
+    fn combines_sum_in_optimal_time() {
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(5, 2),
+            Latency::from_int(4),
+        ] {
+            for n in [1usize, 2, 3, 5, 14, 50] {
+                let values: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+                let expected: u64 = values.iter().sum();
+                let outcome = run_combine(&values, lam);
+                outcome.report.assert_model_clean();
+                assert_eq!(outcome.root_total, expected, "λ={lam} n={n}");
+                let expected_time = if n == 1 {
+                    Time::ZERO
+                } else {
+                    runtimes::bcast_time(n as u128, lam)
+                };
+                assert_eq!(outcome.report.completion, expected_time, "λ={lam} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_reversal() {
+        // Combining 14 values at λ = 5/2 finishes at 15/2, mirroring
+        // Figure 1 exactly.
+        let values = vec![1u64; 14];
+        let outcome = run_combine(&values, Latency::from_ratio(5, 2));
+        outcome.report.assert_model_clean();
+        assert_eq!(outcome.root_total, 14);
+        assert_eq!(outcome.report.completion, Time::new(15, 2));
+    }
+
+    #[test]
+    fn message_count_is_n_minus_one() {
+        let outcome = run_combine(&[7; 23], Latency::from_int(2));
+        assert_eq!(outcome.report.messages(), 22);
+    }
+
+    #[test]
+    fn every_processor_sends_exactly_once_except_root() {
+        let outcome = run_combine(&[1; 20], Latency::from_ratio(5, 2));
+        for i in 1..20usize {
+            assert_eq!(
+                outcome.report.trace.sent_by(ProcId::from(i)).len(),
+                1,
+                "p{i}"
+            );
+        }
+        assert_eq!(outcome.report.trace.sent_by(ProcId::ROOT).len(), 0);
+    }
+}

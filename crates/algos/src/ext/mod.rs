@@ -1,0 +1,25 @@
+//! Extensions beyond the paper's core results, following its Section 5
+//! ("Further Research") agenda:
+//!
+//! * [`adaptive`] — "explore time-changing values of λ and design
+//!   algorithms that adapt to changing λ";
+//! * [`hier`] — "investigate hierarchies of latency parameters that may
+//!   be used to model subsystems within a larger system";
+//! * [`combine`] — the combining problem (the paper's reference \[6\]),
+//!   solved optimally by time-reversing the broadcast tree;
+//! * [`allreduce`] — combine + broadcast in exactly `2·f_λ(n)`;
+//! * [`alltoall`] — complete exchange via round-robin rotation, optimal
+//!   at `(n−2) + λ`;
+//! * [`gossip`] — gossiping, composed from gather + pipelined broadcast;
+//! * [`scatter`] / [`gather`] — the personalized one-to-all and
+//!   all-to-one collectives, where staggered direct schedules are
+//!   provably optimal.
+
+pub mod adaptive;
+pub mod allreduce;
+pub mod alltoall;
+pub mod combine;
+pub mod gather;
+pub mod gossip;
+pub mod hier;
+pub mod scatter;

@@ -1,0 +1,122 @@
+//! Scatter (personalized one-to-all) in the postal model (Section 5
+//! extension: "other problems that involve global communication").
+//!
+//! The root holds a *distinct* message for every other processor. Unlike
+//! broadcast, relaying cannot help: each of the `n−1` items is distinct,
+//! so each must leave the root in its own atomic send. The root's output
+//! port therefore cannot finish before `n−2` (its last send starts then),
+//! and that last item still needs λ units door-to-door — direct delivery
+//! is already optimal:
+//!
+//! `T_scatter(n, λ) = (n−2) + λ` for `n ≥ 2`.
+//!
+//! This is the one collective where the latency-blind STAR strategy is
+//! provably unbeatable, a useful contrast to broadcast where it is
+//! exponentially worse than BCAST.
+
+use postal_model::{Latency, Time};
+use postal_sim::prelude::*;
+
+/// A scatter item: the personalized value for its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item(pub u64);
+
+/// Root program: send item `i` directly to `p_i`, in index order.
+pub struct ScatterRoot {
+    items: Vec<u64>,
+}
+
+impl ScatterRoot {
+    /// Creates the root program; `items[i]` goes to `p_i` (`items[0]`
+    /// stays home).
+    pub fn new(items: Vec<u64>) -> ScatterRoot {
+        ScatterRoot { items }
+    }
+}
+
+impl Program<Item> for ScatterRoot {
+    fn on_start(&mut self, ctx: &mut dyn Context<Item>) {
+        for (i, &v) in self.items.iter().enumerate().skip(1) {
+            ctx.send(ProcId::from(i), Item(v));
+        }
+    }
+    fn on_receive(&mut self, _ctx: &mut dyn Context<Item>, _from: ProcId, _p: Item) {}
+}
+
+/// Runs the optimal direct scatter: `items[i]` is delivered to `p_i`
+/// (`items[0]` stays at the root).
+///
+/// # Panics
+/// Panics if `items` is empty.
+pub fn run_scatter(items: &[u64], latency: Latency) -> RunReport<Item> {
+    let n = items.len();
+    assert!(n >= 1, "scatter needs at least one processor");
+    let mut programs: Vec<Box<dyn Program<Item>>> = Vec::with_capacity(n);
+    programs.push(Box::new(ScatterRoot {
+        items: items.to_vec(),
+    }));
+    for _ in 1..n {
+        programs.push(Box::new(Idle));
+    }
+    let model = Uniform(latency);
+    Simulation::new(n, &model)
+        .run(programs)
+        .expect("scatter cannot diverge")
+}
+
+/// The scatter lower bound `(n−2) + λ` (see module docs), which
+/// [`run_scatter`] attains exactly.
+pub fn scatter_lower_bound(n: u128, latency: Latency) -> Time {
+    if n <= 1 {
+        return Time::ZERO;
+    }
+    Time::from_int(n as i128 - 2) + latency.as_time()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attains_the_lower_bound_exactly() {
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(5, 2),
+            Latency::from_int(7),
+        ] {
+            for n in [1usize, 2, 3, 10, 64] {
+                let items: Vec<u64> = (0..n as u64).map(|i| i * 11).collect();
+                let report = run_scatter(&items, lam);
+                report.assert_model_clean();
+                assert_eq!(
+                    report.completion,
+                    scatter_lower_bound(n as u128, lam),
+                    "λ={lam} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_processor_gets_its_own_item() {
+        let items: Vec<u64> = (0..20u64).map(|i| 1000 + i).collect();
+        let report = run_scatter(&items, Latency::from_ratio(5, 2));
+        for (i, item) in items.iter().enumerate().skip(1) {
+            let got: Vec<u64> = report
+                .trace
+                .received_by(ProcId::from(i))
+                .map(|t| t.payload.0)
+                .collect();
+            assert_eq!(got, vec![*item], "p{i}");
+        }
+    }
+
+    #[test]
+    fn root_port_is_the_bottleneck() {
+        // n−1 sends back-to-back from t = 0.
+        let report = run_scatter(&[0, 1, 2, 3, 4], Latency::from_int(3));
+        let sends = report.trace.sent_by(ProcId::ROOT);
+        let starts: Vec<Time> = sends.iter().map(|t| t.send_start).collect();
+        assert_eq!(starts, (0..4).map(Time::from_int).collect::<Vec<_>>());
+    }
+}

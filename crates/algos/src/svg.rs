@@ -1,0 +1,172 @@
+//! SVG rendering of broadcast trees — the paper's Figure 1 as a
+//! standalone vector image.
+//!
+//! The drawing follows the paper's layout: time flows downward (the
+//! vertical axis is model time, with a ruled grid per unit), each
+//! processor is a labelled node placed at the moment it learns the
+//! message, and each transfer is an edge from the sender's timeline to
+//! the receiver's node. No external crates: the SVG is assembled
+//! directly, and tests assert on its structure.
+
+use crate::fib_tree::{BroadcastTree, TreeNode};
+use postal_model::Time;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Horizontal pixels per processor column.
+    pub col_width: f64,
+    /// Vertical pixels per time unit.
+    pub unit_height: f64,
+    /// Node circle radius.
+    pub radius: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> SvgOptions {
+        SvgOptions {
+            col_width: 56.0,
+            unit_height: 48.0,
+            radius: 13.0,
+        }
+    }
+}
+
+/// Renders the broadcast tree as an SVG document string.
+pub fn tree_to_svg(tree: &BroadcastTree, opts: SvgOptions) -> String {
+    let n = tree.n as usize;
+    let margin = 40.0;
+    let width = margin * 2.0 + opts.col_width * n as f64;
+    let horizon = tree.completion().to_f64().max(1.0);
+    let height = margin * 2.0 + opts.unit_height * horizon + 20.0;
+
+    let x = |proc: u32| margin + opts.col_width * (proc as f64 + 0.5);
+    let y = |t: f64| margin + opts.unit_height * t;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="white"/>
+<text x="{:.1}" y="22" font-family="sans-serif" font-size="14" fill="#333">Generalized Fibonacci broadcast tree: n = {}, λ = {}, completes at t = {}</text>"##,
+        margin,
+        tree.n,
+        tree.latency,
+        tree.completion()
+    );
+
+    // Time grid.
+    let mut t = 0.0;
+    while t <= horizon + 1e-9 {
+        let yy = y(t);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{:.1}" y1="{yy:.1}" x2="{:.1}" y2="{yy:.1}" stroke="#ddd" stroke-width="1"/>
+<text x="6" y="{:.1}" font-family="sans-serif" font-size="10" fill="#888">t={t:.0}</text>"##,
+            margin,
+            width - margin,
+            yy + 3.0
+        );
+        t += 1.0;
+    }
+
+    // Edges, then nodes (so nodes draw on top).
+    draw_edges(&mut svg, &tree.root, &x, &y, tree.latency.as_time());
+    draw_nodes(&mut svg, &tree.root, &x, &y, opts.radius);
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn draw_edges(
+    svg: &mut String,
+    node: &TreeNode,
+    x: &dyn Fn(u32) -> f64,
+    y: &dyn Fn(f64) -> f64,
+    latency: Time,
+) {
+    for child in &node.children {
+        let send_time = (child.ready - latency).to_f64();
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#4477aa" stroke-width="1.5" marker-end="none"/>"##,
+            x(node.proc.0),
+            y(send_time),
+            x(child.proc.0),
+            y(child.ready.to_f64()),
+        );
+        draw_edges(svg, child, x, y, latency);
+    }
+}
+
+fn draw_nodes(
+    svg: &mut String,
+    node: &TreeNode,
+    x: &dyn Fn(u32) -> f64,
+    y: &dyn Fn(f64) -> f64,
+    radius: f64,
+) {
+    let cx = x(node.proc.0);
+    let cy = y(node.ready.to_f64());
+    let _ = writeln!(
+        svg,
+        r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="{radius:.1}" fill="#eef4fb" stroke="#4477aa" stroke-width="1.5"/>
+<text x="{cx:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="middle" fill="#223">p{}</text>"##,
+        cy + 3.5,
+        node.proc.0
+    );
+    for child in &node.children {
+        draw_nodes(svg, child, x, y, radius);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::Latency;
+
+    #[test]
+    fn figure1_svg_structure() {
+        let tree = BroadcastTree::build(14, Latency::from_ratio(5, 2));
+        let svg = tree_to_svg(&tree, SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 14 node circles, 13 edges.
+        assert_eq!(svg.matches("<circle").count(), 14);
+        assert_eq!(
+            svg.matches(r##"stroke="#4477aa" stroke-width="1.5" marker-end"##)
+                .count(),
+            13
+        );
+        // Every processor labelled.
+        for i in 0..14 {
+            assert!(svg.contains(&format!(">p{i}</text>")), "missing p{i}");
+        }
+        // Title mentions the completion time.
+        assert!(svg.contains("completes at t = 15/2"));
+    }
+
+    #[test]
+    fn singleton_tree_renders() {
+        let tree = BroadcastTree::build(1, Latency::TELEPHONE);
+        let svg = tree_to_svg(&tree, SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn grid_spans_the_horizon() {
+        let tree = BroadcastTree::build(32, Latency::from_int(2));
+        let svg = tree_to_svg(&tree, SvgOptions::default());
+        let horizon = tree.completion().to_f64() as usize;
+        for t in 0..=horizon {
+            assert!(
+                svg.contains(&format!(">t={t}</text>")),
+                "missing grid t={t}"
+            );
+        }
+    }
+}

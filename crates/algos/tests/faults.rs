@@ -1,0 +1,134 @@
+//! Failure-injection tests: the paper's algorithms assume a reliable
+//! network; these tests document exactly how they degrade when that
+//! assumption is broken, and that the blast radius matches the broadcast
+//! tree structure.
+
+use postal_algos::{bcast_programs, BroadcastTree, TreeNode};
+use postal_model::{Latency, Time};
+use postal_sim::{FaultPlan, ProcId, Simulation, Uniform};
+
+/// The set of processors that hear the message when the root's first
+/// send (seq 0) is dropped.
+#[test]
+fn dropping_the_first_send_silences_the_delegated_subtree() {
+    let lam = Latency::from_ratio(5, 2);
+    let n = 14usize;
+    let model = Uniform(lam);
+    let report = Simulation::new(n, &model)
+        .faults(FaultPlan::none().dropping(0))
+        .run(bcast_programs(n, lam))
+        .unwrap();
+
+    // Figure 1: the root's first send goes to p9, which is delegated
+    // {p9..p13}. Dropping it must lose exactly those five processors.
+    let first = report.trace.first_receipt_times(n);
+    for (i, t) in first.iter().enumerate().take(9).skip(1) {
+        assert!(t.is_some(), "p{i} should still be reached");
+    }
+    for (i, t) in first.iter().enumerate().skip(9) {
+        assert!(t.is_none(), "p{i} should be lost");
+    }
+    assert_eq!(report.messages(), 8);
+}
+
+#[test]
+fn dropping_a_leaf_send_loses_exactly_one_processor() {
+    let lam = Latency::from_ratio(5, 2);
+    let n = 14usize;
+    // The root's last send (seq 5) goes to p1, a leaf.
+    let model = Uniform(lam);
+    let report = Simulation::new(n, &model)
+        .faults(FaultPlan::none().dropping(5))
+        .run(bcast_programs(n, lam))
+        .unwrap();
+    let first = report.trace.first_receipt_times(n);
+    let lost: Vec<usize> = (1..n).filter(|&i| first[i].is_none()).collect();
+    assert_eq!(lost, vec![1]);
+}
+
+#[test]
+fn crash_loses_the_crashed_nodes_subtree() {
+    let lam = Latency::from_ratio(5, 2);
+    let n = 14usize;
+    // Crash p9 just before its message arrives (t = 2): everything p9
+    // was responsible for ({p9..p13}) goes dark.
+    let model = Uniform(lam);
+    let report = Simulation::new(n, &model)
+        .faults(FaultPlan::none().crashing(ProcId(9), Time::from_int(2)))
+        .run(bcast_programs(n, lam))
+        .unwrap();
+    let first = report.trace.first_receipt_times(n);
+    let lost: Vec<usize> = (1..n).filter(|&i| first[i].is_none()).collect();
+    assert_eq!(lost, vec![9, 10, 11, 12, 13]);
+}
+
+#[test]
+fn late_crash_after_forwarding_is_harmless_to_others() {
+    let lam = Latency::from_ratio(5, 2);
+    let n = 14usize;
+    // p9 forwards during [5/2, 11/2]; crashing it at t = 6 (after its
+    // last send started) only stops p9 itself from... nothing: it has
+    // already received and sent everything. No one is lost.
+    let model = Uniform(lam);
+    let report = Simulation::new(n, &model)
+        .faults(FaultPlan::none().crashing(ProcId(9), Time::from_int(6)))
+        .run(bcast_programs(n, lam))
+        .unwrap();
+    let first = report.trace.first_receipt_times(n);
+    assert!((1..n).all(|i| first[i].is_some()));
+}
+
+#[test]
+fn blast_radius_equals_subtree_size_for_every_edge() {
+    // Property over the whole tree: dropping the k-th send loses exactly
+    // the processors in the receiver's delegated subtree.
+    let lam = Latency::from_int(2);
+    let n = 20usize;
+    let tree = BroadcastTree::build(n as u64, lam);
+
+    // Map each send seq (BFS issue order is NOT seq order; seq is global
+    // issue order from the engine) — instead, run fault-free first and
+    // read the actual (seq → dst) mapping from the trace.
+    let model = Uniform(lam);
+    let clean = Simulation::new(n, &model)
+        .run(bcast_programs(n, lam))
+        .unwrap();
+    for t in clean.trace.transfers() {
+        let dst = t.dst;
+        let subtree = subtree_members(&tree.root, dst).expect("dst is in the tree");
+        let report = Simulation::new(n, &model)
+            .faults(FaultPlan::none().dropping(t.seq.0))
+            .run(bcast_programs(n, lam))
+            .unwrap();
+        let first = report.trace.first_receipt_times(n);
+        let lost: Vec<u32> = (1..n)
+            .filter(|&i| first[i].is_none())
+            .map(|i| i as u32)
+            .collect();
+        let mut expected = subtree;
+        expected.sort_unstable();
+        assert_eq!(lost, expected, "dropping seq {:?} → {:?}", t.seq, t.dst);
+    }
+}
+
+/// All processor ids in the subtree rooted at `target`.
+fn subtree_members(node: &TreeNode, target: ProcId) -> Option<Vec<u32>> {
+    if node.proc == target {
+        let mut v = Vec::new();
+        collect(node, &mut v);
+        return Some(v);
+    }
+    for c in &node.children {
+        if let Some(v) = subtree_members(c, target) {
+            return Some(v);
+        }
+    }
+    return None;
+
+    fn collect(node: &TreeNode, out: &mut Vec<u32>) {
+        out.push(node.proc.0);
+        for c in &node.children {
+            collect(c, out);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Benchmarks for the Section-5 collectives and the schedule machinery:
+//! flood generation, combine, gossip, all-reduce, and schedule
+//! validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use postal_algos::ext::{allreduce, combine, gossip};
+use postal_algos::{flood_schedule, BroadcastTree, ToSchedule};
+use postal_model::Latency;
+use std::hint::black_box;
+
+const LAM: fn() -> Latency = || Latency::from_ratio(5, 2);
+
+fn bench_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flood_schedule");
+    for n in [64u64, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(flood_schedule(black_box(n), LAM())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_validate");
+    for n in [64u64, 1024, 16384] {
+        let schedule = BroadcastTree::build(n, LAM()).to_schedule();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &schedule, |b, s| {
+            b.iter(|| black_box(s.validate_broadcast()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine");
+    for n in [64usize, 512] {
+        let values: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| black_box(combine::run_combine(v, LAM()).root_total));
+        });
+    }
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    for n in [64usize, 512] {
+        let values: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| black_box(allreduce::run_allreduce(v, LAM()).report.completion));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip");
+    for n in [16usize, 64] {
+        let values: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| black_box(gossip::run_gossip(v, LAM()).report.completion));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flood,
+    bench_schedule_validation,
+    bench_combine,
+    bench_allreduce,
+    bench_gossip
+);
+criterion_main!(benches);

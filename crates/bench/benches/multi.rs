@@ -1,0 +1,61 @@
+//! Benchmarks for the multi-message algorithms (Experiments L10–L18):
+//! one benchmark per algorithm per lemma, simulating the full
+//! event-driven execution at representative (n, m, λ) points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use postal_algos::{run_dtree, run_pack, run_pipeline, run_repeat};
+use postal_model::Latency;
+use std::hint::black_box;
+
+const N: usize = 64;
+const LAM: fn() -> Latency = || Latency::from_ratio(5, 2);
+
+fn bench_repeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repeat_lemma10");
+    for m in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(run_repeat(N, m, LAM()).completion()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_lemma12");
+    for m in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(run_pack(N, m, LAM()).completion()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_lemma14_16");
+    // m = 2 exercises PIPELINE-1 (m ≤ λ), m = 16 PIPELINE-2.
+    for m in [2u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(run_pipeline(N, m, LAM()).completion()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtree_lemma18");
+    for d in [1u64, 2, 4, 63] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| black_box(run_dtree(N, 8, LAM(), d).completion()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_repeat,
+    bench_pack,
+    bench_pipeline,
+    bench_dtree
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Ablations: λ-blind trees and port-contention semantics.
+
+fn main() {
+    println!(
+        "{}",
+        postal_bench::experiments::ablations::latency_blind_tree()
+    );
+    println!("{}", postal_bench::experiments::ablations::port_modes());
+}

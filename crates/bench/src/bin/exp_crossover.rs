@@ -1,0 +1,14 @@
+//! Experiment X1: winner maps over (m, λ).
+
+fn main() {
+    for n in [16u128, 64, 256] {
+        println!("{}", postal_bench::experiments::crossover::winner_map(n));
+    }
+    for lam_i in [4i128, 8, 16] {
+        let lam = postal_model::Latency::from_int(lam_i);
+        match postal_bench::experiments::crossover::pack_pipeline_crossover(64, lam) {
+            Some(m) => println!("PACK→PIPELINE crossover at n=64, λ={lam}: m = {m}"),
+            None => println!("No PACK→PIPELINE crossover found at n=64, λ={lam} for m ≤ 512"),
+        }
+    }
+}

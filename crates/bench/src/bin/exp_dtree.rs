@@ -1,0 +1,17 @@
+//! Experiment L18: the DTREE(d) family.
+
+use postal_model::Latency;
+
+fn main() {
+    println!("{}", postal_bench::experiments::dtree_exp::bound_check());
+    for lam in [Latency::from_ratio(5, 2), Latency::from_int(8)] {
+        println!(
+            "{}",
+            postal_bench::experiments::dtree_exp::degree_sweep(32, 8, lam)
+        );
+    }
+    println!(
+        "{}",
+        postal_bench::experiments::dtree_exp::constant_factor_table()
+    );
+}

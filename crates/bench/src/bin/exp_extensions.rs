@@ -1,0 +1,16 @@
+//! Experiment X3: Section 5 extensions.
+
+fn main() {
+    println!(
+        "{}",
+        postal_bench::experiments::extensions_exp::adaptive_table()
+    );
+    println!(
+        "{}",
+        postal_bench::experiments::extensions_exp::hierarchy_table()
+    );
+    println!(
+        "{}",
+        postal_bench::experiments::extensions_exp::collectives_table()
+    );
+}

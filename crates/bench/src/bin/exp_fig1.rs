@@ -1,0 +1,7 @@
+//! Experiment F1: regenerate Figure 1 of the paper.
+
+fn main() {
+    let (art, table) = postal_bench::experiments::single::figure1();
+    println!("{art}");
+    println!("{table}");
+}

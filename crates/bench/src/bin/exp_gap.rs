@@ -1,0 +1,8 @@
+//! Experiment X5: exact optimum vs Lemma 8 on tiny instances.
+
+fn main() {
+    println!(
+        "{}",
+        postal_bench::experiments::gap_exp::gap_table(30_000_000)
+    );
+}

@@ -1,0 +1,5 @@
+//! Experiment X4: BCAST robustness to latency jitter.
+
+fn main() {
+    println!("{}", postal_bench::experiments::jitter_exp::jitter_table());
+}

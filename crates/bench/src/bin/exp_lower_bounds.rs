@@ -1,0 +1,8 @@
+//! Experiment L8: the multi-message lower bound and overhead factors.
+
+fn main() {
+    println!(
+        "{}",
+        postal_bench::experiments::multi_exp::lower_bound_factors()
+    );
+}

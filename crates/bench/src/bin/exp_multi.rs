@@ -1,0 +1,9 @@
+//! Experiments L10/L12/L14/L16: multi-message closed forms.
+
+fn main() {
+    println!("{}", postal_bench::experiments::multi_exp::closed_forms());
+    println!(
+        "{}",
+        postal_bench::experiments::multi_exp::repeat_pacing_ablation()
+    );
+}

@@ -1,0 +1,7 @@
+//! Experiment X2: λ = 1 (binomial) and λ = 2 (Fibonacci) sanity anchors.
+
+fn main() {
+    let (pow2, fibo) = postal_bench::experiments::single::special_cases();
+    println!("{pow2}");
+    println!("{fibo}");
+}

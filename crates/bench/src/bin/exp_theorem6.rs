@@ -1,0 +1,5 @@
+//! Experiment T6: BCAST optimality (Theorem 6).
+
+fn main() {
+    println!("{}", postal_bench::experiments::single::theorem6());
+}

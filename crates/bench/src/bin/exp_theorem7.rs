@@ -1,0 +1,11 @@
+//! Experiment T7: bounds on F_λ and f_λ (Theorem 7 + appendix).
+
+fn main() {
+    let e = &postal_bench::experiments::bounds_exp::fib_bounds();
+    println!("{e}");
+    println!("{}", postal_bench::experiments::bounds_exp::index_bounds());
+    println!(
+        "{}",
+        postal_bench::experiments::bounds_exp::asymptotic_bounds()
+    );
+}

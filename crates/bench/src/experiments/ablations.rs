@@ -1,0 +1,132 @@
+//! Ablations for the design choices DESIGN.md calls out.
+
+use crate::table::{fmt_time, Table};
+use postal_algos::bcast::bcast_programs;
+use postal_model::{runtimes, Latency};
+use postal_sim::{PortMode, Simulation, Uniform};
+
+/// Ablation: what happens if a schedule is *not* latency-aware? Run the
+/// λ = 1 (binomial) BCAST tree under larger real latencies, in queued
+/// port mode, and compare with the λ-aware Fibonacci tree.
+///
+/// This is the paper's core motivation quantified: the binomial tree's
+/// dense recursion assumes answers come back immediately; under latency
+/// λ its depth costs λ·⌈log₂ n⌉, versus Θ(λ log n / log(λ+1)) for BCAST.
+pub fn latency_blind_tree() -> Table {
+    let mut table = Table::new(
+        "Ablation: λ-blind binomial tree vs λ-aware Fibonacci tree (queued ports)",
+        &["n", "real λ", "binomial tree", "BCAST", "penalty"],
+    );
+    for lam in [
+        Latency::from_int(2),
+        Latency::from_int(4),
+        Latency::from_int(8),
+    ] {
+        for n in [16usize, 64, 256] {
+            let model = Uniform(lam);
+            // Schedule computed for λ = 1, executed under the real λ.
+            let blind = Simulation::new(n, &model)
+                .port_mode(PortMode::Queued)
+                .run(bcast_programs(n, Latency::TELEPHONE))
+                .expect("broadcast cannot diverge");
+            let aware = runtimes::bcast_time(n as u128, lam);
+            assert!(blind.completion >= aware);
+            table.row(vec![
+                n.to_string(),
+                lam.to_string(),
+                fmt_time(blind.completion),
+                fmt_time(aware),
+                format!("{:.2}×", blind.completion.to_f64() / aware.to_f64()),
+            ]);
+        }
+    }
+    table
+}
+
+/// Ablation: strict vs queued port semantics for a conflicting workload.
+/// The paper's algorithms are conflict-free (strict = queued); a naive
+/// "everyone re-sends to the same hub" workload shows how queued mode
+/// absorbs contention that strict mode flags.
+pub fn port_modes() -> Table {
+    use postal_sim::{Context, Idle, ProcId, Program};
+
+    /// k senders all target p0 at time 0.
+    struct Blast;
+    impl Program<u8> for Blast {
+        fn on_start(&mut self, ctx: &mut dyn Context<u8>) {
+            ctx.send(ProcId::ROOT, 0);
+        }
+        fn on_receive(&mut self, _: &mut dyn Context<u8>, _: ProcId, _: u8) {}
+    }
+
+    let mut table = Table::new(
+        "Ablation: input-port contention — strict (flagged) vs queued (delayed)",
+        &[
+            "senders",
+            "λ",
+            "strict completion",
+            "violations",
+            "queued completion",
+        ],
+    );
+    for lam in [Latency::from_int(2), Latency::from_int(4)] {
+        for k in [2usize, 4, 8] {
+            let n = k + 1;
+            let model = Uniform(lam);
+            let build = || {
+                let mut v: Vec<Box<dyn Program<u8>>> = vec![Box::new(Idle)];
+                for _ in 0..k {
+                    v.push(Box::new(Blast));
+                }
+                v
+            };
+            let strict = Simulation::new(n, &model).run(build()).unwrap();
+            let queued = Simulation::new(n, &model)
+                .port_mode(PortMode::Queued)
+                .run(build())
+                .unwrap();
+            assert_eq!(strict.violations.len(), k - 1);
+            assert!(queued.violations.is_empty());
+            assert!(queued.completion >= strict.completion);
+            table.row(vec![
+                k.to_string(),
+                lam.to_string(),
+                fmt_time(strict.completion),
+                strict.violations.len().to_string(),
+                fmt_time(queued.completion),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_blind_penalty_grows_with_lambda() {
+        let t = latency_blind_tree();
+        assert_eq!(t.len(), 9);
+        // Penalty at λ=8, n=256 must exceed penalty at λ=2, n=256.
+        let penalty = |row: &Vec<String>| -> f64 { row[4].trim_end_matches('×').parse().unwrap() };
+        let rows = t.rows();
+        let p2 = rows
+            .iter()
+            .find(|r| r[0] == "256" && r[1] == "2")
+            .map(penalty)
+            .unwrap();
+        let p8 = rows
+            .iter()
+            .find(|r| r[0] == "256" && r[1] == "8")
+            .map(penalty)
+            .unwrap();
+        assert!(p8 > p2, "penalty must grow with λ: {p2} vs {p8}");
+        assert!(p8 > 1.5, "λ-blindness must hurt at λ=8");
+    }
+
+    #[test]
+    fn port_modes_table_populates() {
+        assert_eq!(port_modes().len(), 6);
+    }
+}

@@ -1,0 +1,126 @@
+//! Experiment X1: which algorithm wins where — the crossover structure
+//! Section 4 predicts (REPEAT for tiny m, PACK for small m / large λ,
+//! PIPELINE for long streams, DTREE as the robust all-rounder).
+
+use crate::table::Table;
+use postal_model::{runtimes, Latency, Time};
+
+/// The candidate algorithms compared in the winner map (closed forms —
+/// each was already shown to match simulation exactly in `multi_exp`).
+pub fn candidates(n: u128, m: u64, lam: Latency) -> Vec<(&'static str, Time)> {
+    let d = runtimes::latency_matched_degree(n, lam) as u128;
+    vec![
+        ("REPEAT", runtimes::repeat_time(n, m, lam)),
+        ("PACK", runtimes::pack_time(n, m, lam)),
+        ("PIPELINE", runtimes::pipeline_time(n, m, lam)),
+        ("LINE", runtimes::line_time(n, m, lam)),
+        ("STAR", runtimes::star_time(n, m, lam)),
+        // DTREE at the paper's degree: Lemma 18 upper bound (conservative
+        // for the winner map; the simulated value is lower still).
+        ("DTREE(⌈λ⌉+1)", runtimes::dtree_time_bound(n, m, lam, d)),
+    ]
+}
+
+/// The winner for one configuration.
+pub fn winner(n: u128, m: u64, lam: Latency) -> (&'static str, Time) {
+    candidates(n, m, lam)
+        .into_iter()
+        .min_by_key(|&(_, t)| t)
+        .expect("candidate list is nonempty")
+}
+
+/// A winner map over (m, λ) for fixed n.
+pub fn winner_map(n: u128) -> Table {
+    let lambdas = [
+        Latency::TELEPHONE,
+        Latency::from_int(2),
+        Latency::from_int(4),
+        Latency::from_int(8),
+        Latency::from_int(16),
+        Latency::from_int(32),
+    ];
+    let mut headers: Vec<String> = vec!["m \\ λ".into()];
+    headers.extend(lambdas.iter().map(|l| l.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("X1: winning algorithm over (m, λ), n = {n}"),
+        &header_refs,
+    );
+    for m in [1u64, 2, 4, 8, 16, 64, 256] {
+        let mut row = vec![m.to_string()];
+        for lam in lambdas {
+            row.push(winner(n, m, lam).0.to_string());
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Crossover locator: for fixed n and λ, the m at which PIPELINE
+/// overtakes PACK (Section 4.2's "for large m none of the BCAST
+/// generalizations stay optimal" discussion).
+pub fn pack_pipeline_crossover(n: u128, lam: Latency) -> Option<u64> {
+    let mut prev_pack_wins = true;
+    for m in 1..=512u64 {
+        let pack = runtimes::pack_time(n, m, lam);
+        let pipe = runtimes::pipeline_time(n, m, lam);
+        let pack_wins = pack <= pipe;
+        if prev_pack_wins && !pack_wins {
+            return Some(m);
+        }
+        prev_pack_wins = pack_wins;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_wins_for_tiny_m_huge_lambda() {
+        // λ ≫ n: one round of direct sends is unbeatable for m = 1
+        // among these candidates... for m = 1 REPEAT = PACK = PIPELINE
+        // = BCAST = f_λ(n), and f_λ(n) ≤ star; at λ = 32, n = 8:
+        // f = 32·⌈log_9 8⌉-ish vs star = 7−1+32 = 38. Check the winner is
+        // one of the optimal-for-m=1 trio.
+        let (name, t) = winner(8, 1, Latency::from_int(32));
+        assert_eq!(t, runtimes::bcast_time(8, Latency::from_int(32)).min(t));
+        assert!(["REPEAT", "PACK", "PIPELINE", "STAR"].contains(&name));
+    }
+
+    #[test]
+    fn line_or_pipeline_wins_for_many_messages() {
+        let (name, _) = winner(8, 256, Latency::from_int(2));
+        assert!(
+            name == "LINE" || name == "PIPELINE",
+            "streaming must win as m → ∞, got {name}"
+        );
+    }
+
+    #[test]
+    fn winner_map_is_full() {
+        let t = winner_map(64);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn crossover_exists_for_moderate_latency() {
+        // With λ = 8, PACK wins small m but PIPELINE must overtake.
+        let m = pack_pipeline_crossover(64, Latency::from_int(8));
+        assert!(m.is_some());
+        assert!(m.unwrap() > 1);
+    }
+
+    #[test]
+    fn all_candidates_beat_nothing_below_lower_bound() {
+        for lam in [Latency::TELEPHONE, Latency::from_int(4)] {
+            for m in [1u64, 8, 64] {
+                let lb = runtimes::multi_lower_bound(64, m, lam);
+                for (name, t) in candidates(64, m, lam) {
+                    assert!(t >= lb, "{name} beat the lower bound");
+                }
+            }
+        }
+    }
+}

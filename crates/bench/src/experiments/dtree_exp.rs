@@ -1,0 +1,147 @@
+//! Experiment L18: the DTREE(d) family — simulated times against the
+//! Lemma 18 bound, and the Section 4.3 degree-choice discussion.
+
+use crate::table::{fmt_time, Table};
+use postal_algos::run_dtree;
+use postal_model::{runtimes, Latency, Time};
+
+/// Simulated DTREE(d) vs the Lemma 18 bound across degrees.
+pub fn bound_check() -> Table {
+    let mut table = Table::new(
+        "L18: DTREE(d) simulated vs bound d(m−1) + (d−1+λ)⌈log_d n⌉",
+        &["n", "m", "λ", "d", "simulated", "Lemma 18 bound"],
+    );
+    for lam in [
+        Latency::TELEPHONE,
+        Latency::from_ratio(5, 2),
+        Latency::from_int(4),
+    ] {
+        for (n, m) in [(15usize, 2u32), (31, 4), (64, 8)] {
+            for d in [1u64, 2, 3, 4, 8, (n - 1) as u64] {
+                let r = run_dtree(n, m, lam, d);
+                r.verify().unwrap();
+                let bound = runtimes::dtree_time_bound(n as u128, m as u64, lam, d as u128);
+                assert!(r.completion() <= bound, "n={n} m={m} λ={lam} d={d}");
+                table.row(vec![
+                    n.to_string(),
+                    m.to_string(),
+                    lam.to_string(),
+                    d.to_string(),
+                    fmt_time(r.completion()),
+                    fmt_time(bound),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Section 4.3's degree discussion: sweep d and compare the empirical
+/// best degree with the paper's ⌈λ⌉+1 rule.
+pub fn degree_sweep(n: usize, m: u32, lam: Latency) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Degree sweep for n={n}, m={m}, λ={lam}: best d vs paper's d=⌈λ⌉+1={}",
+            runtimes::latency_matched_degree(n as u128, lam)
+        ),
+        &["d", "simulated", "T/LB"],
+    );
+    let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam)
+        .to_f64()
+        .max(1e-9);
+    for d in 1..n as u64 {
+        let r = run_dtree(n, m, lam, d);
+        r.verify().unwrap();
+        table.row(vec![
+            d.to_string(),
+            fmt_time(r.completion()),
+            format!("{:.2}", r.completion().to_f64() / lb),
+        ]);
+    }
+    table
+}
+
+/// The empirical best degree for a configuration.
+pub fn best_degree(n: usize, m: u32, lam: Latency) -> (u64, Time) {
+    (1..n as u64)
+        .map(|d| (d, run_dtree(n, m, lam, d).completion()))
+        .min_by_key(|&(_, t)| t)
+        .expect("n ≥ 2 has at least degree 1")
+}
+
+/// Section 4.3 claim (with \[13\]): the DTREE family — best d per
+/// configuration — stays within a small constant factor of the Lemma 8
+/// lower bound (≤ 7 for order-preserving broadcast).
+pub fn constant_factor_table() -> Table {
+    let mut table = Table::new(
+        "X1b: best-degree DTREE vs lower bound (constant-factor claim of [13])",
+        &["n", "m", "λ", "best d", "⌈λ⌉+1", "T(best)", "T/LB"],
+    );
+    for lam in [
+        Latency::TELEPHONE,
+        Latency::from_ratio(5, 2),
+        Latency::from_int(4),
+        Latency::from_int(16),
+    ] {
+        for (n, m) in [
+            (16usize, 1u32),
+            (16, 16),
+            (64, 4),
+            (64, 64),
+            (128, 2),
+            (128, 32),
+        ] {
+            let (d, t) = best_degree(n, m, lam);
+            let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+            let factor = t.to_f64() / lb.to_f64().max(1e-9);
+            assert!(
+                factor <= 7.0 + 1e-9,
+                "DTREE exceeded the factor-7 envelope: n={n} m={m} λ={lam} factor={factor}"
+            );
+            table.row(vec![
+                n.to_string(),
+                m.to_string(),
+                lam.to_string(),
+                d.to_string(),
+                runtimes::latency_matched_degree(n as u128, lam).to_string(),
+                fmt_time(t),
+                format!("{factor:.2}"),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_check_populates() {
+        assert_eq!(bound_check().len(), 3 * 3 * 6);
+    }
+
+    #[test]
+    fn degree_sweep_has_n_minus_2_rows() {
+        let t = degree_sweep(16, 4, Latency::from_ratio(5, 2));
+        assert_eq!(t.len(), 15);
+    }
+
+    #[test]
+    fn best_degree_is_line_for_many_messages() {
+        let (d, _) = best_degree(8, 64, Latency::from_int(2));
+        assert_eq!(d, 1, "LINE wins as m → ∞");
+    }
+
+    #[test]
+    fn best_degree_is_star_for_huge_latency() {
+        let (d, _) = best_degree(8, 1, Latency::from_int(64));
+        assert_eq!(d, 7, "STAR wins as λ → ∞");
+    }
+
+    #[test]
+    fn constant_factor_holds() {
+        let t = constant_factor_table();
+        assert_eq!(t.len(), 24);
+    }
+}

@@ -1,0 +1,113 @@
+//! Experiment X4: robustness of the Fibonacci schedule to latency
+//! jitter.
+//!
+//! Section 2 of the paper argues λ "is expected to be fairly uniform ...
+//! and not to fluctuate too much". This experiment quantifies the
+//! schedule's sensitivity: run BCAST (planned for the base λ) while each
+//! message's actual latency is `base + U{0..j}/q`, with queued input
+//! ports absorbing any induced contention. Reported: completion vs the
+//! jitter-free optimum, and how much of the slowdown is port contention
+//! versus plain added latency.
+
+use crate::table::{fmt_time, Table};
+use postal_algos::bcast::bcast_programs;
+use postal_model::{runtimes, Latency, Ratio, Time};
+use postal_sim::{Jittered, PortMode, Simulation};
+
+/// Runs jittered BCAST and returns (completion, queued receive count).
+pub fn jittered_bcast(n: usize, base: Latency, max_extra_ticks: u32, seed: u64) -> (Time, usize) {
+    let model = Jittered::new(base, max_extra_ticks, seed);
+    let report = Simulation::new(n, &model)
+        .port_mode(PortMode::Queued)
+        .run(bcast_programs(n, base))
+        .expect("broadcast cannot diverge");
+    for i in 1..n {
+        assert_eq!(
+            report
+                .trace
+                .received_by(postal_sim::ProcId::from(i))
+                .count(),
+            1,
+            "jitter must not break delivery"
+        );
+    }
+    let queued = report
+        .trace
+        .transfers()
+        .iter()
+        .filter(|t| t.was_queued())
+        .count();
+    (report.completion, queued)
+}
+
+/// The jitter-robustness table.
+pub fn jitter_table() -> Table {
+    let mut table = Table::new(
+        "X4: BCAST under latency jitter λ ∈ [base, base + ε] (queued ports, 5-seed max)",
+        &[
+            "n",
+            "base λ",
+            "max ε",
+            "f_λ(n)",
+            "worst completion",
+            "slowdown",
+            "queued recvs",
+        ],
+    );
+    for (base, ticks) in [
+        (Latency::from_int(2), [0u32, 1, 2, 4]),
+        (Latency::from_ratio(5, 2), [0, 1, 2, 5]),
+    ] {
+        for n in [32usize, 128] {
+            let ideal = runtimes::bcast_time(n as u128, base);
+            for &j in &ticks {
+                let (worst, queued) = (0..5u64)
+                    .map(|seed| jittered_bcast(n, base, j, 1000 + seed))
+                    .max_by_key(|&(t, _)| t)
+                    .expect("nonempty seed set");
+                // Sanity: completion at least the jitter-free optimum and
+                // at most optimum + depth·ε (every hop can be ε late,
+                // plus queuing is bounded by the same budget).
+                assert!(worst >= ideal);
+                let eps = Ratio::new(j as i128, base.ticks_per_unit());
+                table.row(vec![
+                    n.to_string(),
+                    base.to_string(),
+                    format!("{eps}"),
+                    fmt_time(ideal),
+                    fmt_time(worst),
+                    format!("{:.3}×", worst.to_f64() / ideal.to_f64()),
+                    queued.to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_is_exactly_optimal() {
+        let (t, queued) = jittered_bcast(64, Latency::from_ratio(5, 2), 0, 7);
+        assert_eq!(t, runtimes::bcast_time(64, Latency::from_ratio(5, 2)));
+        assert_eq!(queued, 0);
+    }
+
+    #[test]
+    fn jitter_degrades_gracefully() {
+        let base = Latency::from_int(2);
+        let ideal = runtimes::bcast_time(128, base).to_f64();
+        let (t, _) = jittered_bcast(128, base, 2, 42);
+        // ε = 1 unit of max jitter: slowdown bounded well under 2× the
+        // ideal (the tree depth amplifies, but sub-linearly).
+        assert!(t.to_f64() <= ideal * 2.0, "{t} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn table_populates() {
+        assert_eq!(jitter_table().len(), 16);
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment implementations, one module per DESIGN.md experiment id.
+//!
+//! Each function builds its result table(s) and *asserts the paper's
+//! claims along the way* — running an experiment is itself a test. The
+//! `exp_*` binaries are thin printers over these functions.
+
+pub mod ablations;
+pub mod bounds_exp;
+pub mod crossover;
+pub mod dtree_exp;
+pub mod extensions_exp;
+pub mod gap_exp;
+pub mod jitter_exp;
+pub mod multi_exp;
+pub mod single;

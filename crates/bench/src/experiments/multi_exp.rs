@@ -1,0 +1,164 @@
+//! Experiments L8/L10/L12/L14/L16: multi-message algorithms versus their
+//! closed forms and the Lemma 8 lower bound.
+
+use crate::table::{fmt_time, Table};
+use postal_algos::{run_pack, run_pipeline, run_repeat, run_repeat_greedy};
+use postal_model::{runtimes, Latency};
+
+/// The (n, m, λ) grid shared by the multi-message experiments.
+pub fn grid() -> Vec<(usize, u32, Latency)> {
+    let mut g = Vec::new();
+    for lam in [
+        Latency::TELEPHONE,
+        Latency::from_int(2),
+        Latency::from_ratio(5, 2),
+        Latency::from_int(4),
+    ] {
+        for n in [5usize, 14, 64] {
+            for m in [1u32, 2, 4, 8, 16] {
+                g.push((n, m, lam));
+            }
+        }
+    }
+    g
+}
+
+/// Experiments L10/L12/L14/L16: for each algorithm, simulated completion
+/// must equal the lemma's closed form *exactly*; the table shows both
+/// plus the ratio to the Lemma 8 lower bound.
+pub fn closed_forms() -> Table {
+    let mut table = Table::new(
+        "L10/L12/L14+L16: simulated vs closed-form running times (exact equality)",
+        &[
+            "n",
+            "m",
+            "λ",
+            "algorithm",
+            "simulated",
+            "closed form",
+            "T/LB",
+        ],
+    );
+    for (n, m, lam) in grid() {
+        let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+        let cases: Vec<(&str, postal_model::Time, postal_model::Time)> = vec![
+            (
+                "REPEAT",
+                run_repeat(n, m, lam).completion(),
+                runtimes::repeat_time(n as u128, m as u64, lam),
+            ),
+            (
+                "PACK",
+                run_pack(n, m, lam).completion(),
+                runtimes::pack_time(n as u128, m as u64, lam),
+            ),
+            (
+                "PIPELINE",
+                run_pipeline(n, m, lam).completion(),
+                runtimes::pipeline_time(n as u128, m as u64, lam),
+            ),
+        ];
+        for (name, simulated, closed) in cases {
+            assert_eq!(simulated, closed, "{name} n={n} m={m} λ={lam}");
+            table.row(vec![
+                n.to_string(),
+                m.to_string(),
+                lam.to_string(),
+                name.to_string(),
+                fmt_time(simulated),
+                fmt_time(closed),
+                format!("{:.2}", simulated.to_f64() / lb.to_f64().max(1e-9)),
+            ]);
+        }
+    }
+    table
+}
+
+/// Experiment L8: every algorithm respects the lower bound
+/// `(m−1) + f_λ(n)`; the table reports each algorithm's overhead factor.
+pub fn lower_bound_factors() -> Table {
+    let mut table = Table::new(
+        "L8: lower bound (m−1)+f_λ(n) and per-algorithm overhead factors",
+        &["n", "m", "λ", "LB", "REPEAT/LB", "PACK/LB", "PIPELINE/LB"],
+    );
+    for (n, m, lam) in grid() {
+        let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+        let lbf = lb.to_f64().max(1e-9);
+        let rep = runtimes::repeat_time(n as u128, m as u64, lam);
+        let pac = runtimes::pack_time(n as u128, m as u64, lam);
+        let pip = runtimes::pipeline_time(n as u128, m as u64, lam);
+        for t in [rep, pac, pip] {
+            assert!(t >= lb, "algorithm beat the lower bound?!");
+        }
+        table.row(vec![
+            n.to_string(),
+            m.to_string(),
+            lam.to_string(),
+            fmt_time(lb),
+            format!("{:.2}", rep.to_f64() / lbf),
+            format!("{:.2}", pac.to_f64() / lbf),
+            format!("{:.2}", pip.to_f64() / lbf),
+        ]);
+    }
+    table
+}
+
+/// Ablation: the paper-paced REPEAT vs the greedy event-driven variant
+/// (which exploits originator idle time; see `postal_algos::repeat`).
+pub fn repeat_pacing_ablation() -> Table {
+    let mut table = Table::new(
+        "Ablation: REPEAT pacing — Lemma 10 schedule vs greedy event-driven",
+        &["n", "m", "λ", "Lemma 10", "greedy", "saved"],
+    );
+    for lam in [
+        Latency::from_ratio(3, 2),
+        Latency::from_ratio(5, 2),
+        Latency::from_int(3),
+    ] {
+        for (n, m) in [(5usize, 8u32), (14, 8), (40, 16)] {
+            let paper = run_repeat(n, m, lam).completion();
+            let greedy = run_repeat_greedy(n, m, lam).completion();
+            assert!(greedy <= paper);
+            table.row(vec![
+                n.to_string(),
+                m.to_string(),
+                lam.to_string(),
+                fmt_time(paper),
+                fmt_time(greedy),
+                fmt_time(paper - greedy),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_table_covers_grid() {
+        let t = closed_forms();
+        assert_eq!(t.len(), grid().len() * 3);
+    }
+
+    #[test]
+    fn lower_bound_factors_table_covers_grid() {
+        let t = lower_bound_factors();
+        assert_eq!(t.len(), grid().len());
+        // Factors are ≥ 1 by construction.
+        for row in t.rows() {
+            for col in 4..=6 {
+                let f: f64 = row[col].parse().unwrap();
+                assert!(f >= 0.99, "row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_saves_time_somewhere() {
+        let t = repeat_pacing_ablation();
+        let saved_any = t.rows().iter().any(|r| r[5] != "0");
+        assert!(saved_any, "greedy should beat Lemma 10 pacing somewhere");
+    }
+}

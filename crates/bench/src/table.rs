@@ -1,0 +1,163 @@
+//! Minimal aligned-text tables for experiment output.
+
+use std::fmt;
+
+/// A simple right-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Raw access to rows (for tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Exports the table as CSV (RFC-4180-ish: cells containing commas
+    /// or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        writeln!(f, "{}", header_line.join("  "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", rule.join("  "))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an exact time plus its decimal approximation, e.g. `15/2 (7.50)`.
+pub fn fmt_time(t: postal_model::Time) -> String {
+    if t.as_ratio().is_integer() {
+        format!("{t}")
+    } else {
+        format!("{t} ({:.2})", t.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::Time;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["n", "time"]);
+        t.row(vec!["5".into(), "15/2".into()]);
+        t.row(vec!["100".into(), "9".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("  n"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_export_quotes_when_needed() {
+        let mut t = Table::new("demo", &["a", "b,с"]);
+        t.row(vec!["1".into(), "x\"y".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,\"b,с\"");
+        assert_eq!(lines[1], "1,\"x\"\"y\"");
+    }
+
+    #[test]
+    fn fmt_time_forms() {
+        assert_eq!(fmt_time(Time::from_int(4)), "4");
+        assert_eq!(fmt_time(Time::new(15, 2)), "15/2 (7.50)");
+    }
+}

@@ -1,0 +1,454 @@
+//! Implementation of the `postal` command-line tool.
+//!
+//! All logic lives in this library so it is unit-testable; `main.rs` is
+//! a thin shim. Argument parsing is hand-rolled (three positional
+//! arguments per subcommand at most — a dependency would be heavier than
+//! the code).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use postal_algos::ext::{combine, gossip, scatter};
+use postal_algos::{
+    run_bcast, run_dtree, run_pack, run_pipeline, run_repeat, run_repeat_greedy, tree_to_svg,
+    BroadcastTree, SvgOptions, ToSchedule,
+};
+use postal_bench::optimal::{optimal_multi_broadcast_with, OrderPolicy, SearchResult};
+use postal_model::{runtimes, GenFib, Latency, Time};
+use postal_sim::gantt::render_gantt;
+use std::fmt::Write as _;
+
+/// CLI failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Wrong arguments; the message is the usage text.
+    Usage(String),
+    /// Arguments parsed but invalid (e.g. λ < 1).
+    Invalid(String),
+}
+
+const USAGE: &str =
+    "postal — explore broadcasting in the postal model (Bar-Noy & Kipnis, SPAA 1992)
+
+USAGE:
+    postal tree <n> <lambda>                 optimal broadcast tree (Figure 1 style)
+    postal gantt <n> <lambda>                BCAST schedule as an ASCII timeline
+    postal fib <lambda> <max_t>              table of F_λ(t) and f_λ(n) landmarks
+    postal plan <n> <m> <lambda>             compare all algorithms, recommend one
+    postal simulate <algo> <n> <m> <lambda>  run one algorithm on the simulator
+                                             (algo: bcast|repeat|repeat-greedy|pack|
+                                              pipeline|line|binary|star|dtree:<d>|
+                                              combine|gossip|scatter)
+    postal svg <n> <lambda>                  broadcast tree as an SVG document (stdout)
+    postal optimal <n> <m> <lambda>          exact optimum via exhaustive search
+                                             (tiny instances only)
+
+<lambda> accepts integers, fractions and decimals: 3, 5/2, 2.5";
+
+/// Entry point: parses `args` and returns the text to print.
+///
+/// # Errors
+/// [`CliError::Usage`] for malformed invocations, [`CliError::Invalid`]
+/// for well-formed but meaningless ones.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let usage = || CliError::Usage(USAGE.to_string());
+    match args.first().map(String::as_str) {
+        Some("tree") => {
+            let (n, lam) = parse_n_lambda(&args[1..])?;
+            let tree = BroadcastTree::build(n as u64, lam);
+            let schedule = tree.to_schedule();
+            schedule
+                .validate_broadcast()
+                .expect("generated trees are always valid");
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Optimal broadcast tree for MPS({n}, {lam}) — completes at t = {} = f_λ({n})\n",
+                tree.completion()
+            );
+            out.push_str(&tree.render());
+            Ok(out)
+        }
+        Some("gantt") => {
+            let (n, lam) = parse_n_lambda(&args[1..])?;
+            let report = run_bcast(n, lam);
+            report.assert_model_clean();
+            let cells = lam.ticks_per_unit().clamp(1, 4) as u32;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "BCAST schedule for MPS({n}, {lam}): S = sending, R = receiving, B = both\n"
+            );
+            out.push_str(&render_gantt(&report.trace, n, cells));
+            Ok(out)
+        }
+        Some("fib") => {
+            let lam = parse_lambda(args.get(1).ok_or_else(usage)?)?;
+            let max_t: i128 = args
+                .get(2)
+                .ok_or_else(usage)?
+                .parse()
+                .map_err(|_| CliError::Invalid("max_t must be an integer".into()))?;
+            if !(0..=10_000).contains(&max_t) {
+                return Err(CliError::Invalid("max_t must be in 0..=10000".into()));
+            }
+            let g = GenFib::new(lam);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "F_λ(t) for λ = {lam} (max processors reachable in t units):"
+            );
+            for t in 0..=max_t {
+                let _ = writeln!(out, "  F({t:>4}) = {}", g.value(Time::from_int(t)));
+            }
+            let _ = writeln!(out, "\nf_λ(n) landmarks (optimal broadcast times):");
+            for n in [2u128, 10, 100, 1000, 1_000_000] {
+                let _ = writeln!(out, "  f({n:>8}) = {}", g.index(n));
+            }
+            Ok(out)
+        }
+        Some("svg") => {
+            let (n, lam) = parse_n_lambda(&args[1..])?;
+            if n > 4096 {
+                return Err(CliError::Invalid("svg rendering capped at n ≤ 4096".into()));
+            }
+            let tree = BroadcastTree::build(n as u64, lam);
+            Ok(tree_to_svg(&tree, SvgOptions::default()))
+        }
+        Some("optimal") => {
+            let (n, m, lam) = parse_n_m_lambda(&args[1..])?;
+            if n > 6 || m > 4 {
+                return Err(CliError::Invalid(
+                    "exhaustive search is exponential; use n ≤ 6, m ≤ 4".into(),
+                ));
+            }
+            let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+            let horizon = runtimes::pipeline_time(n as u128, m as u64, lam)
+                .min(runtimes::repeat_time(n as u128, m as u64, lam))
+                .min(runtimes::pack_time(n as u128, m as u64, lam));
+            let mut out = String::new();
+            for (label, policy) in [
+                ("any order       ", OrderPolicy::Any),
+                ("order-preserving", OrderPolicy::Preserving),
+            ] {
+                let res = optimal_multi_broadcast_with(n, m, lam, horizon, 50_000_000, policy);
+                let text = match res {
+                    SearchResult::Optimal(t) => format!("{t}"),
+                    SearchResult::BudgetExhausted => "search budget exhausted".into(),
+                    SearchResult::HorizonExceeded => {
+                        format!("{horizon} (= best known algorithm; nothing better exists)")
+                    }
+                };
+                let _ = writeln!(out, "optimum ({label}): {text}");
+            }
+            let _ = writeln!(out, "Lemma 8 lower bound:        {lb}");
+            Ok(out)
+        }
+        Some("plan") => {
+            let (n, m, lam) = parse_n_m_lambda(&args[1..])?;
+            Ok(plan(n as u128, m as u64, lam))
+        }
+        Some("simulate") => {
+            let algo = args.get(1).ok_or_else(usage)?.as_str();
+            let (n, m, lam) = parse_n_m_lambda(&args[2..])?;
+            simulate(algo, n, m, lam)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn parse_lambda(s: &str) -> Result<Latency, CliError> {
+    s.parse()
+        .map_err(|e| CliError::Invalid(format!("bad lambda {s:?}: {e}")))
+}
+
+fn parse_n(s: &str) -> Result<usize, CliError> {
+    let n: usize = s
+        .parse()
+        .map_err(|_| CliError::Invalid(format!("bad processor count {s:?}")))?;
+    if n == 0 || n > 1_000_000 {
+        return Err(CliError::Invalid("n must be in 1..=1000000".into()));
+    }
+    Ok(n)
+}
+
+fn parse_n_lambda(args: &[String]) -> Result<(usize, Latency), CliError> {
+    match args {
+        [n, lam] => Ok((parse_n(n)?, parse_lambda(lam)?)),
+        _ => Err(CliError::Usage(USAGE.to_string())),
+    }
+}
+
+fn parse_n_m_lambda(args: &[String]) -> Result<(usize, u32, Latency), CliError> {
+    match args {
+        [n, m, lam] => {
+            let m: u32 = m
+                .parse()
+                .map_err(|_| CliError::Invalid(format!("bad message count {m:?}")))?;
+            if m == 0 || m > 100_000 {
+                return Err(CliError::Invalid("m must be in 1..=100000".into()));
+            }
+            Ok((parse_n(n)?, m, parse_lambda(lam)?))
+        }
+        _ => Err(CliError::Usage(USAGE.to_string())),
+    }
+}
+
+fn plan(n: u128, m: u64, lam: Latency) -> String {
+    let d = runtimes::latency_matched_degree(n, lam);
+    let mut rows: Vec<(String, Time, &str)> = vec![
+        (
+            "REPEAT".into(),
+            runtimes::repeat_time(n, m, lam),
+            "m overlapped BCASTs (Lemma 10)",
+        ),
+        (
+            "PACK".into(),
+            runtimes::pack_time(n, m, lam),
+            "one packed broadcast (Lemma 12)",
+        ),
+        (
+            "PIPELINE".into(),
+            runtimes::pipeline_time(n, m, lam),
+            "streamed broadcast (Lemmas 14/16)",
+        ),
+        (
+            "LINE".into(),
+            runtimes::line_time(n, m, lam),
+            "chain; best as m → ∞",
+        ),
+        (
+            "STAR".into(),
+            runtimes::star_time(n, m, lam),
+            "direct sends; best as λ → ∞",
+        ),
+        (
+            format!("DTREE({d})"),
+            runtimes::dtree_time_bound(n, m, lam, d),
+            "latency-matched tree (Lemma 18 bound)",
+        ),
+    ];
+    rows.sort_by_key(|a| a.1);
+    let lb = runtimes::multi_lower_bound(n, m, lam);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Plan for n = {n}, m = {m}, λ = {lam} (lower bound {lb}):"
+    );
+    for (i, (name, t, note)) in rows.iter().enumerate() {
+        let marker = if i == 0 { "→" } else { " " };
+        let _ = writeln!(out, "{marker} {name:<12} {:>14}   {note}", t.to_string());
+    }
+    let _ = writeln!(
+        out,
+        "\nRecommended: {} ({:.2}× the lower bound)",
+        rows[0].0,
+        rows[0].1.to_f64() / lb.to_f64().max(1e-9)
+    );
+    out
+}
+
+fn simulate(algo: &str, n: usize, m: u32, lam: Latency) -> Result<String, CliError> {
+    let describe = |completion: Time, messages: usize, violations: usize| {
+        format!(
+            "algorithm: {algo}\nn = {n}, m = {m}, λ = {lam}\ncompletion: {completion} units\n\
+             messages:  {messages}\nmodel violations: {violations}\n\
+             lower bound (Lemma 8): {}",
+            runtimes::multi_lower_bound(n as u128, m as u64, lam)
+        )
+    };
+    let from_multi = |r: postal_algos::MultiReport| {
+        let v = r.report.violations.len();
+        describe(r.completion(), r.report.messages(), v)
+    };
+    let out = match algo {
+        "bcast" => {
+            let r = run_bcast(n, lam);
+            describe(r.completion, r.messages(), r.violations.len())
+        }
+        "repeat" => from_multi(run_repeat(n, m, lam)),
+        "repeat-greedy" => from_multi(run_repeat_greedy(n, m, lam)),
+        "pack" => from_multi(run_pack(n, m, lam)),
+        "pipeline" => from_multi(run_pipeline(n, m, lam)),
+        "line" => from_multi(run_dtree(n, m, lam, 1)),
+        "binary" => from_multi(run_dtree(n, m, lam, 2)),
+        "star" => {
+            if n < 2 {
+                return Err(CliError::Invalid("star needs n ≥ 2".into()));
+            }
+            from_multi(run_dtree(n, m, lam, n as u64 - 1))
+        }
+        _ if algo.starts_with("dtree:") => {
+            let d: u64 = algo[6..]
+                .parse()
+                .map_err(|_| CliError::Invalid(format!("bad degree in {algo:?}")))?;
+            if d == 0 {
+                return Err(CliError::Invalid("degree must be ≥ 1".into()));
+            }
+            from_multi(run_dtree(n, m, lam, d))
+        }
+        "combine" => {
+            let values: Vec<u64> = (0..n as u64).collect();
+            let o = combine::run_combine(&values, lam);
+            format!(
+                "{}\nroot total: {}",
+                describe(
+                    o.report.completion,
+                    o.report.messages(),
+                    o.report.violations.len()
+                ),
+                o.root_total
+            )
+        }
+        "gossip" => {
+            let values: Vec<u64> = (0..n as u64).collect();
+            let o = gossip::run_gossip(&values, lam);
+            describe(
+                o.report.completion,
+                o.report.messages(),
+                o.report.violations.len(),
+            )
+        }
+        "scatter" => {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let r = scatter::run_scatter(&items, lam);
+            describe(r.completion, r.messages(), r.violations.len())
+        }
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown algorithm {other:?} (see `postal` for the list)"
+            )))
+        }
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(matches!(call(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(call(&["bogus"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn tree_command() {
+        let out = call(&["tree", "14", "5/2"]).unwrap();
+        assert!(out.contains("t = 15/2"));
+        assert!(out.contains("p9"));
+    }
+
+    #[test]
+    fn tree_accepts_decimal_lambda() {
+        let a = call(&["tree", "14", "2.5"]).unwrap();
+        let b = call(&["tree", "14", "5/2"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gantt_command() {
+        let out = call(&["gantt", "6", "2"]).unwrap();
+        assert!(out.contains('S') && out.contains('R'));
+        assert!(out.contains("completion"));
+    }
+
+    #[test]
+    fn fib_command() {
+        let out = call(&["fib", "5/2", "8"]).unwrap();
+        assert!(out.contains("F(   5) = 5")); // F_{5/2}(5 units) = 5
+        assert!(out.contains("f(       2)"));
+    }
+
+    #[test]
+    fn plan_command_recommends_something() {
+        let out = call(&["plan", "512", "16", "5/2"]).unwrap();
+        assert!(out.contains("Recommended: PIPELINE"));
+        assert!(out.contains("lower bound"));
+    }
+
+    #[test]
+    fn simulate_all_algorithms() {
+        for algo in [
+            "bcast",
+            "repeat",
+            "repeat-greedy",
+            "pack",
+            "pipeline",
+            "line",
+            "binary",
+            "star",
+            "dtree:3",
+            "combine",
+            "gossip",
+            "scatter",
+        ] {
+            let out = call(&["simulate", algo, "10", "3", "2"]).unwrap();
+            assert!(out.contains("model violations: 0"), "{algo}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn svg_command() {
+        let out = call(&["svg", "14", "5/2"]).unwrap();
+        assert!(out.starts_with("<svg"));
+        assert_eq!(out.matches("<circle").count(), 14);
+    }
+
+    #[test]
+    fn optimal_command() {
+        let out = call(&["optimal", "3", "2", "2"]).unwrap();
+        assert!(out.contains("optimum (any order       ): 4"), "{out}");
+        assert!(out.contains("optimum (order-preserving): 5"), "{out}");
+        assert!(out.contains("Lemma 8 lower bound:        4"));
+        assert!(matches!(
+            call(&["optimal", "50", "2", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_algorithm() {
+        assert!(matches!(
+            call(&["simulate", "warp", "10", "3", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(matches!(
+            call(&["tree", "0", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["tree", "x", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["tree", "5", "1/2"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["simulate", "bcast", "5", "0", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["simulate", "dtree:0", "5", "1", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn simulated_bcast_matches_plan_numbers() {
+        // The simulate and plan paths must agree on BCAST's time.
+        let sim = call(&["simulate", "bcast", "14", "1", "5/2"]).unwrap();
+        assert!(sim.contains("completion: 15/2 units"));
+    }
+}

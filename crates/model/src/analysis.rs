@@ -1,0 +1,154 @@
+//! Asymptotic analysis of the generalized Fibonacci function.
+//!
+//! For t ≥ λ, `F_λ(t) = F_λ(t−1) + F_λ(t−λ)`; on the tick lattice
+//! (λ = p/q) this is a linear recurrence whose growth is governed by the
+//! dominant root of the characteristic equation
+//!
+//! ```text
+//! x^p = x^(p−q) + 1            (x = growth per tick)
+//! ```
+//!
+//! equivalently, per *unit* of time `b = x^q` satisfies
+//! `b^λ = b^(λ−1) + 1`. The paper's Theorem 7 brackets this base between
+//! `(⌈λ⌉+1)^(1/2λ)` and `(⌈λ⌉+1)^(1/λ)`; [`growth_base`] computes it to
+//! machine precision, which makes statements like "broadcast reach grows
+//! by a factor `b` per unit time" quantitative and lets tests confirm
+//! that the *measured* growth of `F_λ` converges to it.
+
+use crate::latency::Latency;
+
+/// The per-unit growth base `b > 1` with `b^λ = b^(λ−1) + 1`, computed
+/// by bisection to ~1e-12 relative precision.
+///
+/// Special case: λ = 1 gives exactly `b = 2` (the telephone model's
+/// doubling).
+///
+/// ```
+/// use postal_model::{analysis::growth_base, Latency};
+///
+/// // λ = 2: the golden ratio.
+/// let phi = (1.0 + 5f64.sqrt()) / 2.0;
+/// assert!((growth_base(Latency::from_int(2)) - phi).abs() < 1e-9);
+/// ```
+pub fn growth_base(latency: Latency) -> f64 {
+    let lam = latency.to_f64();
+    // g(b) = b^λ − b^(λ−1) − 1 is increasing in b for b ≥ 1.
+    let g = |b: f64| b.powf(lam) - b.powf(lam - 1.0) - 1.0;
+    let mut lo = 1.0f64;
+    let mut hi = 2.0f64;
+    debug_assert!(g(hi) >= 0.0, "b = 2 always upper-bounds the base");
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// First-order estimate of the optimal broadcast time: informed
+/// processors multiply by `b = growth_base(λ)` per unit, so
+/// `f_λ(n) ≈ log_b(n)`. The estimate ignores the O(λ) start-up
+/// transient; see the tests for its accuracy envelope.
+pub fn estimated_broadcast_time(n: u128, latency: Latency) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    (n as f64).ln() / growth_base(latency).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::GenFib;
+    use crate::time::Time;
+
+    #[test]
+    fn telephone_base_is_two() {
+        let b = growth_base(Latency::TELEPHONE);
+        assert!((b - 2.0).abs() < 1e-10, "b = {b}");
+    }
+
+    #[test]
+    fn lambda_two_base_is_golden_ratio() {
+        // b² = b + 1 ⇒ b = φ.
+        let b = growth_base(Latency::from_int(2));
+        let phi = (1.0 + 5f64.sqrt()) / 2.0;
+        assert!((b - phi).abs() < 1e-10, "b = {b}");
+    }
+
+    #[test]
+    fn base_decreases_with_latency() {
+        let mut prev = growth_base(Latency::TELEPHONE);
+        for lam in [
+            Latency::from_ratio(3, 2),
+            Latency::from_int(2),
+            Latency::from_ratio(5, 2),
+            Latency::from_int(4),
+            Latency::from_int(16),
+        ] {
+            let b = growth_base(lam);
+            assert!(b < prev, "λ={lam}: {b} ≥ {prev}");
+            assert!(b > 1.0);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn base_within_theorem7_bracket() {
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(5, 2),
+            Latency::from_int(4),
+            Latency::from_int(10),
+        ] {
+            let b = growth_base(lam);
+            let lamf = lam.to_f64();
+            let ceil1 = (lam.ceil() + 1) as f64;
+            // Theorem 7(1) ⇒ (⌈λ⌉+1)^(1/2λ) ≤ b ≤ (⌈λ⌉+1)^(1/λ).
+            assert!(b >= ceil1.powf(1.0 / (2.0 * lamf)) - 1e-9, "λ={lam}");
+            assert!(b <= ceil1.powf(1.0 / lamf) + 1e-9, "λ={lam}");
+        }
+    }
+
+    #[test]
+    fn measured_growth_converges_to_base() {
+        for lam in [
+            Latency::from_ratio(5, 2),
+            Latency::from_int(3),
+            Latency::from_ratio(7, 3),
+        ] {
+            let g = GenFib::new(lam);
+            let b = growth_base(lam);
+            // Ratio F(t+10)/F(t) at large t ≈ b^10. Keep t moderate so
+            // F stays far from u128 saturation for every λ tested.
+            let t = 120i128;
+            let r = g.value(Time::from_int(t + 10)) as f64 / g.value(Time::from_int(t)) as f64;
+            let expected = b.powi(10);
+            assert!(
+                (r / expected - 1.0).abs() < 1e-3,
+                "λ={lam}: measured {r} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_time_tracks_f_lambda() {
+        for lam in [Latency::from_ratio(5, 2), Latency::from_int(4)] {
+            let g = GenFib::new(lam);
+            for n in [1u128 << 20, 1 << 40] {
+                let est = estimated_broadcast_time(n, lam);
+                let actual = g.index(n).to_f64();
+                // The estimate ignores the O(λ) start-up transient; allow
+                // an additive λ-scale slack plus small relative error.
+                assert!(
+                    (actual - est).abs() <= 2.0 * lam.to_f64() + 0.05 * actual,
+                    "λ={lam} n={n}: est {est} vs actual {actual}"
+                );
+            }
+        }
+        assert_eq!(estimated_broadcast_time(1, Latency::TELEPHONE), 0.0);
+    }
+}

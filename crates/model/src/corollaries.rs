@@ -1,0 +1,126 @@
+//! Corollaries 9, 11, 13, 15 and 17: the paper's closed-form *upper
+//! bounds* on each multi-message algorithm, derived from Theorem 7(2).
+//!
+//! These are looser than the exact Lemma times in [`crate::runtimes`] —
+//! their value is that they are elementary formulas in `n`, `m`, λ with
+//! no Fibonacci evaluation. Every function here is verified (in tests
+//! and in the `postal-bench` experiments) to dominate the corresponding
+//! exact time across parameter sweeps.
+
+use crate::latency::Latency;
+
+fn log2(x: f64) -> f64 {
+    x.log2()
+}
+
+/// Corollary 11: `T_R ≤ 2mλ·log n / log(λ+1) + mλ + m + λ − 1`.
+pub fn repeat_upper_bound(n: u128, m: u64, latency: Latency) -> f64 {
+    let (nf, mf, lam) = (n as f64, m as f64, latency.to_f64());
+    2.0 * mf * lam * log2(nf) / log2(lam + 1.0) + mf * lam + mf + lam - 1.0
+}
+
+/// Corollary 13: `T_PK ≤ 2(m+λ−1)·log n / log(2 + (λ−1)/m) + 2(m+λ−1)`.
+pub fn pack_upper_bound(n: u128, m: u64, latency: Latency) -> f64 {
+    let (nf, mf, lam) = (n as f64, m as f64, latency.to_f64());
+    let base = 2.0 + (lam - 1.0) / mf;
+    2.0 * (mf + lam - 1.0) * log2(nf) / log2(base) + 2.0 * (mf + lam - 1.0)
+}
+
+/// Corollary 15 (`m ≤ λ`):
+/// `T_PL1 ≤ 2λ + 2λ·log n / log(1 + λ/m) + (m − 1)`.
+pub fn pipeline1_upper_bound(n: u128, m: u64, latency: Latency) -> f64 {
+    let (nf, mf, lam) = (n as f64, m as f64, latency.to_f64());
+    2.0 * lam + 2.0 * lam * log2(nf) / log2(1.0 + lam / mf) + (mf - 1.0)
+}
+
+/// Corollary 17 (`m ≥ λ`):
+/// `T_PL2 ≤ 2m·log n / log(1 + m/λ) + 2m + λ − 1`.
+pub fn pipeline2_upper_bound(n: u128, m: u64, latency: Latency) -> f64 {
+    let (nf, mf, lam) = (n as f64, m as f64, latency.to_f64());
+    2.0 * mf * log2(nf) / log2(1.0 + mf / lam) + 2.0 * mf + lam - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtimes;
+
+    const LAMBDAS: &[(i128, i128)] = &[(1, 1), (3, 2), (2, 1), (5, 2), (4, 1), (10, 1)];
+
+    fn sweep() -> impl Iterator<Item = (u128, u64, Latency)> {
+        LAMBDAS.iter().flat_map(|&(p, q)| {
+            let lam = Latency::from_ratio(p, q);
+            [2u128, 5, 14, 64, 300]
+                .into_iter()
+                .flat_map(move |n| [1u64, 2, 4, 8, 20].into_iter().map(move |m| (n, m, lam)))
+        })
+    }
+
+    #[test]
+    fn corollary11_dominates_lemma10() {
+        for (n, m, lam) in sweep() {
+            let exact = runtimes::repeat_time(n, m, lam).to_f64();
+            let bound = repeat_upper_bound(n, m, lam);
+            assert!(
+                exact <= bound + 1e-9,
+                "n={n} m={m} λ={lam}: {exact} > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary13_dominates_lemma12() {
+        for (n, m, lam) in sweep() {
+            let exact = runtimes::pack_time(n, m, lam).to_f64();
+            let bound = pack_upper_bound(n, m, lam);
+            assert!(
+                exact <= bound + 1e-9,
+                "n={n} m={m} λ={lam}: {exact} > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary15_dominates_lemma14() {
+        for (n, m, lam) in sweep() {
+            if postal_ratio_ge(lam, m) {
+                let exact = runtimes::pipeline1_time(n, m, lam).unwrap().to_f64();
+                let bound = pipeline1_upper_bound(n, m, lam);
+                assert!(
+                    exact <= bound + 1e-9,
+                    "n={n} m={m} λ={lam}: {exact} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corollary17_dominates_lemma16() {
+        for (n, m, lam) in sweep() {
+            if !postal_ratio_ge(lam, m) || lam.value() == crate::Ratio::from_int(m as i128) {
+                let exact = runtimes::pipeline2_time(n, m, lam).unwrap().to_f64();
+                let bound = pipeline2_upper_bound(n, m, lam);
+                assert!(
+                    exact <= bound + 1e-9,
+                    "n={n} m={m} λ={lam}: {exact} > {bound}"
+                );
+            }
+        }
+    }
+
+    /// λ ≥ m?
+    fn postal_ratio_ge(lam: Latency, m: u64) -> bool {
+        lam.value() >= crate::Ratio::from_int(m as i128)
+    }
+
+    #[test]
+    fn corollary9_is_below_lemma8() {
+        // Corollary 9's log-form lower bound never exceeds the exact
+        // Lemma 8 bound (it is the weaker statement).
+        for (n, m, lam) in sweep() {
+            let exact = runtimes::multi_lower_bound(n, m, lam).to_f64();
+            let weak = runtimes::multi_lower_bound_log(n, m, lam);
+            assert!(weak <= exact + 1e-9, "n={n} m={m} λ={lam}");
+        }
+    }
+}

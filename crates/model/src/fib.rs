@@ -1,0 +1,429 @@
+//! The generalized Fibonacci function `F_λ(t)` and its index function
+//! `f_λ(n)`.
+//!
+//! Section 3 of the paper defines, for any λ ≥ 1,
+//!
+//! ```text
+//! F_λ(t) = 1                          if 0 ≤ t < λ
+//! F_λ(t) = F_λ(t−1) + F_λ(t−λ)        if t ≥ λ
+//! ```
+//!
+//! `F_λ(t)` is the maximum number of processors that can know a message `t`
+//! time units after a broadcast starts in MPS(·, λ) (proof of Lemma 5), and
+//! its index function `f_λ(n) = min{t : F_λ(t) ≥ n}` is the exact optimal
+//! broadcast time (Theorem 6). For λ = 1 these are powers of two and
+//! ⌈log₂ n⌉ (binomial trees); for λ = 2 they are the Fibonacci numbers.
+//!
+//! # Exact evaluation on the tick lattice
+//!
+//! With λ = p/q in lowest terms, `F_λ` is a step function that is constant
+//! on every interval `[k/q, (k+1)/q)`: this holds trivially on `[0, λ)` and
+//! inductively for t ≥ λ because both recurrence arguments `t−1` and `t−λ`
+//! shift by whole ticks. So `F_λ` is fully described by the integer sequence
+//! `F[k] = F_λ(k/q)` with
+//!
+//! ```text
+//! F[k] = 1                 for k < p
+//! F[k] = F[k−q] + F[k−p]   for k ≥ p
+//! ```
+//!
+//! which [`GenFib`] memoizes in a growable table. Values saturate at
+//! `u128::MAX`, far beyond any representable processor count.
+
+use crate::latency::Latency;
+use crate::ratio::Ratio;
+use crate::time::Time;
+use std::cell::RefCell;
+
+/// Memoized evaluator for `F_λ` and `f_λ` at a fixed latency λ.
+///
+/// Construction is cheap; the internal table grows on demand and is shared
+/// across calls through interior mutability, so evaluation methods take
+/// `&self`. The growth per query is bounded by Theorem 7:
+/// `f_λ(n) ≤ 2λ + 2λ·log₂(n)/log₂(⌈λ⌉+1)` units, i.e. a few hundred ticks
+/// for any realistic `n`.
+///
+/// ```
+/// use postal_model::{GenFib, Latency, Time};
+///
+/// // λ = 2 yields the Fibonacci numbers: F_2(t) = Fib(t+1).
+/// let fib = GenFib::new(Latency::from_int(2));
+/// assert_eq!(fib.value(Time::from_int(5)), 8);
+/// // Broadcasting to 8 processors at λ = 2 takes f_2(8) = 5 units.
+/// assert_eq!(fib.index(8), Time::from_int(5));
+/// ```
+#[derive(Debug)]
+pub struct GenFib {
+    latency: Latency,
+    /// λ in ticks (numerator p of λ = p/q).
+    p: usize,
+    /// Ticks per unit (denominator q of λ = p/q).
+    q: usize,
+    /// `table[k] = F_λ(k/q)`, saturating at `u128::MAX`.
+    table: RefCell<Vec<u128>>,
+}
+
+impl GenFib {
+    /// Creates an evaluator for the given latency.
+    pub fn new(latency: Latency) -> GenFib {
+        let p = latency.lambda_ticks() as usize;
+        let q = latency.ticks_per_unit() as usize;
+        GenFib {
+            latency,
+            p,
+            q,
+            table: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The latency λ this evaluator is specialized for.
+    pub fn latency(&self) -> Latency {
+        self.latency
+    }
+
+    /// Ensures the memo table covers tick indices `0..=k`.
+    fn grow_to(&self, k: usize) {
+        let mut table = self.table.borrow_mut();
+        if table.len() > k {
+            return;
+        }
+        let additional = k + 1 - table.len();
+        table.reserve(additional);
+        while table.len() <= k {
+            let i = table.len();
+            let v = if i < self.p {
+                1
+            } else {
+                let a = table[i - self.q];
+                let b = table[i - self.p];
+                a.saturating_add(b)
+            };
+            table.push(v);
+        }
+    }
+
+    /// `F_λ` evaluated at an integer number of ticks (k/q time units).
+    ///
+    /// # Panics
+    /// Panics if `k < 0`; `F_λ` is defined on nonnegative time only.
+    pub fn value_at_ticks(&self, k: i128) -> u128 {
+        assert!(k >= 0, "F_λ(t) is defined for t ≥ 0 only (got {k} ticks)");
+        let k = k as usize;
+        self.grow_to(k);
+        self.table.borrow()[k]
+    }
+
+    /// `F_λ(t)` for an arbitrary nonnegative time `t`.
+    ///
+    /// `F_λ` is right-continuous and constant on tick intervals, so this is
+    /// the table value at `⌊t·q⌋` ticks.
+    ///
+    /// # Panics
+    /// Panics if `t < 0`.
+    pub fn value(&self, t: Time) -> u128 {
+        let ticks = (t.as_ratio() * Ratio::from_int(self.q as i128)).floor();
+        self.value_at_ticks(ticks)
+    }
+
+    /// `f_λ(n) = min{t : F_λ(t) ≥ n}` in ticks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`; the index function is defined for n ≥ 1.
+    pub fn index_ticks(&self, n: u128) -> i128 {
+        assert!(n >= 1, "f_λ(n) is defined for n ≥ 1 only");
+        if n == 1 {
+            return 0;
+        }
+        // Exponential search for an upper bound, then binary search. The
+        // step function only increases at tick boundaries, so the minimal
+        // real t with F_λ(t) ≥ n is itself a tick multiple.
+        let mut hi = self.p.max(self.q); // first tick where growth can start
+        while self.value_at_ticks(hi as i128) < n {
+            hi = hi
+                .checked_mul(2)
+                .expect("f_λ(n) search exceeded usize ticks");
+        }
+        let mut lo = 0usize;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.value_at_ticks(mid as i128) >= n {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo as i128
+    }
+
+    /// `f_λ(n)` as exact model time.
+    ///
+    /// This is the optimal single-message broadcast time in MPS(n, λ)
+    /// (Theorem 6).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&self, n: u128) -> Time {
+        Time(Ratio::new(self.index_ticks(n), self.q as i128))
+    }
+
+    /// The BCAST split `j = F_λ(f_λ(n) − 1)` from item (a) of Algorithm
+    /// BCAST: out of a range of `n` processors, the originator keeps the
+    /// first `j` and delegates the remaining `n − j` to processor `p_j`.
+    ///
+    /// Lemma 3 guarantees `1 ≤ j ≤ n−1` for all `n ≥ 2`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` (a singleton range has nothing to split).
+    pub fn bcast_split(&self, n: u128) -> u128 {
+        assert!(n >= 2, "bcast_split requires n ≥ 2 (got {n})");
+        let f = self.index_ticks(n);
+        debug_assert!(
+            f >= self.q as i128,
+            "f_λ(n) ≥ λ ≥ 1 unit must hold for n ≥ 2"
+        );
+        self.value_at_ticks(f - self.q as i128)
+    }
+
+    /// Number of ticks per time unit (the lattice resolution q).
+    pub fn ticks_per_unit(&self) -> usize {
+        self.q
+    }
+
+    /// λ in ticks (the lattice value p).
+    pub fn lambda_ticks(&self) -> usize {
+        self.p
+    }
+}
+
+/// Convenience: `f_λ(n)` for a one-off query.
+///
+/// Allocates a fresh [`GenFib`]; reuse an evaluator in loops.
+pub fn optimal_broadcast_time(n: u128, latency: Latency) -> Time {
+    GenFib::new(latency).index(n)
+}
+
+/// Convenience: `F_λ(t)` for a one-off query.
+pub fn gen_fib_value(t: Time, latency: Latency) -> u128 {
+    GenFib::new(latency).value(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(latency: Latency) -> GenFib {
+        GenFib::new(latency)
+    }
+
+    #[test]
+    fn lambda_one_is_powers_of_two() {
+        let g = fib(Latency::TELEPHONE);
+        for t in 0..40i128 {
+            assert_eq!(g.value(Time::from_int(t)), 1u128 << t, "t={t}");
+        }
+        // F_1 is a step function: constant between integers.
+        assert_eq!(g.value(Time::new(7, 2)), 8); // F_1(3.5) = 2^3
+    }
+
+    #[test]
+    fn lambda_one_index_is_ceil_log2() {
+        let g = fib(Latency::TELEPHONE);
+        for n in 1..=1025u128 {
+            let expected = (n as f64).log2().ceil() as i128;
+            // Guard against float edge cases at exact powers of two.
+            let expected = if 1u128 << (expected as u32) < n {
+                expected + 1
+            } else if expected > 0 && 1u128 << ((expected - 1) as u32) >= n {
+                expected - 1
+            } else {
+                expected
+            };
+            assert_eq!(g.index(n), Time::from_int(expected), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lambda_two_is_fibonacci() {
+        let g = fib(Latency::from_int(2));
+        // F_2(t) = Fib(⌊t⌋ + 1) with Fib(1) = Fib(2) = 1.
+        let mut fib_nums = vec![1u128, 1];
+        for i in 2..40 {
+            let v = fib_nums[i - 1] + fib_nums[i - 2];
+            fib_nums.push(v);
+        }
+        for t in 0..39i128 {
+            assert_eq!(g.value(Time::from_int(t)), fib_nums[t as usize], "t={t}");
+        }
+    }
+
+    #[test]
+    fn paper_example_n14_lambda_5_2() {
+        // Figure 1: MPS(14, 5/2) completes at t = 15/2, and the root's
+        // first split is j = 9.
+        let g = fib(Latency::from_ratio(5, 2));
+        assert_eq!(g.index(14), Time::new(15, 2));
+        assert_eq!(g.bcast_split(14), 9);
+        // The recursion from the figure: p0 then broadcasts in MPS(9, 5/2),
+        // p9 in MPS(5, 5/2).
+        assert_eq!(g.index(9), Time::new(13, 2));
+        assert_eq!(g.bcast_split(9), 6);
+        assert_eq!(g.index(5), Time::from_int(5));
+        assert_eq!(g.bcast_split(5), 3);
+    }
+
+    #[test]
+    fn base_case_is_one_below_lambda() {
+        let g = fib(Latency::from_ratio(5, 2));
+        assert_eq!(g.value(Time::ZERO), 1);
+        assert_eq!(g.value(Time::ONE), 1);
+        assert_eq!(g.value(Time::new(2, 1)), 1);
+        assert_eq!(g.value(Time::new(9, 4)), 1); // 2.25 < 2.5
+        assert_eq!(g.value(Time::new(5, 2)), 2); // exactly λ: F = F(λ−1)+F(0) = 2
+    }
+
+    #[test]
+    fn value_is_nondecreasing_and_unbounded() {
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(3, 2),
+            Latency::from_ratio(5, 2),
+            Latency::from_int(7),
+        ] {
+            let g = fib(lam);
+            let mut prev = 0u128;
+            for k in 0..400i128 {
+                let v = g.value_at_ticks(k);
+                assert!(v >= prev, "λ={lam} k={k}");
+                prev = v;
+            }
+            assert!(prev > 1_000, "λ={lam} should grow beyond 1000 by 400 ticks");
+        }
+    }
+
+    #[test]
+    fn claim1_index_function_properties() {
+        // Claim 1 of the paper, instantiated for G = F_λ, I_G = f_λ.
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(5, 2),
+            Latency::from_int(3),
+            Latency::from_ratio(7, 3),
+        ] {
+            let g = fib(lam);
+            let q = g.ticks_per_unit() as i128;
+            // (2) f_λ(F_λ(t)) ≤ t for all t.
+            for k in 0..120i128 {
+                let v = g.value_at_ticks(k);
+                assert!(g.index_ticks(v) <= k, "λ={lam} k={k}");
+            }
+            for n in 1..300u128 {
+                let f = g.index_ticks(n);
+                // (1) nondecreasing.
+                if n > 1 {
+                    assert!(f >= g.index_ticks(n - 1));
+                }
+                // (3) F_λ(f_λ(n)) ≥ n.
+                assert!(g.value_at_ticks(f) >= n, "λ={lam} n={n}");
+                // (4) F_λ(f_λ(n) − ε) < n for any ε > 0 (one tick suffices).
+                if f > 0 {
+                    assert!(g.value_at_ticks(f - 1) < n, "λ={lam} n={n}");
+                }
+            }
+            let _ = q;
+        }
+    }
+
+    #[test]
+    fn bcast_split_is_valid_and_dominant() {
+        // Lemma 3: 1 ≤ j ≤ n−1. Also j ≥ n − j: the originator always keeps
+        // at least as many processors as it delegates (F(f−1) ≥ F(f−λ) since
+        // λ ≥ 1 and F is nondecreasing).
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(3, 2),
+            Latency::from_ratio(5, 2),
+            Latency::from_int(4),
+            Latency::from_int(10),
+        ] {
+            let g = fib(lam);
+            for n in 2..=600u128 {
+                let j = g.bcast_split(n);
+                assert!(j >= 1 && j < n, "λ={lam} n={n} j={j}");
+                assert!(j >= n - j, "λ={lam} n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_grows_with_latency() {
+        // Claim 2: pointwise-larger step functions have pointwise-smaller
+        // index functions; larger λ makes F_λ smaller, hence f_λ larger.
+        let lams = [
+            Latency::TELEPHONE,
+            Latency::from_ratio(3, 2),
+            Latency::from_int(2),
+            Latency::from_ratio(5, 2),
+            Latency::from_int(3),
+        ];
+        for w in lams.windows(2) {
+            let (a, b) = (fib(w[0]), fib(w[1]));
+            for n in 1..200u128 {
+                assert!(
+                    a.index(n) <= b.index(n),
+                    "f_{}({n}) > f_{}({n})",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_off_helpers_match_evaluator() {
+        let lam = Latency::from_ratio(5, 2);
+        assert_eq!(optimal_broadcast_time(14, lam), Time::new(15, 2));
+        assert_eq!(gen_fib_value(Time::new(15, 2), lam), 14);
+        let g = fib(lam);
+        assert_eq!(g.value(Time::new(15, 2)), 14);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let g = fib(Latency::TELEPHONE);
+        // 2^127 < u128::MAX < 2^128: ticks beyond 127 saturate.
+        assert_eq!(g.value_at_ticks(200), u128::MAX);
+    }
+
+    #[test]
+    fn index_of_one_is_zero() {
+        for lam in [Latency::TELEPHONE, Latency::from_ratio(5, 2)] {
+            assert_eq!(fib(lam).index(1), Time::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 1")]
+    fn index_of_zero_panics() {
+        let _ = fib(Latency::TELEPHONE).index(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "t ≥ 0")]
+    fn negative_time_panics() {
+        let _ = fib(Latency::TELEPHONE).value_at_ticks(-1);
+    }
+
+    #[test]
+    fn large_n_stays_fast_and_exact() {
+        let g = fib(Latency::from_ratio(5, 2));
+        let n = 10u128.pow(18);
+        let f = g.index_ticks(n);
+        // Theorem 7(2) sandwich, in ticks (q = 2).
+        let log_n = (n as f64).log2();
+        let lam = 2.5f64;
+        let lower = lam * log_n / (3f64).log2();
+        let upper = 2.0 * lam + 2.0 * lam * log_n / (3f64).log2();
+        let f_units = f as f64 / 2.0;
+        assert!(f_units >= lower - 1e-9 && f_units <= upper + 1e-9);
+    }
+}

@@ -1,0 +1,549 @@
+//! Exact rational arithmetic for postal-model time.
+//!
+//! The postal model is parameterized by a real latency λ ≥ 1 that is
+//! frequently non-integral (the paper's running example is λ = 5/2). Every
+//! quantity the paper manipulates — send times, receive times, completion
+//! times `f_λ(n)` — is of the form `a + b·λ` for integers `a, b`, so with a
+//! rational λ all times are exact rationals. Using `f64` would turn the
+//! paper's *equalities* (e.g. Theorem 6: `T_B(n, λ) = f_λ(n)`) into
+//! approximate comparisons; [`Ratio`] keeps them exact.
+//!
+//! `Ratio` is a reduced fraction `num/den` with `den > 0`, stored in `i128`.
+//! All operations normalize eagerly and panic on overflow (postal-model
+//! quantities are tiny — at most a few million ticks — so overflow indicates
+//! a logic error, not a capacity problem).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number: reduced fraction with positive denominator.
+///
+/// ```
+/// use postal_model::ratio::{ratio, Ratio};
+///
+/// let half = ratio(1, 2);
+/// assert_eq!(half + ratio(1, 3), ratio(5, 6));
+/// assert_eq!(ratio(-4, 8), ratio(-1, 2)); // always reduced
+/// assert_eq!("5/2".parse::<Ratio>().unwrap(), ratio(5, 2));
+/// assert_eq!("2.5".parse::<Ratio>().unwrap(), ratio(5, 2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (non-negative; `gcd(0, 0) = 0`).
+pub(crate) fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a reduced ratio `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "Ratio denominator must be nonzero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Ratio::ZERO;
+        }
+        Ratio {
+            num: sign * (num / g),
+            den: sign * (den / g),
+        }
+    }
+
+    /// Creates an integer-valued ratio.
+    pub const fn from_int(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// The numerator of the reduced fraction (sign lives here).
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the reduced fraction (always positive).
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if this ratio is an integer.
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if this ratio is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// The sign of the ratio: -1, 0, or 1.
+    pub const fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Largest integer ≤ self.
+    pub fn floor(self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            // Round toward negative infinity.
+            (self.num - (self.den - 1)) / self.den
+        }
+    }
+
+    /// Smallest integer ≥ self.
+    pub fn ceil(self) -> i128 {
+        -((-self).floor())
+    }
+
+    /// Converts to `f64` (approximate; for display and plotting only).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Approximates an `f64` by a rational with denominator at most
+    /// `max_den`, using continued fractions (best rational approximation).
+    ///
+    /// # Panics
+    /// Panics if `x` is not finite or `max_den == 0`.
+    pub fn approximate(x: f64, max_den: i128) -> Ratio {
+        assert!(x.is_finite(), "cannot approximate a non-finite value");
+        assert!(max_den >= 1, "max_den must be at least 1");
+        let neg = x < 0.0;
+        let mut x = x.abs();
+        // Continued-fraction convergents p/q.
+        let (mut p0, mut q0, mut p1, mut q1) = (0i128, 1i128, 1i128, 0i128);
+        for _ in 0..64 {
+            let a = x.floor();
+            if a >= i128::MAX as f64 {
+                break;
+            }
+            let a_i = a as i128;
+            let p2 = match a_i.checked_mul(p1).and_then(|v| v.checked_add(p0)) {
+                Some(v) => v,
+                None => break,
+            };
+            let q2 = match a_i.checked_mul(q1).and_then(|v| v.checked_add(q0)) {
+                Some(v) => v,
+                None => break,
+            };
+            if q2 > max_den {
+                break;
+            }
+            p0 = p1;
+            q0 = q1;
+            p1 = p2;
+            q1 = q2;
+            let frac = x - a;
+            if frac < 1e-12 {
+                break;
+            }
+            x = 1.0 / frac;
+        }
+        if q1 == 0 {
+            // Even the integer part exceeded limits; clamp.
+            return Ratio::from_int(if neg { -(max_den) } else { max_den });
+        }
+        let r = Ratio::new(p1, q1);
+        if neg {
+            -r
+        } else {
+            r
+        }
+    }
+
+    /// Checked multiplication by an integer.
+    pub fn mul_int(self, k: i128) -> Ratio {
+        Ratio::new(
+            self.num.checked_mul(k).expect("Ratio overflow in mul_int"),
+            self.den,
+        )
+    }
+
+    /// Minimum of two ratios.
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two ratios.
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(n: i128) -> Ratio {
+        Ratio::from_int(n)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Ratio {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(n: u64) -> Ratio {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl From<i32> for Ratio {
+    fn from(n: i32) -> Ratio {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(n: u32) -> Ratio {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl From<usize> for Ratio {
+    fn from(n: usize) -> Ratio {
+        Ratio::from_int(n as i128)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // (a/b) + (c/d) = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| {
+                rhs.num
+                    .checked_mul(rhs_scale)
+                    .and_then(|b| a.checked_add(b))
+            })
+            .expect("Ratio overflow in add");
+        let den = self
+            .den
+            .checked_mul(lhs_scale)
+            .expect("Ratio overflow in add");
+        Ratio::new(num, den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce before multiplying to delay overflow.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("Ratio overflow in mul");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("Ratio overflow in mul");
+        Ratio::new(num, den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "Ratio division by zero");
+        self * Ratio::new(rhs.den, rhs.num)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Ratio {
+    fn div_assign(&mut self, rhs: Ratio) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b  (b, d > 0). Cross-reduce first.
+        let g_num = gcd(self.num, other.num);
+        let g_den = gcd(self.den, other.den);
+        let (an, ad) = (self.num / g_num.max(1), self.den / g_den);
+        let (bn, bd) = (other.num / g_num.max(1), other.den / g_den);
+        let lhs = an.checked_mul(bd).expect("Ratio overflow in cmp");
+        let rhs = bn.checked_mul(ad).expect("Ratio overflow in cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error parsing a [`Ratio`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatioError(String);
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ratio: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    /// Parses `"3"`, `"5/2"`, or a decimal such as `"2.5"`.
+    fn from_str(s: &str) -> Result<Ratio, ParseRatioError> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num: i128 = n.trim().parse().map_err(|_| ParseRatioError(s.into()))?;
+            let den: i128 = d.trim().parse().map_err(|_| ParseRatioError(s.into()))?;
+            if den == 0 {
+                return Err(ParseRatioError(s.into()));
+            }
+            return Ok(Ratio::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let neg = int_part.trim_start().starts_with('-');
+            let int: i128 = if int_part.is_empty() || int_part == "-" {
+                0
+            } else {
+                int_part.parse().map_err(|_| ParseRatioError(s.into()))?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseRatioError(s.into()));
+            }
+            let frac: i128 = frac_part.parse().map_err(|_| ParseRatioError(s.into()))?;
+            let scale = 10i128
+                .checked_pow(frac_part.len() as u32)
+                .ok_or_else(|| ParseRatioError(s.into()))?;
+            let frac_ratio = Ratio::new(frac, scale);
+            let int_ratio = Ratio::from_int(int);
+            return Ok(if neg {
+                int_ratio - frac_ratio
+            } else {
+                int_ratio + frac_ratio
+            });
+        }
+        let n: i128 = s.parse().map_err(|_| ParseRatioError(s.into()))?;
+        Ok(Ratio::from_int(n))
+    }
+}
+
+/// Convenience constructor: `ratio(5, 2)` is 5/2.
+pub fn ratio(num: i128, den: i128) -> Ratio {
+    Ratio::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_on_construction() {
+        assert_eq!(Ratio::new(4, 8), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-4, 8), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(4, -8), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(-4, -8), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(0, 7), Ratio::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let half = ratio(1, 2);
+        let third = ratio(1, 3);
+        assert_eq!(half + third, ratio(5, 6));
+        assert_eq!(half - third, ratio(1, 6));
+        assert_eq!(half * third, ratio(1, 6));
+        assert_eq!(half / third, ratio(3, 2));
+        assert_eq!(-half, ratio(-1, 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = ratio(5, 2);
+        x += Ratio::ONE;
+        assert_eq!(x, ratio(7, 2));
+        x -= ratio(1, 2);
+        assert_eq!(x, Ratio::from_int(3));
+        x *= ratio(2, 3);
+        assert_eq!(x, Ratio::from_int(2));
+        x /= ratio(4, 1);
+        assert_eq!(x, ratio(1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ratio(1, 2) < ratio(2, 3));
+        assert!(ratio(-1, 2) < ratio(1, 3));
+        assert!(ratio(5, 2) > Ratio::from_int(2));
+        assert_eq!(ratio(3, 6).cmp(&ratio(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(ratio(5, 2).floor(), 2);
+        assert_eq!(ratio(5, 2).ceil(), 3);
+        assert_eq!(ratio(-5, 2).floor(), -3);
+        assert_eq!(ratio(-5, 2).ceil(), -2);
+        assert_eq!(Ratio::from_int(4).floor(), 4);
+        assert_eq!(Ratio::from_int(4).ceil(), 4);
+        assert_eq!(Ratio::ZERO.floor(), 0);
+        assert_eq!(Ratio::ZERO.ceil(), 0);
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("5/2".parse::<Ratio>().unwrap(), ratio(5, 2));
+        assert_eq!("2.5".parse::<Ratio>().unwrap(), ratio(5, 2));
+        assert_eq!("3".parse::<Ratio>().unwrap(), Ratio::from_int(3));
+        assert_eq!("-1.25".parse::<Ratio>().unwrap(), ratio(-5, 4));
+        assert_eq!(" 7 / 4 ".parse::<Ratio>().unwrap(), ratio(7, 4));
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("abc".parse::<Ratio>().is_err());
+        assert!("1.2e3".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ratio(5, 2).to_string(), "5/2");
+        assert_eq!(Ratio::from_int(-3).to_string(), "-3");
+        assert_eq!(Ratio::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn approximate_recovers_simple_fractions() {
+        assert_eq!(Ratio::approximate(2.5, 1000), ratio(5, 2));
+        assert_eq!(Ratio::approximate(0.333333333333, 1000), ratio(1, 3));
+        assert_eq!(Ratio::approximate(-1.25, 1000), ratio(-5, 4));
+        assert_eq!(Ratio::approximate(7.0, 1000), Ratio::from_int(7));
+        // π with a small denominator bound gives the classic 22/7.
+        assert_eq!(Ratio::approximate(std::f64::consts::PI, 10), ratio(22, 7));
+    }
+
+    #[test]
+    fn to_f64_roundtrip() {
+        assert!((ratio(5, 2).to_f64() - 2.5).abs() < 1e-15);
+        assert!((ratio(-1, 3).to_f64() + 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_max_abs_signum() {
+        assert_eq!(ratio(1, 2).min(ratio(1, 3)), ratio(1, 3));
+        assert_eq!(ratio(1, 2).max(ratio(1, 3)), ratio(1, 2));
+        assert_eq!(ratio(-5, 2).abs(), ratio(5, 2));
+        assert_eq!(ratio(-5, 2).signum(), -1);
+        assert_eq!(Ratio::ZERO.signum(), 0);
+        assert_eq!(ratio(5, 2).signum(), 1);
+    }
+
+    #[test]
+    fn gcd_properties() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Closed-form running times for every broadcasting algorithm in the paper,
+//! plus the multi-message lower bounds.
+//!
+//! All results are *exact* rational times, so the simulator crates can
+//! assert equality (not approximation) against them:
+//!
+//! * Theorem 6 — BCAST: `T_B(n, λ) = f_λ(n)`.
+//! * Lemma 8 / Corollary 9 — lower bound `T ≥ (m−1) + f_λ(n)`.
+//! * Lemma 10 — REPEAT: `T_R = m·f_λ(n) − (m−1)(λ−1)`.
+//! * Lemma 12 — PACK: `T_PK = m·f_{1+(λ−1)/m}(n)`.
+//! * Lemma 14 — PIPELINE-1 (m ≤ λ): `T_PL1 = m·f_{λ/m}(n) + (m−1)`.
+//! * Lemma 16 — PIPELINE-2 (m ≥ λ): `T_PL2 = λ·f_{m/λ}(n) + (λ−1)`.
+//! * Lemma 18 — DTREE(d): `T_DT ≤ d(m−1) + (d−1+λ)·⌈log_d n⌉` (an upper
+//!   bound; exact times come from simulation). The degenerate degrees have
+//!   exact closed forms: `d = 1` (LINE) `(m−1) + (n−1)λ` and `d = n−1`
+//!   (STAR) `m(n−1) − 1 + λ`.
+
+use crate::fib::GenFib;
+use crate::latency::{Latency, LatencyError};
+use crate::ratio::Ratio;
+use crate::time::Time;
+
+/// Theorem 6: the optimal single-message broadcast time `T_B(n, λ) = f_λ(n)`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn bcast_time(n: u128, latency: Latency) -> Time {
+    GenFib::new(latency).index(n)
+}
+
+/// Lemma 8: any algorithm broadcasting `m` messages in MPS(n, λ) needs at
+/// least `(m−1) + f_λ(n)` time.
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn multi_lower_bound(n: u128, m: u64, latency: Latency) -> Time {
+    assert!(m >= 1, "at least one message must be broadcast");
+    bcast_time(n, latency) + Time::from_int(m as i128 - 1)
+}
+
+/// Corollary 9(1): `T ≥ m − 1 + λ·log n / log(⌈λ⌉+1)` (weaker than
+/// [`multi_lower_bound`] but in closed form).
+pub fn multi_lower_bound_log(n: u128, m: u64, latency: Latency) -> f64 {
+    (m as f64 - 1.0) + crate::bounds::index_lower_bound(n, latency)
+}
+
+/// Lemma 10: REPEAT broadcasts `m` messages by `m` overlapped iterations of
+/// BCAST: `T_R = m·f_λ(n) − (m−1)(λ−1)`.
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn repeat_time(n: u128, m: u64, latency: Latency) -> Time {
+    assert!(m >= 1, "at least one message must be broadcast");
+    let f = bcast_time(n, latency);
+    if n == 1 {
+        // Nothing to send; every iteration is empty.
+        return Time::ZERO;
+    }
+    let lam_minus_1 = latency.value() - Ratio::ONE;
+    f.mul_int(m as i128) - Time(lam_minus_1.mul_int(m as i128 - 1))
+}
+
+/// The normalized latency used by PACK: `λ' = 1 + (λ−1)/m` (the paper's
+/// renormalization of a length-`m` long message).
+pub fn pack_normalized_latency(m: u64, latency: Latency) -> Latency {
+    assert!(m >= 1);
+    let lam = latency.value();
+    let lp = Ratio::ONE + (lam - Ratio::ONE) / Ratio::from_int(m as i128);
+    Latency::new(lp).expect("1 + (λ−1)/m ≥ 1 always holds for λ ≥ 1")
+}
+
+/// Lemma 12: PACK treats the `m` messages as one long message:
+/// `T_PK = m·f_{1+(λ−1)/m}(n)`.
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn pack_time(n: u128, m: u64, latency: Latency) -> Time {
+    let lp = pack_normalized_latency(m, latency);
+    GenFib::new(lp).index(n).mul_int(m as i128)
+}
+
+/// Which PIPELINE regime applies (Section 4.2): PIPELINE-1 when `m ≤ λ`
+/// (stream shorter than the latency), PIPELINE-2 when `m ≥ λ`. At `m = λ`
+/// the two formulas agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineRegime {
+    /// `m ≤ λ`: the stream-sender frees up before its recipient can forward.
+    Short,
+    /// `m ≥ λ`: the recipient can forward before the sender finishes.
+    Long,
+}
+
+/// Determines the PIPELINE regime for a given `m` and λ.
+pub fn pipeline_regime(m: u64, latency: Latency) -> PipelineRegime {
+    if Ratio::from_int(m as i128) <= latency.value() {
+        PipelineRegime::Short
+    } else {
+        PipelineRegime::Long
+    }
+}
+
+/// Lemma 14: PIPELINE-1 (`m ≤ λ`): `T_PL1 = m·f_{λ/m}(n) + (m−1)`.
+///
+/// # Errors
+/// Returns an error if `m > λ` (the normalized latency λ/m would fall
+/// below 1; use [`pipeline2_time`] or [`pipeline_time`]).
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn pipeline1_time(n: u128, m: u64, latency: Latency) -> Result<Time, LatencyError> {
+    assert!(m >= 1, "at least one message must be broadcast");
+    let lp = Latency::new(latency.value() / Ratio::from_int(m as i128))?;
+    Ok(GenFib::new(lp).index(n).mul_int(m as i128) + Time::from_int(m as i128 - 1))
+}
+
+/// Lemma 16: PIPELINE-2 (`m ≥ λ`): `T_PL2 = λ·f_{m/λ}(n) + (λ−1)`.
+///
+/// # Errors
+/// Returns an error if `m < λ` (the normalized latency m/λ would fall
+/// below 1; use [`pipeline1_time`] or [`pipeline_time`]).
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn pipeline2_time(n: u128, m: u64, latency: Latency) -> Result<Time, LatencyError> {
+    assert!(m >= 1, "at least one message must be broadcast");
+    let lam = latency.value();
+    let lp = Latency::new(Ratio::from_int(m as i128) / lam)?;
+    let f = GenFib::new(lp).index(n);
+    Ok(Time(f.as_ratio() * lam) + Time(lam - Ratio::ONE))
+}
+
+/// PIPELINE with the regime chosen automatically (Section 4.2).
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn pipeline_time(n: u128, m: u64, latency: Latency) -> Time {
+    match pipeline_regime(m, latency) {
+        PipelineRegime::Short => pipeline1_time(n, m, latency).expect("m ≤ λ guarantees λ/m ≥ 1"),
+        PipelineRegime::Long => pipeline2_time(n, m, latency).expect("m ≥ λ guarantees m/λ ≥ 1"),
+    }
+}
+
+/// `⌈log_d n⌉` computed exactly with integer arithmetic.
+///
+/// # Panics
+/// Panics if `d < 2` or `n == 0`.
+pub fn ceil_log(n: u128, d: u128) -> u32 {
+    assert!(d >= 2, "logarithm base must be at least 2");
+    assert!(n >= 1, "logarithm argument must be at least 1");
+    let mut power: u128 = 1;
+    let mut e = 0u32;
+    while power < n {
+        power = power.saturating_mul(d);
+        e += 1;
+    }
+    e
+}
+
+/// Lemma 18: the DTREE(d) upper bound
+/// `T_DT ≤ d(m−1) + (d−1+λ)·⌈log_d n⌉` for `2 ≤ d ≤ n−1`.
+///
+/// For `d = 1` (LINE) the bound formula degenerates; the exact LINE time
+/// `(m−1) + (n−1)λ` is returned instead (see [`line_time`]).
+///
+/// # Panics
+/// Panics if `n == 0`, `m == 0`, or `d == 0`.
+pub fn dtree_time_bound(n: u128, m: u64, latency: Latency, d: u128) -> Time {
+    assert!(m >= 1 && d >= 1 && n >= 1);
+    if n == 1 {
+        return Time::ZERO;
+    }
+    if d == 1 {
+        return line_time(n, m, latency);
+    }
+    let height = ceil_log(n, d) as i128;
+    let per_level = Time::from_int(d as i128 - 1) + latency.as_time();
+    Time::from_int(d as i128 * (m as i128 - 1)) + per_level.mul_int(height)
+}
+
+/// Exact running time of DTREE(1), the LINE algorithm: a pipeline chain
+/// where node `i` receives message `M_m` at `(m−1) + i·λ`, giving
+/// `T_LINE = (m−1) + (n−1)λ`.
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn line_time(n: u128, m: u64, latency: Latency) -> Time {
+    assert!(m >= 1 && n >= 1);
+    if n == 1 {
+        return Time::ZERO;
+    }
+    Time::from_int(m as i128 - 1) + Time(latency.value().mul_int(n as i128 - 1))
+}
+
+/// Exact running time of DTREE(n−1), the STAR algorithm: the root sends
+/// each message to all `n−1` children in turn, so the last send starts at
+/// `m(n−1) − 1` and `T_STAR = m(n−1) − 1 + λ`.
+///
+/// # Panics
+/// Panics if `n == 0` or `m == 0`.
+pub fn star_time(n: u128, m: u64, latency: Latency) -> Time {
+    assert!(m >= 1 && n >= 1);
+    if n == 1 {
+        return Time::ZERO;
+    }
+    Time::from_int(m as i128 * (n as i128 - 1) - 1) + latency.as_time()
+}
+
+/// The paper's latency-matched degree choice for DTREE: `d = ⌈λ⌉ + 1`
+/// (Section 4.3), clamped to the valid range `[1, n−1]`.
+pub fn latency_matched_degree(n: u128, latency: Latency) -> u128 {
+    let d = (latency.ceil() + 1) as u128;
+    d.min(n.saturating_sub(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::ratio;
+
+    const L52: fn() -> Latency = || Latency::from_ratio(5, 2);
+
+    #[test]
+    fn bcast_matches_figure1() {
+        assert_eq!(bcast_time(14, L52()), Time::new(15, 2));
+        assert_eq!(bcast_time(1, L52()), Time::ZERO);
+    }
+
+    #[test]
+    fn repeat_reduces_to_bcast_for_one_message() {
+        for lam in [Latency::TELEPHONE, L52(), Latency::from_int(4)] {
+            for n in [1u128, 2, 5, 14, 100] {
+                assert_eq!(repeat_time(n, 1, lam), bcast_time(n, lam));
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_closed_form() {
+        // T_R = m·f_λ(n) − (m−1)(λ−1) with f_{5/2}(14) = 15/2, m = 4:
+        // 4·15/2 − 3·3/2 = 30 − 9/2 = 51/2.
+        assert_eq!(repeat_time(14, 4, L52()), Time::new(51, 2));
+        // Telephone model: λ−1 = 0, so REPEAT is exactly m·f.
+        assert_eq!(repeat_time(16, 3, Latency::TELEPHONE), Time::from_int(12));
+    }
+
+    #[test]
+    fn pack_normalization() {
+        // λ' = 1 + (λ−1)/m: for λ = 5/2, m = 3, λ' = 1 + (3/2)/3 = 3/2.
+        assert_eq!(pack_normalized_latency(3, L52()), Latency::from_ratio(3, 2));
+        // m = 1 leaves λ unchanged, and PACK degenerates to BCAST.
+        assert_eq!(pack_normalized_latency(1, L52()), L52());
+        assert_eq!(pack_time(14, 1, L52()), bcast_time(14, L52()));
+    }
+
+    #[test]
+    fn pipeline_regime_selection() {
+        assert_eq!(pipeline_regime(2, L52()), PipelineRegime::Short);
+        assert_eq!(pipeline_regime(3, L52()), PipelineRegime::Long);
+        // m = λ exactly: Short by convention, and the formulas agree.
+        let lam = Latency::from_int(4);
+        assert_eq!(pipeline_regime(4, lam), PipelineRegime::Short);
+        assert_eq!(
+            pipeline1_time(20, 4, lam).unwrap(),
+            pipeline2_time(20, 4, lam).unwrap()
+        );
+    }
+
+    #[test]
+    fn pipeline_reduces_to_bcast_for_one_message() {
+        for lam in [Latency::TELEPHONE, L52(), Latency::from_int(4)] {
+            for n in [1u128, 2, 5, 14, 100] {
+                assert_eq!(pipeline_time(n, 1, lam), bcast_time(n, lam), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_regime_errors() {
+        assert!(pipeline1_time(10, 5, Latency::from_int(2)).is_err());
+        assert!(pipeline2_time(10, 1, Latency::from_int(2)).is_err());
+    }
+
+    #[test]
+    fn pipeline2_closed_form_example() {
+        // λ = 2, m = 4: λ' = 2, T = 2·f_2(n) + 1.
+        let lam = Latency::from_int(2);
+        let f = GenFib::new(Latency::from_int(2)).index(10); // Fibonacci: f_2(10)=6
+        assert_eq!(f, Time::from_int(6));
+        assert_eq!(pipeline2_time(10, 4, lam).unwrap(), Time::from_int(13));
+        assert_eq!(pipeline_time(10, 4, lam), Time::from_int(13));
+    }
+
+    #[test]
+    fn ceil_log_exact() {
+        assert_eq!(ceil_log(1, 2), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(3, 2), 2);
+        assert_eq!(ceil_log(8, 2), 3);
+        assert_eq!(ceil_log(9, 2), 4);
+        assert_eq!(ceil_log(27, 3), 3);
+        assert_eq!(ceil_log(28, 3), 4);
+        assert_eq!(ceil_log(1_000_000, 10), 6);
+    }
+
+    #[test]
+    fn star_below_lemma18_bound_at_max_degree() {
+        // The exact star time is bounded by Lemma 18 with d = n−1; the
+        // bound's ⌈log_{n−1} n⌉ = 2 for n ≥ 3 makes it strict there, while
+        // n = 2 is tight.
+        for lam in [Latency::TELEPHONE, L52(), Latency::from_int(3)] {
+            for n in [2u128, 3, 5, 10] {
+                for m in [1u64, 2, 5] {
+                    let bound = dtree_time_bound(n, m, lam, n - 1);
+                    let exact = star_time(n, m, lam);
+                    assert!(exact <= bound, "n={n} m={m} λ={lam}");
+                    if n == 2 {
+                        assert_eq!(exact, bound);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_time_closed_form() {
+        assert_eq!(
+            line_time(5, 3, L52()),
+            Time::from_int(2) + Time::from_int(10)
+        );
+        assert_eq!(line_time(1, 3, L52()), Time::ZERO);
+        assert_eq!(dtree_time_bound(5, 3, L52(), 1), line_time(5, 3, L52()));
+    }
+
+    #[test]
+    fn lower_bound_below_all_algorithms() {
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(3, 2),
+            L52(),
+            Latency::from_int(4),
+        ] {
+            for n in [2u128, 5, 14, 64, 200] {
+                for m in [1u64, 2, 3, 8, 20] {
+                    let lb = multi_lower_bound(n, m, lam);
+                    for (name, t) in [
+                        ("repeat", repeat_time(n, m, lam)),
+                        ("pack", pack_time(n, m, lam)),
+                        ("pipeline", pipeline_time(n, m, lam)),
+                        ("line", line_time(n, m, lam)),
+                        ("star", star_time(n, m, lam)),
+                    ] {
+                        assert!(t >= lb, "{name}: T={t} < lb={lb} at n={n} m={m} λ={lam}");
+                    }
+                    // And the log-form Corollary 9 bound is weaker still.
+                    assert!(multi_lower_bound_log(n, m, lam) <= lb.to_f64() + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_matched_degree_clamps() {
+        assert_eq!(latency_matched_degree(100, L52()), 4); // ⌈5/2⌉+1 = 4
+        assert_eq!(latency_matched_degree(3, Latency::from_int(10)), 2); // clamp to n−1
+        assert_eq!(latency_matched_degree(2, Latency::from_int(10)), 1);
+        assert_eq!(latency_matched_degree(100, Latency::TELEPHONE), 2);
+    }
+
+    #[test]
+    fn single_processor_is_instant() {
+        let lam = L52();
+        assert_eq!(repeat_time(1, 5, lam), Time::ZERO);
+        assert_eq!(star_time(1, 5, lam), Time::ZERO);
+        assert_eq!(line_time(1, 5, lam), Time::ZERO);
+        assert_eq!(dtree_time_bound(1, 5, lam, 3), Time::ZERO);
+    }
+
+    #[test]
+    fn pack_beats_repeat_for_large_latency_small_m() {
+        // Section 4.2: PACK is near-optimal for small m, large λ.
+        let lam = Latency::from_int(20);
+        let (n, m) = (64u128, 3u64);
+        assert!(pack_time(n, m, lam) < repeat_time(n, m, lam));
+    }
+
+    #[test]
+    fn pipeline_beats_pack_for_large_m() {
+        let lam = Latency::from_int(4);
+        let (n, m) = (64u128, 64u64);
+        assert!(pipeline_time(n, m, lam) < pack_time(n, m, lam));
+    }
+
+    #[test]
+    fn repeat_time_uses_exact_rational_lambda() {
+        // Non-integer λ exercises the (m−1)(λ−1) term's rational path.
+        let lam = Latency::from_ratio(7, 3);
+        let f = GenFib::new(lam).index(10);
+        let expected = f.mul_int(3) - Time(ratio(4, 3).mul_int(2));
+        assert_eq!(repeat_time(10, 3, lam), expected);
+    }
+
+    use crate::fib::GenFib;
+}

@@ -1,0 +1,364 @@
+//! Explicit postal-model schedules and their validator.
+//!
+//! A *schedule* is the static counterpart of an event-driven execution:
+//! a list of timed sends `(src, dst, send_start)`. The paper reasons
+//! about algorithms through their schedules (Figure 1 is one), and its
+//! correctness arguments hinge on three validity rules, which
+//! [`Schedule::validate_ports`] and [`Schedule::validate_broadcast`]
+//! check mechanically:
+//!
+//! 1. **Output ports** — no processor starts two sends less than 1 unit
+//!    apart (it sends "to a new processor every unit of time", never
+//!    faster).
+//! 2. **Input ports** — no processor's receive windows
+//!    `[s+λ−1, s+λ]` overlap.
+//! 3. **Causality** (for broadcast schedules) — a processor other than
+//!    the originator sends only at or after the time it has fully
+//!    received the message.
+//!
+//! The validator lets the crates above prove properties of *arbitrary*
+//! schedules (including hand-written or adversarial ones), independent
+//! of the event-driven engine.
+
+use crate::latency::Latency;
+use crate::time::Time;
+use std::collections::HashMap;
+
+/// One timed send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimedSend {
+    /// Sending processor index.
+    pub src: u32,
+    /// Receiving processor index.
+    pub dst: u32,
+    /// When the sender's port starts transmitting.
+    pub send_start: Time,
+}
+
+impl TimedSend {
+    /// When the receiver has fully received the message.
+    pub fn recv_finish(&self, latency: Latency) -> Time {
+        self.send_start + latency.as_time()
+    }
+}
+
+/// A static postal-model schedule over `n` processors at latency λ.
+///
+/// ```
+/// use postal_model::schedule::{Schedule, TimedSend};
+/// use postal_model::{Latency, Time};
+///
+/// // p0 → p1 at t = 0; p1 forwards to p2 the moment it knows (t = λ).
+/// let lam = Latency::from_ratio(5, 2);
+/// let schedule = Schedule::new(3, lam, vec![
+///     TimedSend { src: 0, dst: 1, send_start: Time::ZERO },
+///     TimedSend { src: 1, dst: 2, send_start: Time::new(5, 2) },
+/// ]);
+/// schedule.validate_broadcast().unwrap();
+/// assert_eq!(schedule.completion(), Time::from_int(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    n: u32,
+    latency: Latency,
+    sends: Vec<TimedSend>,
+}
+
+/// A validity violation found by schedule validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A send references a processor index ≥ n, or a self-send.
+    BadEndpoints {
+        /// The offending send.
+        send: TimedSend,
+    },
+    /// Two sends from one processor start less than 1 unit apart.
+    OutputPortOverlap {
+        /// The processor.
+        proc: u32,
+        /// Start of the earlier send.
+        first: Time,
+        /// Start of the later (conflicting) send.
+        second: Time,
+    },
+    /// Two receives at one processor overlap.
+    InputPortOverlap {
+        /// The processor.
+        proc: u32,
+        /// Finish of the earlier receive.
+        first_finish: Time,
+        /// Finish of the later (conflicting) receive.
+        second_finish: Time,
+    },
+    /// A non-originator sends before it has received the message.
+    SendsBeforeKnowing {
+        /// The processor.
+        proc: u32,
+        /// When it sends.
+        sends_at: Time,
+        /// When it first knows the message (`None` = never receives).
+        knows_at: Option<Time>,
+    },
+    /// A send starts at negative time.
+    NegativeTime {
+        /// The offending send.
+        send: TimedSend,
+    },
+}
+
+impl Schedule {
+    /// Creates a schedule; sends may be in any order.
+    pub fn new(n: u32, latency: Latency, mut sends: Vec<TimedSend>) -> Schedule {
+        sends.sort_by_key(|s| (s.send_start, s.src, s.dst));
+        Schedule { n, latency, sends }
+    }
+
+    /// Number of processors.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The latency the schedule is built for.
+    pub fn latency(&self) -> Latency {
+        self.latency
+    }
+
+    /// The sends, ordered by start time.
+    pub fn sends(&self) -> &[TimedSend] {
+        &self.sends
+    }
+
+    /// The completion time: latest receive finish (0 for empty).
+    pub fn completion(&self) -> Time {
+        self.sends
+            .iter()
+            .map(|s| s.recv_finish(self.latency))
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Validates port constraints (rules 1–2 of the module docs).
+    ///
+    /// # Errors
+    /// Returns the first violation in deterministic order.
+    pub fn validate_ports(&self) -> Result<(), ScheduleError> {
+        let mut out_last: HashMap<u32, Time> = HashMap::new();
+        for s in &self.sends {
+            if s.src >= self.n || s.dst >= self.n || s.src == s.dst {
+                return Err(ScheduleError::BadEndpoints { send: *s });
+            }
+            if s.send_start < Time::ZERO {
+                return Err(ScheduleError::NegativeTime { send: *s });
+            }
+            if let Some(&prev) = out_last.get(&s.src) {
+                if s.send_start < prev + Time::ONE {
+                    return Err(ScheduleError::OutputPortOverlap {
+                        proc: s.src,
+                        first: prev,
+                        second: s.send_start,
+                    });
+                }
+            }
+            out_last.insert(s.src, s.send_start);
+        }
+        // Receives, in arrival order per destination.
+        let mut arrivals: HashMap<u32, Vec<Time>> = HashMap::new();
+        for s in &self.sends {
+            arrivals
+                .entry(s.dst)
+                .or_default()
+                .push(s.recv_finish(self.latency));
+        }
+        for (proc, mut times) in arrivals {
+            times.sort();
+            for w in times.windows(2) {
+                if w[1] < w[0] + Time::ONE {
+                    return Err(ScheduleError::InputPortOverlap {
+                        proc,
+                        first_finish: w[0],
+                        second_finish: w[1],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the schedule as a *broadcast* schedule from `p_0`
+    /// (rules 1–3): ports plus causality — every sender other than the
+    /// originator must have received the message before its first send,
+    /// and every processor must receive it (for `n ≥ 2`, all of
+    /// `1..n`).
+    ///
+    /// # Errors
+    /// Returns the first violation.
+    pub fn validate_broadcast(&self) -> Result<(), ScheduleError> {
+        self.validate_ports()?;
+        // First-receipt times.
+        let mut knows: HashMap<u32, Time> = HashMap::new();
+        for s in &self.sends {
+            let r = s.recv_finish(self.latency);
+            knows
+                .entry(s.dst)
+                .and_modify(|t| {
+                    if r < *t {
+                        *t = r;
+                    }
+                })
+                .or_insert(r);
+        }
+        for s in &self.sends {
+            if s.src == 0 {
+                continue;
+            }
+            match knows.get(&s.src) {
+                Some(&t) if t <= s.send_start => {}
+                other => {
+                    return Err(ScheduleError::SendsBeforeKnowing {
+                        proc: s.src,
+                        sends_at: s.send_start,
+                        knows_at: other.copied(),
+                    });
+                }
+            }
+        }
+        for p in 1..self.n {
+            if !knows.contains_key(&p) {
+                return Err(ScheduleError::SendsBeforeKnowing {
+                    proc: p,
+                    sends_at: Time::ZERO,
+                    knows_at: None,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of sends.
+    pub fn len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(src: u32, dst: u32, num: i128, den: i128) -> TimedSend {
+        TimedSend {
+            src,
+            dst,
+            send_start: Time::new(num, den),
+        }
+    }
+
+    fn lam52() -> Latency {
+        Latency::from_ratio(5, 2)
+    }
+
+    #[test]
+    fn valid_two_hop_broadcast() {
+        // p0 → p1 at 0; p1 → p2 at λ.
+        let s = Schedule::new(3, lam52(), vec![send(0, 1, 0, 1), send(1, 2, 5, 2)]);
+        s.validate_broadcast().unwrap();
+        assert_eq!(s.completion(), Time::from_int(5));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn output_port_overlap_detected() {
+        let s = Schedule::new(
+            3,
+            lam52(),
+            vec![send(0, 1, 0, 1), send(0, 2, 1, 2)], // second at 0.5 < 1
+        );
+        assert!(matches!(
+            s.validate_ports(),
+            Err(ScheduleError::OutputPortOverlap { proc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn input_port_overlap_detected() {
+        // Both arrive at p2 with receive finishes 5/2 and 3: gap 1/2 < 1.
+        let s = Schedule::new(3, lam52(), vec![send(0, 2, 0, 1), send(1, 2, 1, 2)]);
+        assert!(matches!(
+            s.validate_ports(),
+            Err(ScheduleError::InputPortOverlap { proc: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn causality_violation_detected() {
+        // p1 forwards at t = 1 but only knows the message at λ = 5/2.
+        let s = Schedule::new(3, lam52(), vec![send(0, 1, 0, 1), send(1, 2, 1, 1)]);
+        assert!(matches!(
+            s.validate_broadcast(),
+            Err(ScheduleError::SendsBeforeKnowing { proc: 1, .. })
+        ));
+        // Port-only validation passes (ports don't know about causality).
+        s.validate_ports().unwrap();
+    }
+
+    #[test]
+    fn uncovered_processor_detected() {
+        let s = Schedule::new(3, lam52(), vec![send(0, 1, 0, 1)]);
+        assert!(matches!(
+            s.validate_broadcast(),
+            Err(ScheduleError::SendsBeforeKnowing {
+                proc: 2,
+                knows_at: None,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_endpoints_detected() {
+        let s = Schedule::new(2, lam52(), vec![send(0, 5, 0, 1)]);
+        assert!(matches!(
+            s.validate_ports(),
+            Err(ScheduleError::BadEndpoints { .. })
+        ));
+        let s = Schedule::new(2, lam52(), vec![send(1, 1, 0, 1)]);
+        assert!(matches!(
+            s.validate_ports(),
+            Err(ScheduleError::BadEndpoints { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_time_detected() {
+        let s = Schedule::new(2, lam52(), vec![send(0, 1, -1, 1)]);
+        assert!(matches!(
+            s.validate_ports(),
+            Err(ScheduleError::NegativeTime { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_is_trivially_valid() {
+        let s = Schedule::new(1, lam52(), vec![]);
+        s.validate_broadcast().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.completion(), Time::ZERO);
+    }
+
+    #[test]
+    fn exact_back_to_back_is_legal() {
+        // Sends at 0 and 1 (exactly one unit apart): legal. Receives
+        // finishing exactly one unit apart: legal.
+        let s = Schedule::new(
+            4,
+            Latency::from_int(2),
+            vec![send(0, 1, 0, 1), send(0, 2, 1, 1), send(0, 3, 2, 1)],
+        );
+        s.validate_broadcast().unwrap();
+    }
+}

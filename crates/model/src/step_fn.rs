@@ -1,0 +1,234 @@
+//! Generic step functions and index functions (Claims 1 and 2).
+//!
+//! Section 3 of the paper develops its tools for *any* right-continuous,
+//! nondecreasing, unbounded step function `G: ℝ⁺ → ℕ` with index
+//! function `I_G(n) = min{t : G(t) ≥ n}`, and proves four properties
+//! (Claim 1) plus an anti-monotonicity relation between functions
+//! (Claim 2). This module implements the notions generically on the tick
+//! lattice — `F_λ` is just one instance — so the claims themselves can
+//! be property-tested over arbitrary step functions, not only the
+//! generalized Fibonacci family.
+
+use crate::ratio::Ratio;
+use crate::time::Time;
+
+/// A right-continuous, nondecreasing, unbounded step function sampled on
+/// a tick lattice of resolution `1/q`.
+pub trait StepFunction {
+    /// Ticks per time unit.
+    fn ticks_per_unit(&self) -> i128;
+
+    /// The value at `k` ticks (must be ≥ 1, nondecreasing in `k`, and
+    /// unbounded).
+    fn value_at_ticks(&self, k: i128) -> u128;
+
+    /// The value at an arbitrary nonnegative time.
+    fn value(&self, t: Time) -> u128 {
+        let ticks = (t.as_ratio() * Ratio::from_int(self.ticks_per_unit())).floor();
+        self.value_at_ticks(ticks)
+    }
+
+    /// The index function `I_G(n) = min{t : G(t) ≥ n}`, in ticks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or if the function fails to reach `n` within
+    /// a very large horizon (i.e. it was not unbounded).
+    fn index_ticks(&self, n: u128) -> i128 {
+        assert!(n >= 1, "index functions are defined for n ≥ 1");
+        if self.value_at_ticks(0) >= n {
+            return 0;
+        }
+        // Exponential search + binary search.
+        let mut hi: i128 = 1;
+        while self.value_at_ticks(hi) < n {
+            hi = hi.checked_mul(2).expect("step function never reached n");
+            assert!(hi < 1 << 40, "step function not unbounded in practice");
+        }
+        let mut lo = 0i128;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.value_at_ticks(mid) >= n {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// The index function as exact time.
+    fn index(&self, n: u128) -> Time {
+        Time(Ratio::new(self.index_ticks(n), self.ticks_per_unit()))
+    }
+}
+
+impl StepFunction for crate::fib::GenFib {
+    fn ticks_per_unit(&self) -> i128 {
+        crate::fib::GenFib::ticks_per_unit(self) as i128
+    }
+    fn value_at_ticks(&self, k: i128) -> u128 {
+        crate::fib::GenFib::value_at_ticks(self, k)
+    }
+}
+
+/// An explicit step function given by its per-tick values (extended by
+/// doubling past the provided table, to stay unbounded).
+#[derive(Debug, Clone)]
+pub struct TableStep {
+    q: i128,
+    values: Vec<u128>,
+}
+
+impl TableStep {
+    /// Builds a step function from explicit per-tick values.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty, not nondecreasing, or starts below 1.
+    pub fn new(q: i128, values: Vec<u128>) -> TableStep {
+        assert!(q >= 1, "tick resolution must be at least 1");
+        assert!(
+            !values.is_empty(),
+            "a step function needs at least one value"
+        );
+        assert!(values[0] >= 1, "step functions here map into ℕ⁺");
+        assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "step function must be nondecreasing"
+        );
+        TableStep { q, values }
+    }
+}
+
+impl StepFunction for TableStep {
+    fn ticks_per_unit(&self) -> i128 {
+        self.q
+    }
+    fn value_at_ticks(&self, k: i128) -> u128 {
+        assert!(k >= 0, "step functions are defined on t ≥ 0");
+        let k = k as usize;
+        if k < self.values.len() {
+            self.values[k]
+        } else {
+            // Extend unboundedly: double the last value per extra tick.
+            let last = *self.values.last().expect("nonempty");
+            let extra = (k - self.values.len() + 1) as u32;
+            last.saturating_mul(2u128.saturating_pow(extra))
+        }
+    }
+}
+
+/// Claim 1, checked mechanically for a given function and range.
+/// Returns the first counterexample as `(part, t_or_n)` if any.
+pub fn check_claim1<G: StepFunction>(g: &G, max_ticks: i128, max_n: u128) -> Option<(u8, i128)> {
+    // (1) I_G nondecreasing + (3) G(I_G(n)) ≥ n + (4) G(I_G(n) − ε) < n.
+    let mut prev = 0i128;
+    for n in 1..=max_n {
+        let f = g.index_ticks(n);
+        if f < prev {
+            return Some((1, n as i128));
+        }
+        prev = f;
+        if g.value_at_ticks(f) < n {
+            return Some((3, n as i128));
+        }
+        if f > 0 && g.value_at_ticks(f - 1) >= n {
+            return Some((4, n as i128));
+        }
+    }
+    // (2) I_G(G(t)) ≤ t.
+    for k in 0..=max_ticks {
+        let v = g.value_at_ticks(k);
+        if g.index_ticks(v) > k {
+            return Some((2, k));
+        }
+    }
+    None
+}
+
+/// Claim 2: if `G(t) ≤ H(t)` pointwise then `I_G(n) ≥ I_H(n)` pointwise.
+/// Checks the hypothesis on `0..=max_ticks` and the conclusion on
+/// `1..=max_n`; returns false only if the hypothesis held but the
+/// conclusion failed.
+pub fn check_claim2<G: StepFunction, H: StepFunction>(
+    g: &G,
+    h: &H,
+    max_ticks: i128,
+    max_n: u128,
+) -> bool {
+    assert_eq!(
+        g.ticks_per_unit(),
+        h.ticks_per_unit(),
+        "claim 2 comparison requires a common lattice"
+    );
+    let hypothesis = (0..=max_ticks).all(|k| g.value_at_ticks(k) <= h.value_at_ticks(k));
+    if !hypothesis {
+        return true; // vacuous
+    }
+    (1..=max_n).all(|n| g.index_ticks(n) >= h.index_ticks(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::GenFib;
+    use crate::latency::Latency;
+
+    #[test]
+    fn gen_fib_satisfies_claim1_generically() {
+        for lam in [
+            Latency::TELEPHONE,
+            Latency::from_ratio(5, 2),
+            Latency::from_int(4),
+        ] {
+            let g = GenFib::new(lam);
+            assert_eq!(check_claim1(&g, 200, 500), None, "λ={lam}");
+        }
+    }
+
+    #[test]
+    fn table_step_basics() {
+        let g = TableStep::new(2, vec![1, 1, 2, 3, 5, 8]);
+        assert_eq!(g.value_at_ticks(0), 1);
+        assert_eq!(g.value_at_ticks(4), 5);
+        // Extension doubles: 8, 16, 32, …
+        assert_eq!(g.value_at_ticks(6), 16);
+        // Index: first tick with value ≥ 3 is tick 3 = 3/2 units.
+        assert_eq!(g.index(3), Time::new(3, 2));
+        assert_eq!(g.index(1), Time::ZERO);
+        assert_eq!(check_claim1(&g, 40, 100), None);
+    }
+
+    #[test]
+    fn example_from_the_paper() {
+        // "consider G(t) = ⌊t⌋ + 1-ish": the paper's example G(t) = ⌊t⌋
+        // maps into ℕ starting at... we shift by one to stay ≥ 1:
+        // G(t) = ⌊t⌋ + 1 gives I_G(n) = n − 1.
+        let g = TableStep::new(1, (1..=64u128).collect());
+        for n in 1..=64u128 {
+            assert_eq!(g.index_ticks(n), n as i128 - 1);
+        }
+    }
+
+    #[test]
+    fn claim2_for_fib_pair() {
+        // F_{5/2} ≤ F_{3/2} pointwise (larger λ grows slower), both on
+        // the q = 2 lattice ⇒ f_{5/2} ≥ f_{3/2}.
+        let slow = GenFib::new(Latency::from_ratio(5, 2));
+        let fast = GenFib::new(Latency::from_ratio(3, 2));
+        assert!(check_claim2(&slow, &fast, 120, 400));
+    }
+
+    #[test]
+    fn claim2_vacuous_when_hypothesis_fails() {
+        let a = TableStep::new(1, vec![1, 5, 6]);
+        let b = TableStep::new(1, vec![1, 2, 3]);
+        // a ≰ b pointwise, so the check is vacuously true.
+        assert!(check_claim2(&a, &b, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn table_step_rejects_decreasing() {
+        let _ = TableStep::new(1, vec![3, 2]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Model time.
+//!
+//! Postal-model time is measured in *units*: one unit is the time a
+//! processor spends sending (or receiving) one atomic message. [`Time`] is a
+//! thin newtype over [`Ratio`] so that times and arbitrary rationals cannot
+//! be mixed up in signatures; all times in this workspace are exact.
+
+use crate::ratio::Ratio;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) model time, in postal-model units.
+///
+/// `Time` is allowed to be negative in intermediate arithmetic (e.g. when
+/// computing `f_λ(n) − λ`), but all schedule times produced by the crates in
+/// this workspace are non-negative.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Time(pub Ratio);
+
+impl Time {
+    /// Time zero.
+    pub const ZERO: Time = Time(Ratio::ZERO);
+    /// One time unit (the cost of one send or one receive).
+    pub const ONE: Time = Time(Ratio::ONE);
+
+    /// Creates a time from an integer number of units.
+    pub const fn from_int(units: i128) -> Time {
+        Time(Ratio::from_int(units))
+    }
+
+    /// Creates a time of `num/den` units.
+    pub fn new(num: i128, den: i128) -> Time {
+        Time(Ratio::new(num, den))
+    }
+
+    /// The underlying exact rational value, in units.
+    pub const fn as_ratio(self) -> Ratio {
+        self.0
+    }
+
+    /// Approximate value in units, for display and plotting.
+    pub fn to_f64(self) -> f64 {
+        self.0.to_f64()
+    }
+
+    /// Returns `true` if this time is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Maximum of two times.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Minimum of two times.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Multiplies this time by an integer factor.
+    pub fn mul_int(self, k: i128) -> Time {
+        Time(self.0.mul_int(k))
+    }
+
+    /// Multiplies this time by a rational factor.
+    pub fn scale(self, k: Ratio) -> Time {
+        Time(self.0 * k)
+    }
+}
+
+impl From<Ratio> for Time {
+    fn from(r: Ratio) -> Time {
+        Time(r)
+    }
+}
+
+impl From<i128> for Time {
+    fn from(n: i128) -> Time {
+        Time::from_int(n)
+    }
+}
+
+impl From<u32> for Time {
+    fn from(n: u32) -> Time {
+        Time::from_int(n as i128)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add<Ratio> for Time {
+    type Output = Time;
+    fn add(self, rhs: Ratio) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl Sub<Ratio> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Ratio) -> Time {
+        Time(self.0 - rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::ratio;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Time::new(5, 2);
+        assert_eq!(t.as_ratio(), ratio(5, 2));
+        assert!((t.to_f64() - 2.5).abs() < 1e-15);
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::ONE.is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::new(5, 2);
+        let b = Time::ONE;
+        assert_eq!(a + b, Time::new(7, 2));
+        assert_eq!(a - b, Time::new(3, 2));
+        assert_eq!(a + ratio(1, 2), Time::from_int(3));
+        assert_eq!(a - ratio(1, 2), Time::from_int(2));
+        let mut c = a;
+        c += b;
+        c -= Time::new(1, 2);
+        assert_eq!(c, Time::from_int(3));
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        let a = Time::new(5, 2);
+        let b = Time::from_int(3);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Time::new(5, 2).mul_int(2), Time::from_int(5));
+        assert_eq!(Time::from_int(3).scale(ratio(1, 3)), Time::ONE);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::new(15, 2).to_string(), "15/2");
+        assert_eq!(format!("{:?}", Time::from_int(4)), "t=4");
+    }
+}

@@ -1,0 +1,88 @@
+//! Wall-clock ↔ model-time conversion for the threaded runtime.
+
+use postal_model::{Ratio, Time};
+use std::time::{Duration, Instant};
+
+/// A shared epoch translating between wall-clock instants and model units.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitClock {
+    epoch: Instant,
+    unit: Duration,
+}
+
+impl UnitClock {
+    /// Creates a clock whose model time 0 is `epoch` and whose unit lasts
+    /// `unit` of wall time.
+    ///
+    /// # Panics
+    /// Panics if `unit` is zero.
+    pub fn new(epoch: Instant, unit: Duration) -> UnitClock {
+        assert!(!unit.is_zero(), "a model unit must take nonzero wall time");
+        UnitClock { epoch, unit }
+    }
+
+    /// The wall duration of one model unit.
+    pub fn unit(&self) -> Duration {
+        self.unit
+    }
+
+    /// Elapsed model units right now (fractional).
+    pub fn now_units(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() / self.unit.as_secs_f64()
+    }
+
+    /// Elapsed model time as an (approximate) exact rational, for the
+    /// `Context::now` interface. Resolution: 1/1024 unit.
+    pub fn now_time(&self) -> Time {
+        Time(Ratio::approximate(self.now_units(), 1024))
+    }
+
+    /// Sleeps the current thread until `units` of model time have elapsed
+    /// since the epoch. Returns immediately if that moment has passed.
+    pub fn sleep_until_units(&self, units: f64) {
+        loop {
+            let now = self.now_units();
+            if now >= units {
+                return;
+            }
+            let remaining = (units - now) * self.unit.as_secs_f64();
+            std::thread::sleep(Duration::from_secs_f64(remaining.max(0.0)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversion() {
+        let clock = UnitClock::new(Instant::now(), Duration::from_millis(10));
+        let t0 = clock.now_units();
+        assert!((0.0..1.0).contains(&t0));
+        clock.sleep_until_units(2.0);
+        let t1 = clock.now_units();
+        assert!(t1 >= 2.0, "slept to {t1}");
+        assert!(t1 < 10.0, "overslept to {t1}");
+    }
+
+    #[test]
+    fn sleep_until_past_is_noop() {
+        let clock = UnitClock::new(Instant::now(), Duration::from_millis(5));
+        let before = Instant::now();
+        clock.sleep_until_units(-1.0);
+        assert!(before.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn now_time_is_nonnegative() {
+        let clock = UnitClock::new(Instant::now(), Duration::from_millis(1));
+        assert!(clock.now_time() >= Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero wall time")]
+    fn zero_unit_panics() {
+        let _ = UnitClock::new(Instant::now(), Duration::ZERO);
+    }
+}

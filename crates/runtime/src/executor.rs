@@ -1,0 +1,458 @@
+//! The threaded postal-model executor.
+//!
+//! Where `postal-sim` *simulates* MPS(n, λ) on a virtual clock, this
+//! executor *realizes* it: every processor is an OS thread pair
+//! communicating over channels, with the postal-model costs enforced by
+//! wall-clock sleeps scaled by a configurable unit duration:
+//!
+//! * each processor has an independent **output port thread** that
+//!   serializes its sends at one unit of wall time apiece (send-and-
+//!   forget: the issuing callback never blocks);
+//! * a message "travels" until `send_start + λ` units before the
+//!   receiving thread may process it;
+//! * the **input port** serializes receives at one unit apiece (FIFO
+//!   queued, like the simulator's queued mode).
+//!
+//! The same [`Program`]s that run on the simulator run here unchanged —
+//! this is the workspace's demonstration that the paper's event-driven
+//! algorithms are directly implementable on a real concurrent
+//! message-passing substrate, not just on a scheduler's whiteboard.
+//! Timing is approximate (OS jitter), so tests assert correctness exactly
+//! and timing within tolerances.
+//!
+//! Termination uses a global outstanding-work counter: every queued send,
+//! pending wake-up, and running callback holds a token; threads exit when
+//! the count reaches zero, which (tokens being released only after any
+//! tokens they spawn are registered) implies global quiescence.
+
+use crate::clock::UnitClock;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use postal_model::{Latency, Time};
+use postal_sim::{Context, ProcId, Program};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message in flight between threads.
+struct TimedMsg<P> {
+    from: ProcId,
+    payload: P,
+    /// Model time at which the receive completes (send_start + λ).
+    deliver_at_units: f64,
+}
+
+/// A send request queued to a processor's output-port thread.
+struct SendRequest<P> {
+    dst: ProcId,
+    payload: P,
+}
+
+/// One completed delivery, as observed by the receiving thread.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// Receiving processor.
+    pub to: ProcId,
+    /// Sending processor.
+    pub from: ProcId,
+    /// The payload.
+    pub payload: P,
+    /// Model units (wall-derived) at which the receive completed.
+    pub at_units: f64,
+}
+
+/// The result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedReport<P> {
+    /// Every delivery, globally sorted by completion time.
+    pub deliveries: Vec<Delivery<P>>,
+    /// Model units at which the last receive completed (0 if none).
+    pub elapsed_units: f64,
+}
+
+impl<P> ThreadedReport<P> {
+    /// Deliveries received by processor `p`, in time order.
+    pub fn received_by(&self, p: ProcId) -> impl Iterator<Item = &Delivery<P>> {
+        self.deliveries.iter().filter(move |d| d.to == p)
+    }
+}
+
+/// Wall-clock configuration for a threaded run.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Wall duration of one model unit. Smaller is faster but noisier;
+    /// the default of 2 ms keeps a 10-unit broadcast around 20 ms with
+    /// low relative jitter.
+    pub unit: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            unit: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The context handed to programs on the threaded substrate.
+struct ThreadCtx<'a, P> {
+    me: ProcId,
+    n: usize,
+    clock: UnitClock,
+    out_queue: &'a Sender<SendRequest<P>>,
+    wakes: &'a mut BinaryHeap<std::cmp::Reverse<OrderedF64>>,
+    outstanding: &'a AtomicI64,
+}
+
+/// f64 wrapper with total order for the wake heap (wake times are always
+/// finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl<P> Context<P> for ThreadCtx<'_, P> {
+    fn me(&self) -> ProcId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn now(&self) -> Time {
+        self.clock.now_time()
+    }
+
+    fn send(&mut self, dst: ProcId, payload: P) {
+        assert!(dst.index() < self.n, "send out of range");
+        assert!(dst != self.me, "the postal model has no self-sends");
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.out_queue
+            .send(SendRequest { dst, payload })
+            .expect("output port thread lives as long as its processor");
+    }
+
+    fn wake_at(&mut self, t: Time) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.wakes.push(std::cmp::Reverse(OrderedF64(t.to_f64())));
+    }
+}
+
+/// Runs `programs` (one per processor) on real threads under latency λ.
+///
+/// Returns after global quiescence. Panics if a program panics.
+///
+/// # Panics
+/// Panics if `programs` is empty.
+pub fn run_threaded<P>(
+    latency: Latency,
+    config: RuntimeConfig,
+    programs: Vec<Box<dyn Program<P> + Send>>,
+) -> ThreadedReport<P>
+where
+    P: Clone + Send + 'static,
+{
+    let n = programs.len();
+    assert!(n >= 1, "at least one processor required");
+    let lam = latency.to_f64();
+    let epoch = Instant::now() + Duration::from_millis(5); // sync start
+    let clock = UnitClock::new(epoch, config.unit);
+
+    // Inboxes: one per processor.
+    let mut inbox_tx: Vec<Sender<TimedMsg<P>>> = Vec::with_capacity(n);
+    let mut inbox_rx: Vec<Option<Receiver<TimedMsg<P>>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        inbox_tx.push(tx);
+        inbox_rx.push(Some(rx));
+    }
+
+    // One startup token per processor, released after its on_start.
+    let outstanding = Arc::new(AtomicI64::new(n as i64));
+
+    let mut proc_handles = Vec::with_capacity(n);
+    let mut port_handles = Vec::with_capacity(n);
+
+    for (i, mut program) in programs.into_iter().enumerate() {
+        let me = ProcId::from(i);
+        let inbox = inbox_rx[i].take().expect("each inbox taken once");
+        let all_inboxes = inbox_tx.clone();
+        let outstanding = Arc::clone(&outstanding);
+
+        // Output-port thread: serialize sends at 1 unit each.
+        let (port_tx, port_rx) = bounded::<SendRequest<P>>(1024);
+        let port_clock = clock;
+        port_handles.push(std::thread::spawn(move || {
+            let mut port_free = 0.0f64;
+            while let Ok(req) = port_rx.recv() {
+                let send_start = port_clock.now_units().max(port_free);
+                port_free = send_start + 1.0;
+                // Busy sending for one unit (send-and-forget: the
+                // *program* already moved on; only the port blocks).
+                port_clock.sleep_until_units(port_free);
+                let msg = TimedMsg {
+                    from: me,
+                    payload: req.payload,
+                    deliver_at_units: send_start + lam,
+                };
+                // The receiver thread outlives all in-flight messages
+                // (it exits only at global quiescence), but shutdown
+                // racing is tolerated: a disconnected inbox means the
+                // run is already over.
+                let _ = all_inboxes[req.dst.index()].send(msg);
+            }
+        }));
+
+        let proc_clock = clock;
+        proc_handles.push(std::thread::spawn(move || {
+            let mut deliveries: Vec<Delivery<P>> = Vec::new();
+            let mut wakes: BinaryHeap<std::cmp::Reverse<OrderedF64>> = BinaryHeap::new();
+            let mut in_port_free = 0.0f64;
+
+            // Wait for the shared epoch, then run on_start.
+            proc_clock.sleep_until_units(0.0);
+            {
+                let mut ctx = ThreadCtx {
+                    me,
+                    n,
+                    clock: proc_clock,
+                    out_queue: &port_tx,
+                    wakes: &mut wakes,
+                    outstanding: &outstanding,
+                };
+                program.on_start(&mut ctx);
+            }
+            outstanding.fetch_sub(1, Ordering::SeqCst); // startup token
+
+            loop {
+                // Fire due wake-ups.
+                while let Some(&std::cmp::Reverse(OrderedF64(w))) = wakes.peek() {
+                    if proc_clock.now_units() + 1e-9 < w {
+                        break;
+                    }
+                    wakes.pop();
+                    let mut ctx = ThreadCtx {
+                        me,
+                        n,
+                        clock: proc_clock,
+                        out_queue: &port_tx,
+                        wakes: &mut wakes,
+                        outstanding: &outstanding,
+                    };
+                    program.on_wake(&mut ctx);
+                    outstanding.fetch_sub(1, Ordering::SeqCst);
+                }
+
+                // Poll the inbox until the next wake (or briefly).
+                let next_wake_in = wakes
+                    .peek()
+                    .map(|&std::cmp::Reverse(OrderedF64(w))| {
+                        ((w - proc_clock.now_units()).max(0.0)) * proc_clock.unit().as_secs_f64()
+                    })
+                    .unwrap_or(f64::INFINITY);
+                let timeout = Duration::from_secs_f64(next_wake_in.clamp(0.000_05, 0.001));
+                match inbox.recv_timeout(timeout) {
+                    Ok(msg) => {
+                        // Input port: FIFO, one unit per receive, never
+                        // earlier than the model delivery time.
+                        let recv_finish = msg.deliver_at_units.max(in_port_free + 1.0);
+                        in_port_free = recv_finish;
+                        proc_clock.sleep_until_units(recv_finish);
+                        deliveries.push(Delivery {
+                            to: me,
+                            from: msg.from,
+                            payload: msg.payload.clone(),
+                            at_units: recv_finish,
+                        });
+                        let mut ctx = ThreadCtx {
+                            me,
+                            n,
+                            clock: proc_clock,
+                            out_queue: &port_tx,
+                            wakes: &mut wakes,
+                            outstanding: &outstanding,
+                        };
+                        program.on_receive(&mut ctx, msg.from, msg.payload);
+                        outstanding.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if wakes.is_empty() && outstanding.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            deliveries
+        }));
+    }
+    // Drop our clones so port threads can observe disconnection later.
+    drop(inbox_tx);
+
+    let mut deliveries: Vec<Delivery<P>> = Vec::new();
+    for h in proc_handles {
+        deliveries.extend(h.join().expect("processor thread panicked"));
+    }
+    for h in port_handles {
+        h.join().expect("output port thread panicked");
+    }
+    deliveries.sort_by(|a, b| a.at_units.total_cmp(&b.at_units));
+    let elapsed_units = deliveries.last().map(|d| d.at_units).unwrap_or(0.0);
+    ThreadedReport {
+        deliveries,
+        elapsed_units,
+    }
+}
+
+/// Builds one boxed `Send` program per processor from a closure.
+pub fn send_programs_from<P, F>(n: usize, mut f: F) -> Vec<Box<dyn Program<P> + Send>>
+where
+    F: FnMut(ProcId) -> Box<dyn Program<P> + Send>,
+{
+    (0..n).map(|i| f(ProcId::from(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_algos::bcast::{BcastPayload, BcastProgram};
+    use postal_algos::repeat::{Pacing, RepeatProgram};
+    use postal_model::runtimes;
+
+    fn bcast_threaded(n: usize, latency: Latency) -> ThreadedReport<BcastPayload> {
+        let programs = send_programs_from(n, |id| {
+            Box::new(BcastProgram::new(
+                latency,
+                (id == ProcId::ROOT).then_some(n as u64),
+            )) as Box<dyn Program<BcastPayload> + Send>
+        });
+        run_threaded(latency, RuntimeConfig::default(), programs)
+    }
+
+    #[test]
+    fn bcast_delivers_to_every_thread() {
+        let n = 14;
+        let report = bcast_threaded(n, Latency::from_ratio(5, 2));
+        for i in 1..n {
+            assert_eq!(
+                report.received_by(ProcId::from(i)).count(),
+                1,
+                "p{i} deliveries"
+            );
+        }
+        assert_eq!(report.deliveries.len(), n - 1);
+    }
+
+    #[test]
+    fn bcast_wall_time_tracks_model_time() {
+        // Correct lower bound: sleeps enforce model minimums. Loose
+        // upper bound: OS jitter.
+        let n = 14;
+        let lam = Latency::from_ratio(5, 2);
+        let model = runtimes::bcast_time(n as u128, lam).to_f64(); // 7.5
+        let report = bcast_threaded(n, lam);
+        assert!(
+            report.elapsed_units >= model - 0.01,
+            "finished impossibly fast: {} < {model}",
+            report.elapsed_units
+        );
+        assert!(
+            report.elapsed_units < model * 3.0 + 5.0,
+            "far too slow: {} vs {model}",
+            report.elapsed_units
+        );
+    }
+
+    #[test]
+    fn repeat_preserves_order_on_threads() {
+        let (n, m) = (8usize, 4u32);
+        let lam = Latency::from_int(2);
+        let programs = send_programs_from(n, |id| {
+            Box::new(RepeatProgram::new(
+                lam,
+                Pacing::Greedy,
+                (id == ProcId::ROOT).then_some((n as u64, m)),
+            )) as Box<dyn Program<postal_algos::MultiPacket> + Send>
+        });
+        let report = run_threaded(lam, RuntimeConfig::default(), programs);
+        for i in 1..n {
+            let msgs: Vec<u32> = report
+                .received_by(ProcId::from(i))
+                .map(|d| d.payload.msg)
+                .collect();
+            assert_eq!(msgs.len(), m as usize, "p{i}");
+            let mut sorted = msgs.clone();
+            sorted.sort_unstable();
+            assert_eq!(msgs, sorted, "p{i} out of order: {msgs:?}");
+        }
+    }
+
+    #[test]
+    fn output_port_paces_bursts_at_one_unit_each() {
+        // A root that fires 8 sends in one callback: wall-clock send
+        // pacing must be at least one unit apart at the receivers.
+        struct Burst;
+        impl Program<BcastPayload> for Burst {
+            fn on_start(&mut self, ctx: &mut dyn Context<BcastPayload>) {
+                for _ in 0..8 {
+                    ctx.send(ProcId(1), BcastPayload { range_size: 1 });
+                }
+            }
+            fn on_receive(
+                &mut self,
+                _: &mut dyn Context<BcastPayload>,
+                _: ProcId,
+                _: BcastPayload,
+            ) {
+            }
+        }
+        use postal_sim::Context;
+        let lam = Latency::from_int(2);
+        let programs: Vec<Box<dyn Program<BcastPayload> + Send>> =
+            vec![Box::new(Burst), Box::new(postal_sim::Idle)];
+        let report = run_threaded(
+            lam,
+            RuntimeConfig {
+                unit: Duration::from_millis(2),
+            },
+            programs,
+        );
+        assert_eq!(report.deliveries.len(), 8);
+        let times: Vec<f64> = report.received_by(ProcId(1)).map(|d| d.at_units).collect();
+        for w in times.windows(2) {
+            assert!(
+                w[1] - w[0] >= 0.95,
+                "receives too close: {:.3} then {:.3}",
+                w[0],
+                w[1]
+            );
+        }
+        // The 8th delivery cannot finish before 7 + λ = 9 units.
+        assert!(
+            times[7] >= 9.0 - 0.05,
+            "finished impossibly fast: {}",
+            times[7]
+        );
+    }
+
+    #[test]
+    fn empty_system_terminates() {
+        let programs: Vec<Box<dyn Program<BcastPayload> + Send>> = send_programs_from(1, |_| {
+            Box::new(BcastProgram::new(Latency::TELEPHONE, Some(1)))
+                as Box<dyn Program<BcastPayload> + Send>
+        });
+        let report = run_threaded(Latency::TELEPHONE, RuntimeConfig::default(), programs);
+        assert_eq!(report.deliveries.len(), 0);
+        assert_eq!(report.elapsed_units, 0.0);
+    }
+}

@@ -1,0 +1,742 @@
+//! The discrete-event MPS(n, λ) engine.
+//!
+//! The engine executes event-driven [`Program`]s under the postal model's
+//! three defining constraints (Definitions 1 and 2 of the paper):
+//!
+//! * **Full connectivity** — any processor may send to any other.
+//! * **Simultaneous I/O** — each processor has one input port and one
+//!   output port that operate independently; it may send one message and
+//!   receive another at the same time, but never two sends (or two
+//!   receives) concurrently.
+//! * **Communication latency** — a send started at `t` occupies the
+//!   sender's output port during `[t, t+1]` and the receiver's input port
+//!   during `[t+λ−1, t+λ]`.
+//!
+//! Output ports serialize sends automatically: a program may issue several
+//! sends from one callback, and they are transmitted back-to-back at one
+//! unit each — this is precisely how the paper's algorithms "send M to a
+//! new processor every unit of time".
+//!
+//! Input-port contention is where the model is strict: the paper's
+//! algorithms are constructed so that *no two messages ever arrive at the
+//! same processor in overlapping receive windows*. The engine offers two
+//! treatments (see [`PortMode`]): `Strict` keeps model timing and records
+//! every overlap as a [`Violation`] (the paper's algorithms must produce
+//! zero), while `Queued` delays receives FIFO like a real NIC would —
+//! useful for evaluating non-latency-aware schedules.
+
+use crate::ids::{ProcId, SendSeq};
+use crate::latency_model::LatencyModel;
+use crate::program::{Context, Program};
+use crate::trace::{Trace, Transfer};
+use postal_model::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// How the engine treats overlapping receive windows at one input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortMode {
+    /// Postal-model semantics: receives happen exactly at `send+λ−1` and
+    /// any overlap is recorded as a [`Violation`]. The paper's algorithms
+    /// are conflict-free, so a nonempty violation list indicates a broken
+    /// schedule.
+    #[default]
+    Strict,
+    /// Realistic semantics: an input port busy with one receive delays the
+    /// next (FIFO by arrival, ties by send issue order), shifting all
+    /// subsequent timing.
+    Queued,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Input-port contention policy.
+    pub port_mode: PortMode,
+    /// Hard cap on processed events, to turn runaway programs into errors
+    /// instead of hangs.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            port_mode: PortMode::Strict,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// A strict-mode input-port overlap: a message was ready at `arrival`
+/// while the destination's port was still busy until `port_busy_until`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending transfer's sequence number.
+    pub seq: SendSeq,
+    /// Destination whose input port was double-booked.
+    pub dst: ProcId,
+    /// Model arrival time of the late message.
+    pub arrival: Time,
+    /// When the port would have become free.
+    pub port_busy_until: Time,
+}
+
+/// Per-processor activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub recvs: u64,
+}
+
+/// The result of a simulation run.
+#[derive(Debug)]
+pub struct RunReport<P> {
+    /// The paper's running time: when the last receive finished.
+    pub completion: Time,
+    /// Every transfer, in receive-completion order.
+    pub trace: Trace<P>,
+    /// Strict-mode receive overlaps (always empty in `Queued` mode).
+    pub violations: Vec<Violation>,
+    /// Per-processor send/receive counters.
+    pub proc_stats: Vec<ProcStats>,
+    /// Number of events processed.
+    pub events: u64,
+}
+
+impl<P> RunReport<P> {
+    /// Asserts that the run respected strict postal-model semantics.
+    ///
+    /// # Panics
+    /// Panics (with the first violation) if any receive overlap occurred.
+    pub fn assert_model_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "postal-model violation: {:?} (total {})",
+            self.violations[0],
+            self.violations.len()
+        );
+    }
+
+    /// Total number of messages transferred.
+    pub fn messages(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event cap was reached; the program set is likely divergent.
+    EventLimitExceeded {
+        /// The configured cap.
+        limit: u64,
+    },
+    /// The number of programs supplied does not match `n`.
+    WrongProgramCount {
+        /// Expected processor count.
+        expected: usize,
+        /// Programs supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "event limit of {limit} exceeded; divergent program?")
+            }
+            SimError::WrongProgramCount { expected, got } => {
+                write!(f, "expected {expected} programs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A configured simulation of MPS(n, ·) over a latency model.
+pub struct Simulation<'a> {
+    n: usize,
+    latency: &'a dyn LatencyModel,
+    config: SimConfig,
+    faults: crate::faults::FaultPlan,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation of `n` processors over the given latency model
+    /// with default (strict) configuration.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, latency: &'a dyn LatencyModel) -> Simulation<'a> {
+        assert!(
+            n >= 1,
+            "a message-passing system needs at least 1 processor"
+        );
+        Simulation {
+            n,
+            latency,
+            config: SimConfig::default(),
+            faults: crate::faults::FaultPlan::none(),
+        }
+    }
+
+    /// Selects the input-port contention policy.
+    pub fn port_mode(mut self, mode: PortMode) -> Simulation<'a> {
+        self.config.port_mode = mode;
+        self
+    }
+
+    /// Overrides the processed-event cap.
+    pub fn max_events(mut self, max: u64) -> Simulation<'a> {
+        self.config.max_events = max;
+        self
+    }
+
+    /// Injects a deterministic fault schedule (message drops, crashes).
+    pub fn faults(mut self, plan: crate::faults::FaultPlan) -> Simulation<'a> {
+        self.faults = plan;
+        self
+    }
+
+    /// Runs the given per-processor programs to quiescence.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] if the program count mismatches `n` or the
+    /// event cap is hit.
+    pub fn run<P: Clone>(
+        &self,
+        mut programs: Vec<Box<dyn Program<P>>>,
+    ) -> Result<RunReport<P>, SimError> {
+        if programs.len() != self.n {
+            return Err(SimError::WrongProgramCount {
+                expected: self.n,
+                got: programs.len(),
+            });
+        }
+        let mut engine = EngineState::new(self.n, self.config);
+        engine.faults = self.faults.clone();
+
+        // Time 0: every processor's on_start, in index order.
+        for (i, program) in programs.iter_mut().enumerate() {
+            let mut ctx = EngineCtx {
+                me: ProcId::from(i),
+                n: self.n,
+                now: Time::ZERO,
+                outbox: Vec::new(),
+                wakes: Vec::new(),
+            };
+            program.on_start(&mut ctx);
+            engine.apply_ctx(ctx, self.latency);
+        }
+
+        while let Some(Reverse(entry)) = engine.queue.pop() {
+            engine.events += 1;
+            if engine.events > self.config.max_events {
+                return Err(SimError::EventLimitExceeded {
+                    limit: self.config.max_events,
+                });
+            }
+            match entry.kind {
+                EventKind::Arrival(a) => engine.process_arrival(entry.time, a),
+                EventKind::Deliver(d) => {
+                    let dst = d.transfer.dst;
+                    if engine.faults.crashed(dst, entry.time) {
+                        continue;
+                    }
+                    let from = d.transfer.src;
+                    let payload = d.transfer.payload.clone();
+                    engine.proc_stats[dst.index()].recvs += 1;
+                    engine.trace.push(d.transfer);
+                    let mut ctx = EngineCtx {
+                        me: dst,
+                        n: self.n,
+                        now: entry.time,
+                        outbox: Vec::new(),
+                        wakes: Vec::new(),
+                    };
+                    programs[dst.index()].on_receive(&mut ctx, from, payload);
+                    engine.apply_ctx(ctx, self.latency);
+                }
+                EventKind::Wake(p) => {
+                    if engine.faults.crashed(p, entry.time) {
+                        continue;
+                    }
+                    let mut ctx = EngineCtx {
+                        me: p,
+                        n: self.n,
+                        now: entry.time,
+                        outbox: Vec::new(),
+                        wakes: Vec::new(),
+                    };
+                    programs[p.index()].on_wake(&mut ctx);
+                    engine.apply_ctx(ctx, self.latency);
+                }
+            }
+        }
+
+        Ok(RunReport {
+            completion: engine.trace.completion_time(),
+            trace: engine.trace,
+            violations: engine.violations,
+            proc_stats: engine.proc_stats,
+            events: engine.events,
+        })
+    }
+}
+
+/// A pending arrival: the message is fully in flight; timing of the
+/// receive is decided when the arrival fires (it depends on the input
+/// port's state at that moment).
+struct ArrivalEvent<P> {
+    seq: SendSeq,
+    src: ProcId,
+    dst: ProcId,
+    send_start: Time,
+    payload: P,
+}
+
+/// A receive completing; carries the fully-timed transfer record.
+struct DeliverEvent<P> {
+    transfer: Transfer<P>,
+}
+
+enum EventKind<P> {
+    Arrival(ArrivalEvent<P>),
+    Deliver(DeliverEvent<P>),
+    Wake(ProcId),
+}
+
+struct HeapEntry<P> {
+    time: Time,
+    counter: u64,
+    kind: EventKind<P>,
+}
+
+impl<P> HeapEntry<P> {
+    /// Same-instant ordering: port bookings (arrivals) first, then
+    /// completed receives, then timer wake-ups — so a message whose
+    /// receive finishes at `t` is already delivered when a wake-up
+    /// scheduled for `t` fires.
+    fn kind_rank(&self) -> u8 {
+        match self.kind {
+            EventKind::Arrival(_) => 0,
+            EventKind::Deliver(_) => 1,
+            EventKind::Wake(_) => 2,
+        }
+    }
+}
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.counter == other.counter
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.kind_rank(), self.counter).cmp(&(
+            other.time,
+            other.kind_rank(),
+            other.counter,
+        ))
+    }
+}
+
+struct EngineState<P> {
+    config: SimConfig,
+    faults: crate::faults::FaultPlan,
+    queue: BinaryHeap<Reverse<HeapEntry<P>>>,
+    /// When each processor's output port becomes free.
+    out_free: Vec<Time>,
+    /// When each processor's input port becomes free.
+    in_free: Vec<Time>,
+    trace: Trace<P>,
+    violations: Vec<Violation>,
+    proc_stats: Vec<ProcStats>,
+    next_seq: u64,
+    next_counter: u64,
+    events: u64,
+}
+
+impl<P: Clone> EngineState<P> {
+    fn new(n: usize, config: SimConfig) -> EngineState<P> {
+        EngineState {
+            config,
+            faults: crate::faults::FaultPlan::none(),
+            queue: BinaryHeap::new(),
+            out_free: vec![Time::ZERO; n],
+            in_free: vec![Time::ZERO; n],
+            trace: Trace::new(),
+            violations: Vec::new(),
+            proc_stats: vec![ProcStats::default(); n],
+            next_seq: 0,
+            next_counter: 0,
+            events: 0,
+        }
+    }
+
+    fn push(&mut self, time: Time, kind: EventKind<P>) {
+        let counter = self.next_counter;
+        self.next_counter += 1;
+        self.queue.push(Reverse(HeapEntry {
+            time,
+            counter,
+            kind,
+        }));
+    }
+
+    /// Serializes a batch of sends through `src`'s output port, starting
+    /// no earlier than `now`.
+    fn issue_sends(
+        &mut self,
+        src: ProcId,
+        now: Time,
+        outbox: Vec<(ProcId, P)>,
+        latency: &dyn LatencyModel,
+    ) {
+        for (dst, payload) in outbox {
+            let send_start = now.max(self.out_free[src.index()]);
+            self.out_free[src.index()] = send_start + Time::ONE;
+            self.proc_stats[src.index()].sends += 1;
+            let seq = SendSeq(self.next_seq);
+            self.next_seq += 1;
+            let lam = latency.latency(src, dst, send_start);
+            let arrival = send_start + lam.as_time() - Time::ONE;
+            self.push(
+                arrival,
+                EventKind::Arrival(ArrivalEvent {
+                    seq,
+                    src,
+                    dst,
+                    send_start,
+                    payload,
+                }),
+            );
+        }
+    }
+
+    /// Applies everything a program requested during one callback: the
+    /// outbox (serialized through the output port) and any wake-ups.
+    fn apply_ctx(&mut self, ctx: EngineCtx<P>, latency: &dyn LatencyModel) {
+        let EngineCtx {
+            me,
+            now,
+            outbox,
+            wakes,
+            ..
+        } = ctx;
+        self.issue_sends(me, now, outbox, latency);
+        for t in wakes {
+            self.push(t, EventKind::Wake(me));
+        }
+    }
+
+    fn process_arrival(&mut self, arrival: Time, a: ArrivalEvent<P>) {
+        if self.faults.drops(a.seq.0) || self.faults.crashed(a.dst, arrival) {
+            // Lost in flight, or nobody home to receive it.
+            return;
+        }
+        let port_free = self.in_free[a.dst.index()];
+        let recv_start = match self.config.port_mode {
+            PortMode::Strict => {
+                if port_free > arrival {
+                    self.violations.push(Violation {
+                        seq: a.seq,
+                        dst: a.dst,
+                        arrival,
+                        port_busy_until: port_free,
+                    });
+                }
+                arrival
+            }
+            PortMode::Queued => arrival.max(port_free),
+        };
+        let recv_finish = recv_start + Time::ONE;
+        let slot = &mut self.in_free[a.dst.index()];
+        *slot = (*slot).max(recv_finish);
+        self.push(
+            recv_finish,
+            EventKind::Deliver(DeliverEvent {
+                transfer: Transfer {
+                    seq: a.seq,
+                    src: a.src,
+                    dst: a.dst,
+                    send_start: a.send_start,
+                    send_finish: a.send_start + Time::ONE,
+                    arrival,
+                    recv_start,
+                    recv_finish,
+                    payload: a.payload,
+                },
+            }),
+        );
+    }
+}
+
+/// The context implementation handed to programs by the engine.
+struct EngineCtx<P> {
+    me: ProcId,
+    n: usize,
+    now: Time,
+    outbox: Vec<(ProcId, P)>,
+    wakes: Vec<Time>,
+}
+
+impl<P> Context<P> for EngineCtx<P> {
+    fn me(&self) -> ProcId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn send(&mut self, dst: ProcId, payload: P) {
+        assert!(
+            dst.index() < self.n,
+            "send to {dst:?} out of range (n = {})",
+            self.n
+        );
+        assert!(dst != self.me, "the postal model has no self-sends");
+        self.outbox.push((dst, payload));
+    }
+
+    fn wake_at(&mut self, t: Time) {
+        self.wakes.push(t.max(self.now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency_model::Uniform;
+    use crate::program::{Idle, Program};
+    use postal_model::Latency;
+
+    /// Root sends one message to each listed destination at start.
+    struct Spray(Vec<u32>);
+
+    impl Program<u8> for Spray {
+        fn on_start(&mut self, ctx: &mut dyn Context<u8>) {
+            for &d in &self.0 {
+                ctx.send(ProcId(d), 0);
+            }
+        }
+        fn on_receive(&mut self, _ctx: &mut dyn Context<u8>, _from: ProcId, _p: u8) {}
+    }
+
+    /// Forwards every received message to a fixed successor (a relay).
+    struct Relay(Option<u32>);
+
+    impl Program<u8> for Relay {
+        fn on_receive(&mut self, ctx: &mut dyn Context<u8>, _from: ProcId, p: u8) {
+            if let Some(next) = self.0 {
+                ctx.send(ProcId(next), p);
+            }
+        }
+    }
+
+    fn spray_programs(n: usize, dests: Vec<u32>) -> Vec<Box<dyn Program<u8>>> {
+        let mut v: Vec<Box<dyn Program<u8>>> = Vec::new();
+        v.push(Box::new(Spray(dests)));
+        for _ in 1..n {
+            v.push(Box::new(Idle));
+        }
+        v
+    }
+
+    #[test]
+    fn single_send_timing() {
+        let lam = Uniform(Latency::from_ratio(5, 2));
+        let report = Simulation::new(2, &lam)
+            .run(spray_programs(2, vec![1]))
+            .unwrap();
+        report.assert_model_clean();
+        assert_eq!(report.messages(), 1);
+        let t = &report.trace.transfers()[0];
+        assert_eq!(t.send_start, Time::ZERO);
+        assert_eq!(t.send_finish, Time::ONE);
+        assert_eq!(t.arrival, Time::new(3, 2)); // λ − 1
+        assert_eq!(t.recv_start, Time::new(3, 2));
+        assert_eq!(t.recv_finish, Time::new(5, 2)); // λ
+        assert_eq!(report.completion, Time::new(5, 2));
+    }
+
+    #[test]
+    fn output_port_serializes_sends() {
+        // Three sends issued in one callback go out at t = 0, 1, 2 and
+        // complete at λ, λ+1, λ+2.
+        let lam = Uniform(Latency::from_int(3));
+        let report = Simulation::new(4, &lam)
+            .run(spray_programs(4, vec![1, 2, 3]))
+            .unwrap();
+        report.assert_model_clean();
+        let sends: Vec<Time> = report
+            .trace
+            .sent_by(ProcId(0))
+            .iter()
+            .map(|t| t.send_start)
+            .collect();
+        assert_eq!(sends, vec![Time::ZERO, Time::ONE, Time::from_int(2)]);
+        assert_eq!(report.completion, Time::from_int(5)); // 2 + λ
+    }
+
+    #[test]
+    fn strict_mode_flags_receive_overlap() {
+        // Two different senders both target p2 at t = 0: arrivals overlap.
+        let lam = Uniform(Latency::from_int(2));
+        let programs: Vec<Box<dyn Program<u8>>> = vec![
+            Box::new(Spray(vec![2])),
+            Box::new(Spray(vec![2])),
+            Box::new(Idle),
+        ];
+        let report = Simulation::new(3, &lam).run(programs).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].dst, ProcId(2));
+        // Strict mode keeps model timing: completion is still λ.
+        assert_eq!(report.completion, Time::from_int(2));
+    }
+
+    #[test]
+    fn queued_mode_delays_conflicting_receive() {
+        let lam = Uniform(Latency::from_int(2));
+        let programs: Vec<Box<dyn Program<u8>>> = vec![
+            Box::new(Spray(vec![2])),
+            Box::new(Spray(vec![2])),
+            Box::new(Idle),
+        ];
+        let report = Simulation::new(3, &lam)
+            .port_mode(PortMode::Queued)
+            .run(programs)
+            .unwrap();
+        assert!(report.violations.is_empty());
+        // First receive occupies [1, 2]; the second is pushed to [2, 3].
+        assert_eq!(report.completion, Time::from_int(3));
+        assert_eq!(
+            report
+                .trace
+                .transfers()
+                .iter()
+                .filter(|t| t.was_queued())
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn relay_chain_accumulates_latency() {
+        // p0 → p1 → p2 with λ = 5/2: completion = 2λ.
+        let lam = Uniform(Latency::from_ratio(5, 2));
+        let programs: Vec<Box<dyn Program<u8>>> = vec![
+            Box::new(Spray(vec![1])),
+            Box::new(Relay(Some(2))),
+            Box::new(Relay(None)),
+        ];
+        let report = Simulation::new(3, &lam).run(programs).unwrap();
+        report.assert_model_clean();
+        assert_eq!(report.completion, Time::from_int(5));
+        assert_eq!(report.messages(), 2);
+    }
+
+    #[test]
+    fn proc_stats_count_traffic() {
+        let lam = Uniform(Latency::from_int(2));
+        let report = Simulation::new(3, &lam)
+            .run(spray_programs(3, vec![1, 2]))
+            .unwrap();
+        assert_eq!(report.proc_stats[0].sends, 2);
+        assert_eq!(report.proc_stats[0].recvs, 0);
+        assert_eq!(report.proc_stats[1].recvs, 1);
+        assert_eq!(report.proc_stats[2].recvs, 1);
+    }
+
+    #[test]
+    fn wrong_program_count_is_an_error() {
+        let lam = Uniform(Latency::TELEPHONE);
+        let err = Simulation::new(3, &lam)
+            .run(spray_programs(2, vec![1]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WrongProgramCount {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn event_limit_stops_ping_pong() {
+        // Two processors forwarding to each other forever.
+        let lam = Uniform(Latency::TELEPHONE);
+        let programs: Vec<Box<dyn Program<u8>>> =
+            vec![Box::new(PingPongStarter), Box::new(Relay(Some(0)))];
+        let err = Simulation::new(2, &lam)
+            .max_events(1000)
+            .run(programs)
+            .unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded { limit: 1000 });
+
+        struct PingPongStarter;
+        impl Program<u8> for PingPongStarter {
+            fn on_start(&mut self, ctx: &mut dyn Context<u8>) {
+                ctx.send(ProcId(1), 0);
+            }
+            fn on_receive(&mut self, ctx: &mut dyn Context<u8>, _f: ProcId, p: u8) {
+                ctx.send(ProcId(1), p);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let lam = Uniform(Latency::from_ratio(5, 2));
+        let runs: Vec<Vec<(ProcId, Time)>> = (0..3)
+            .map(|_| {
+                let mut programs: Vec<Box<dyn Program<u8>>> = Vec::new();
+                programs.push(Box::new(Spray(vec![1, 2, 3])));
+                programs.push(Box::new(Relay(Some(4))));
+                for _ in 2..5 {
+                    programs.push(Box::new(Idle));
+                }
+                let report = Simulation::new(5, &lam).run(programs).unwrap();
+                report
+                    .trace
+                    .transfers()
+                    .iter()
+                    .map(|t| (t.dst, t.recv_finish))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-sends")]
+    fn self_send_panics() {
+        let lam = Uniform(Latency::TELEPHONE);
+        let _ = Simulation::new(2, &lam).run(spray_programs(2, vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_send_panics() {
+        let lam = Uniform(Latency::TELEPHONE);
+        let _ = Simulation::new(2, &lam).run(spray_programs(2, vec![7]));
+    }
+}

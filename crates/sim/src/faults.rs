@@ -1,0 +1,85 @@
+//! Fault injection: message loss and processor crashes.
+//!
+//! The postal model (and the paper) assume a reliable network and live
+//! processors. [`FaultPlan`] lets tests and experiments break those
+//! assumptions deterministically, to observe *how* the algorithms fail —
+//! e.g. a single dropped message early in a BCAST cascade silences an
+//! entire delegated sub-range, while the same drop near the leaves loses
+//! one processor. This is diagnosis tooling: none of the paper's
+//! algorithms are fault-tolerant, and the tests document exactly that.
+//!
+//! Faults are applied at the engine level:
+//!
+//! * a message whose global send sequence number is in `drop_sends`
+//!   vanishes in flight (the sender still spends its send unit);
+//! * a processor listed in `crashes` stops participating at its crash
+//!   time: messages it would receive after that are discarded, and its
+//!   callbacks no longer run (sends already in flight are unaffected).
+
+use crate::ids::ProcId;
+use postal_model::Time;
+use std::collections::HashSet;
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Global send sequence numbers to drop in flight.
+    pub drop_sends: HashSet<u64>,
+    /// `(processor, crash_time)`: the processor processes no event whose
+    /// time is ≥ `crash_time`.
+    pub crashes: Vec<(ProcId, Time)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Drops the `seq`-th send (global issue order).
+    pub fn dropping(mut self, seq: u64) -> FaultPlan {
+        self.drop_sends.insert(seq);
+        self
+    }
+
+    /// Crashes `proc` at `at`.
+    pub fn crashing(mut self, proc: ProcId, at: Time) -> FaultPlan {
+        self.crashes.push((proc, at));
+        self
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_empty(&self) -> bool {
+        self.drop_sends.is_empty() && self.crashes.is_empty()
+    }
+
+    /// True if `proc` has crashed by time `t`.
+    pub fn crashed(&self, proc: ProcId, t: Time) -> bool {
+        self.crashes.iter().any(|&(p, at)| p == proc && t >= at)
+    }
+
+    /// True if this send sequence number is scheduled to be lost.
+    pub fn drops(&self, seq: u64) -> bool {
+        self.drop_sends.contains(&seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let plan = FaultPlan::none()
+            .dropping(3)
+            .crashing(ProcId(2), Time::from_int(5));
+        assert!(!plan.is_empty());
+        assert!(plan.drops(3));
+        assert!(!plan.drops(4));
+        assert!(!plan.crashed(ProcId(2), Time::from_int(4)));
+        assert!(plan.crashed(ProcId(2), Time::from_int(5)));
+        assert!(plan.crashed(ProcId(2), Time::from_int(9)));
+        assert!(!plan.crashed(ProcId(1), Time::from_int(9)));
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! ASCII Gantt charts of simulation traces.
+//!
+//! Renders each processor's port activity on a shared time axis:
+//! `S` = output port busy sending, `R` = input port busy receiving,
+//! `B` = both at once (the model's *simultaneous I/O*), `·` = idle.
+//! Used by the examples and the `postal-cli` tool to make schedules
+//! visible — the paper's Figure 1 as a timeline instead of a tree.
+
+use crate::ids::ProcId;
+use crate::trace::Trace;
+use postal_model::{Ratio, Time};
+use std::fmt::Write as _;
+
+/// Renders a trace as an ASCII Gantt chart with `cells_per_unit` columns
+/// per time unit.
+///
+/// ```
+/// use postal_sim::gantt::render_gantt;
+/// use postal_sim::Trace;
+///
+/// let trace: Trace<()> = Trace::new();
+/// let art = render_gantt(&trace, 2, 1);
+/// assert!(art.contains("p0"));
+/// assert!(art.contains("p1"));
+/// ```
+///
+/// # Panics
+/// Panics if `cells_per_unit == 0` or `n == 0`.
+pub fn render_gantt<P>(trace: &Trace<P>, n: usize, cells_per_unit: u32) -> String {
+    assert!(cells_per_unit >= 1, "resolution must be at least 1 cell");
+    assert!(n >= 1, "at least one processor required");
+    let horizon = trace.completion_time();
+    let cells_total = (horizon.as_ratio() * Ratio::from_int(cells_per_unit as i128))
+        .ceil()
+        .max(1) as usize;
+
+    // 0 = idle, 1 = send, 2 = recv, 3 = both.
+    let mut grid = vec![vec![0u8; cells_total]; n];
+    let mut mark = |proc: ProcId, from: Time, to: Time, bit: u8| {
+        let a = (from.as_ratio() * Ratio::from_int(cells_per_unit as i128))
+            .floor()
+            .max(0) as usize;
+        let b = (to.as_ratio() * Ratio::from_int(cells_per_unit as i128))
+            .ceil()
+            .max(0) as usize;
+        for cell in grid[proc.index()][a.min(cells_total)..b.min(cells_total)].iter_mut() {
+            *cell |= bit;
+        }
+    };
+    for t in trace.transfers() {
+        mark(t.src, t.send_start, t.send_finish, 1);
+        mark(t.dst, t.recv_start, t.recv_finish, 2);
+    }
+
+    let mut out = String::new();
+    // Axis: a tick every unit.
+    let label_width = format!("p{}", n - 1).len().max(3);
+    let _ = write!(out, "{:>label_width$} ", "t");
+    for c in 0..cells_total {
+        let ch = if c % cells_per_unit as usize == 0 {
+            '|'
+        } else {
+            ' '
+        };
+        out.push(ch);
+    }
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let _ = write!(out, "{:>label_width$} ", format!("p{i}"));
+        for &cell in row {
+            out.push(match cell {
+                0 => '·',
+                1 => 'S',
+                2 => 'R',
+                _ => 'B',
+            });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{:>label_width$} (1 unit = {} cells; completion t = {})",
+        "", cells_per_unit, horizon
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SendSeq;
+    use crate::trace::Transfer;
+
+    fn transfer(src: u32, dst: u32, start: i128, lam_num: i128, lam_den: i128) -> Transfer<()> {
+        let send_start = Time::from_int(start);
+        let lam = Time::new(lam_num, lam_den);
+        Transfer {
+            seq: SendSeq(0),
+            src: ProcId(src),
+            dst: ProcId(dst),
+            send_start,
+            send_finish: send_start + Time::ONE,
+            arrival: send_start + lam - Time::ONE,
+            recv_start: send_start + lam - Time::ONE,
+            recv_finish: send_start + lam,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn renders_send_and_receive_marks() {
+        let mut trace = Trace::new();
+        trace.push(transfer(0, 1, 0, 2, 1));
+        let art = render_gantt(&trace, 2, 2);
+        let lines: Vec<&str> = art.lines().collect();
+        // p0 sends during [0,1): first two cells S.
+        assert!(lines[1].contains("S"));
+        // p1 receives during [1,2): cells 2..4 R.
+        assert!(lines[2].contains("R"));
+        assert!(art.contains("completion t = 2"));
+    }
+
+    #[test]
+    fn simultaneous_io_marked_as_both() {
+        let mut trace = Trace::new();
+        // p1 receives during [1, 2) and sends during [1, 2): B cells.
+        trace.push(transfer(0, 1, 0, 2, 1));
+        trace.push(transfer(1, 0, 1, 2, 1));
+        let art = render_gantt(&trace, 2, 2);
+        assert!(art.contains('B'), "expected overlap marker in:\n{art}");
+    }
+
+    #[test]
+    fn empty_trace_renders_minimal_grid() {
+        let trace: Trace<()> = Trace::new();
+        let art = render_gantt(&trace, 3, 1);
+        assert_eq!(art.lines().count(), 5); // axis + 3 procs + footer
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        let trace: Trace<()> = Trace::new();
+        let _ = render_gantt(&trace, 1, 0);
+    }
+}

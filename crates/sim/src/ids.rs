@@ -1,0 +1,80 @@
+//! Identifier newtypes for processors and messages.
+
+use std::fmt;
+
+/// A processor identifier `p_i` in MPS(n, λ): a dense index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The broadcast originator `p_0`.
+    pub const ROOT: ProcId = ProcId(0);
+
+    /// The index as `usize`, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for ProcId {
+    fn from(v: u32) -> ProcId {
+        ProcId(v)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(v: usize) -> ProcId {
+        ProcId(u32::try_from(v).expect("processor index exceeds u32"))
+    }
+}
+
+/// A globally unique, monotonically increasing send sequence number.
+///
+/// Assigned by the engine in the order sends are *issued*; used as the
+/// deterministic tie-breaker for simultaneous events and as a stable
+/// message identity in traces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SendSeq(pub u64);
+
+impl fmt::Debug for SendSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_conversions() {
+        assert_eq!(ProcId::from(3u32).index(), 3);
+        assert_eq!(ProcId::from(7usize), ProcId(7));
+        assert_eq!(ProcId::ROOT, ProcId(0));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{:?}", ProcId(5)), "p5");
+        assert_eq!(format!("{}", ProcId(5)), "p5");
+        assert_eq!(format!("{:?}", SendSeq(9)), "#9");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(SendSeq(1) < SendSeq(2));
+    }
+}

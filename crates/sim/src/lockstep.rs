@@ -1,0 +1,389 @@
+//! A lockstep (time-stepped) MPS(n, λ) engine.
+//!
+//! This is a second, structurally independent implementation of the
+//! postal model: instead of an event queue it advances the clock one
+//! lattice tick at a time, processing deliveries, then wake-ups, then
+//! issuing sends. Its purpose is *cross-validation* — for any program
+//! set whose wake-ups stay on the tick lattice (every paper algorithm),
+//! [`run_lockstep`] must produce a transfer-for-transfer identical trace
+//! to [`crate::engine::Simulation`]; the `tests/` suites assert exactly
+//! that. Two engines agreeing by accident is far less likely than two
+//! engines agreeing because both implement the model.
+//!
+//! Restrictions compared to the event engine: uniform latency only, and
+//! strict port mode only (the paper's setting).
+
+use crate::engine::{ProcStats, RunReport, SimError, Violation};
+use crate::ids::{ProcId, SendSeq};
+use crate::program::{Context, Program};
+use crate::trace::{Trace, Transfer};
+use postal_model::{Latency, Ratio, Time};
+use std::collections::VecDeque;
+
+/// One pending delivery in tick units.
+struct Pending<P> {
+    seq: u64,
+    src: ProcId,
+    dst: ProcId,
+    send_tick: i128,
+    recv_finish_tick: i128,
+    payload: P,
+}
+
+struct TickCtx<P> {
+    me: ProcId,
+    n: usize,
+    now_tick: i128,
+    q: i128,
+    outbox: Vec<(ProcId, P)>,
+    wakes: Vec<i128>,
+}
+
+impl<P> Context<P> for TickCtx<P> {
+    fn me(&self) -> ProcId {
+        self.me
+    }
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn now(&self) -> Time {
+        Time(Ratio::new(self.now_tick, self.q))
+    }
+    fn send(&mut self, dst: ProcId, payload: P) {
+        assert!(dst.index() < self.n, "send out of range");
+        assert!(dst != self.me, "the postal model has no self-sends");
+        self.outbox.push((dst, payload));
+    }
+    fn wake_at(&mut self, t: Time) {
+        let ticks = t.as_ratio() * Ratio::from_int(self.q);
+        assert!(
+            ticks.is_integer(),
+            "lockstep engine requires lattice wake times (got {t})"
+        );
+        self.wakes.push(ticks.numer().max(self.now_tick));
+    }
+}
+
+/// Runs `programs` under uniform latency λ with the lockstep engine
+/// (strict port mode).
+///
+/// ```
+/// use postal_sim::lockstep::run_lockstep;
+/// use postal_sim::{Context, Idle, ProcId, Program};
+/// use postal_model::{Latency, Time};
+///
+/// struct Hello;
+/// impl Program<()> for Hello {
+///     fn on_start(&mut self, ctx: &mut dyn Context<()>) {
+///         ctx.send(ProcId(1), ());
+///     }
+///     fn on_receive(&mut self, _: &mut dyn Context<()>, _: ProcId, _: ()) {}
+/// }
+/// let programs: Vec<Box<dyn Program<()>>> = vec![Box::new(Hello), Box::new(Idle)];
+/// let report = run_lockstep(2, Latency::from_ratio(5, 2), programs, 1000).unwrap();
+/// assert_eq!(report.completion, Time::new(5, 2));
+/// ```
+///
+/// # Errors
+/// [`SimError::EventLimitExceeded`] if `max_ticks` passes without
+/// quiescence; [`SimError::WrongProgramCount`] on a length mismatch.
+///
+/// # Panics
+/// Panics if a program requests an off-lattice wake-up.
+pub fn run_lockstep<P: Clone>(
+    n: usize,
+    latency: Latency,
+    mut programs: Vec<Box<dyn Program<P>>>,
+    max_ticks: u64,
+) -> Result<RunReport<P>, SimError> {
+    if programs.len() != n {
+        return Err(SimError::WrongProgramCount {
+            expected: n,
+            got: programs.len(),
+        });
+    }
+    let q = latency.ticks_per_unit();
+    let p = latency.lambda_ticks();
+
+    let mut out_free = vec![0i128; n];
+    let mut in_free = vec![0i128; n];
+    let mut pending: VecDeque<Pending<P>> = VecDeque::new();
+    let mut wakes: Vec<(i128, u64, ProcId)> = Vec::new(); // (tick, order, proc)
+    let mut next_seq = 0u64;
+    let mut next_wake_order = 0u64;
+    let mut trace = Trace::new();
+    let mut violations = Vec::new();
+    let mut proc_stats = vec![ProcStats::default(); n];
+    let mut events = 0u64;
+
+    // A local helper to flush a context's effects.
+    #[allow(clippy::too_many_arguments)]
+    fn flush<P>(
+        ctx: TickCtx<P>,
+        out_free: &mut [i128],
+        in_free: &mut [i128],
+        pending: &mut VecDeque<Pending<P>>,
+        wakes: &mut Vec<(i128, u64, ProcId)>,
+        next_seq: &mut u64,
+        next_wake_order: &mut u64,
+        violations: &mut Vec<Violation>,
+        proc_stats: &mut [ProcStats],
+        q: i128,
+        p: i128,
+    ) {
+        let me = ctx.me.index();
+        let now = ctx.now_tick;
+        for (dst, payload) in ctx.outbox {
+            let send_tick = now.max(out_free[me]);
+            out_free[me] = send_tick + q;
+            proc_stats[me].sends += 1;
+            let recv_finish_tick = send_tick + p;
+            // Strict-mode receive window accounting at reservation time:
+            // window is (recv_finish − q, recv_finish].
+            let arrival_tick = recv_finish_tick - q;
+            if in_free[dst.index()] > arrival_tick {
+                violations.push(Violation {
+                    seq: SendSeq(*next_seq),
+                    dst,
+                    arrival: Time(Ratio::new(arrival_tick, q)),
+                    port_busy_until: Time(Ratio::new(in_free[dst.index()], q)),
+                });
+            }
+            in_free[dst.index()] = in_free[dst.index()].max(recv_finish_tick);
+            pending.push_back(Pending {
+                seq: *next_seq,
+                src: ctx.me,
+                dst,
+                send_tick,
+                recv_finish_tick,
+                payload,
+            });
+            *next_seq += 1;
+        }
+        for w in ctx.wakes {
+            wakes.push((w, *next_wake_order, ctx.me));
+            *next_wake_order += 1;
+        }
+    }
+
+    // Tick 0: on_start in index order.
+    for (i, program) in programs.iter_mut().enumerate() {
+        let mut ctx = TickCtx {
+            me: ProcId::from(i),
+            n,
+            now_tick: 0,
+            q,
+            outbox: Vec::new(),
+            wakes: Vec::new(),
+        };
+        program.on_start(&mut ctx);
+        flush(
+            ctx,
+            &mut out_free,
+            &mut in_free,
+            &mut pending,
+            &mut wakes,
+            &mut next_seq,
+            &mut next_wake_order,
+            &mut violations,
+            &mut proc_stats,
+            q,
+            p,
+        );
+    }
+
+    // Start at tick 0 so wake-ups requested during on_start for time 0
+    // fire at time 0, exactly as in the event engine.
+    let mut tick = -1i128;
+    while !pending.is_empty() || !wakes.is_empty() {
+        events += 1;
+        if events > max_ticks {
+            return Err(SimError::EventLimitExceeded { limit: max_ticks });
+        }
+        tick += 1;
+
+        // 1. Deliveries landing at this tick, in issue (seq) order.
+        let mut due: Vec<Pending<P>> = Vec::new();
+        let mut keep: VecDeque<Pending<P>> = VecDeque::with_capacity(pending.len());
+        for item in pending.drain(..) {
+            if item.recv_finish_tick <= tick {
+                due.push(item);
+            } else {
+                keep.push_back(item);
+            }
+        }
+        pending = keep;
+        due.sort_by_key(|d| (d.recv_finish_tick, d.seq));
+        for d in due {
+            proc_stats[d.dst.index()].recvs += 1;
+            let send_start = Time(Ratio::new(d.send_tick, q));
+            let recv_finish = Time(Ratio::new(d.recv_finish_tick, q));
+            trace.push(Transfer {
+                seq: SendSeq(d.seq),
+                src: d.src,
+                dst: d.dst,
+                send_start,
+                send_finish: send_start + Time::ONE,
+                arrival: recv_finish - Time::ONE,
+                recv_start: recv_finish - Time::ONE,
+                recv_finish,
+                payload: d.payload.clone(),
+            });
+            let mut ctx = TickCtx {
+                me: d.dst,
+                n,
+                now_tick: d.recv_finish_tick,
+                q,
+                outbox: Vec::new(),
+                wakes: Vec::new(),
+            };
+            programs[d.dst.index()].on_receive(&mut ctx, d.src, d.payload);
+            flush(
+                ctx,
+                &mut out_free,
+                &mut in_free,
+                &mut pending,
+                &mut wakes,
+                &mut next_seq,
+                &mut next_wake_order,
+                &mut violations,
+                &mut proc_stats,
+                q,
+                p,
+            );
+        }
+
+        // 2. Wake-ups due at this tick, in request order; a wake handler
+        // may schedule another wake for the same tick, so drain to a
+        // fixed point (mirroring the event engine's same-time ordering).
+        loop {
+            let mut due_wakes: Vec<(i128, u64, ProcId)> = wakes
+                .iter()
+                .copied()
+                .filter(|&(w, _, _)| w <= tick)
+                .collect();
+            if due_wakes.is_empty() {
+                break;
+            }
+            wakes.retain(|&(w, _, _)| w > tick);
+            due_wakes.sort_by_key(|&(w, order, _)| (w, order));
+            for (_, _, who) in due_wakes {
+                let mut ctx = TickCtx {
+                    me: who,
+                    n,
+                    now_tick: tick,
+                    q,
+                    outbox: Vec::new(),
+                    wakes: Vec::new(),
+                };
+                programs[who.index()].on_wake(&mut ctx);
+                flush(
+                    ctx,
+                    &mut out_free,
+                    &mut in_free,
+                    &mut pending,
+                    &mut wakes,
+                    &mut next_seq,
+                    &mut next_wake_order,
+                    &mut violations,
+                    &mut proc_stats,
+                    q,
+                    p,
+                );
+            }
+        }
+    }
+
+    Ok(RunReport {
+        completion: trace.completion_time(),
+        trace,
+        violations,
+        proc_stats,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency_model::Uniform;
+    use crate::program::Idle;
+
+    struct Spray(Vec<u32>);
+    impl Program<u8> for Spray {
+        fn on_start(&mut self, ctx: &mut dyn Context<u8>) {
+            for &d in &self.0 {
+                ctx.send(ProcId(d), 0);
+            }
+        }
+        fn on_receive(&mut self, _: &mut dyn Context<u8>, _: ProcId, _: u8) {}
+    }
+
+    fn spray(n: usize, dests: Vec<u32>) -> Vec<Box<dyn Program<u8>>> {
+        let mut v: Vec<Box<dyn Program<u8>>> = vec![Box::new(Spray(dests))];
+        for _ in 1..n {
+            v.push(Box::new(Idle));
+        }
+        v
+    }
+
+    #[test]
+    fn matches_event_engine_on_simple_workload() {
+        let lam = Latency::from_ratio(5, 2);
+        let lock = run_lockstep(4, lam, spray(4, vec![1, 2, 3]), 10_000).unwrap();
+        let model = Uniform(lam);
+        let event = crate::engine::Simulation::new(4, &model)
+            .run(spray(4, vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(lock.completion, event.completion);
+        assert_eq!(lock.messages(), event.messages());
+        let key = |t: &Transfer<u8>| (t.src, t.dst, t.send_start, t.recv_finish);
+        let mut a: Vec<_> = lock.trace.transfers().iter().map(key).collect();
+        let mut b: Vec<_> = event.trace.transfers().iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detects_violations_like_event_engine() {
+        let lam = Latency::from_int(2);
+        let mut programs: Vec<Box<dyn Program<u8>>> = vec![
+            Box::new(Spray(vec![2])),
+            Box::new(Spray(vec![2])),
+            Box::new(Idle),
+        ];
+        // Both sends at t=0 hit p2's window.
+        let report = run_lockstep(3, lam, std::mem::take(&mut programs), 1000).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].dst, ProcId(2));
+    }
+
+    #[test]
+    fn wrong_program_count() {
+        let err = run_lockstep(3, Latency::TELEPHONE, spray(2, vec![1]), 100).unwrap_err();
+        assert!(matches!(err, SimError::WrongProgramCount { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice wake")]
+    fn off_lattice_wake_panics() {
+        struct BadWake;
+        impl Program<u8> for BadWake {
+            fn on_start(&mut self, ctx: &mut dyn Context<u8>) {
+                ctx.wake_at(Time::new(1, 3)); // 1/3 unit with q = 1
+            }
+            fn on_receive(&mut self, _: &mut dyn Context<u8>, _: ProcId, _: u8) {}
+        }
+        let programs: Vec<Box<dyn Program<u8>>> = vec![Box::new(BadWake)];
+        let _ = run_lockstep(1, Latency::TELEPHONE, programs, 100);
+    }
+
+    #[test]
+    fn quiescent_system_terminates_immediately() {
+        let programs: Vec<Box<dyn Program<u8>>> = vec![Box::new(Idle), Box::new(Idle)];
+        let report = run_lockstep(2, Latency::from_int(2), programs, 100).unwrap();
+        assert_eq!(report.messages(), 0);
+        assert_eq!(report.completion, Time::ZERO);
+    }
+}

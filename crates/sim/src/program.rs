@@ -1,0 +1,127 @@
+//! Event-driven processor programs.
+//!
+//! The paper stresses that all its algorithms are "practical event-driven
+//! algorithms": a processor acts only when it starts (time 0) or when a
+//! message arrives. [`Program`] captures exactly that interface, and is the
+//! contract shared between the discrete-event engine in this crate and the
+//! threaded executor in `postal-runtime` — an algorithm is written once and
+//! runs on both substrates.
+
+use crate::ids::ProcId;
+use postal_model::Time;
+
+/// The execution context handed to a program on every callback.
+///
+/// `send` is *send-and-forget*: it enqueues an atomic message for
+/// transmission through the processor's single output port. If the program
+/// issues several sends from one callback (or across callbacks faster than
+/// one per time unit), they are serialized by the port at one unit each, in
+/// issue order — exactly the postal-model constraint that a processor sends
+/// at most one message per unit of time.
+pub trait Context<P> {
+    /// This processor's identifier.
+    fn me(&self) -> ProcId;
+
+    /// Total number of processors in the system.
+    fn n(&self) -> usize;
+
+    /// Current model time (the finish time of the event being handled).
+    ///
+    /// On the threaded runtime this is the elapsed wall-clock time
+    /// converted to model units, so it is approximate there; event-driven
+    /// algorithms must not make control-flow decisions on it.
+    fn now(&self) -> Time;
+
+    /// Enqueues one atomic message to `dst`.
+    ///
+    /// # Panics
+    /// Implementations panic if `dst` is out of range or equals `me()`
+    /// (the postal model has no self-sends).
+    fn send(&mut self, dst: ProcId, payload: P);
+
+    /// Requests a [`Program::on_wake`] callback at model time `t`
+    /// (clamped to now if `t` is in the past).
+    ///
+    /// Wake-ups are a scheduling convenience, not a communication
+    /// primitive: they let a program act at a precomputed time (e.g. the
+    /// reversed-tree send slots of the combining algorithm) without
+    /// receiving a message. The basic paper algorithms never need them.
+    fn wake_at(&mut self, t: Time);
+}
+
+/// An event-driven processor program.
+///
+/// One instance exists per processor. The engine calls [`Program::on_start`]
+/// once at time 0 and [`Program::on_receive`] at the moment each incoming
+/// message has been fully received (i.e. at the end of the receive unit).
+pub trait Program<P> {
+    /// Called once at time 0, before any message flows.
+    fn on_start(&mut self, ctx: &mut dyn Context<P>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` has been fully received.
+    fn on_receive(&mut self, ctx: &mut dyn Context<P>, from: ProcId, payload: P);
+
+    /// Called at a time previously requested via [`Context::wake_at`].
+    fn on_wake(&mut self, ctx: &mut dyn Context<P>) {
+        let _ = ctx;
+    }
+}
+
+/// A program that does nothing; useful as a filler for processors that
+/// only ever receive (or in tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Idle;
+
+impl<P> Program<P> for Idle {
+    fn on_receive(&mut self, _ctx: &mut dyn Context<P>, _from: ProcId, _payload: P) {}
+}
+
+/// Builds one boxed program per processor from a closure.
+pub fn programs_from<P, F>(n: usize, mut f: F) -> Vec<Box<dyn Program<P>>>
+where
+    F: FnMut(ProcId) -> Box<dyn Program<P>>,
+{
+    (0..n).map(|i| f(ProcId::from(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingCtx {
+        sent: Vec<(ProcId, u32)>,
+    }
+
+    impl Context<u32> for CountingCtx {
+        fn me(&self) -> ProcId {
+            ProcId(0)
+        }
+        fn n(&self) -> usize {
+            4
+        }
+        fn now(&self) -> Time {
+            Time::ZERO
+        }
+        fn send(&mut self, dst: ProcId, payload: u32) {
+            self.sent.push((dst, payload));
+        }
+        fn wake_at(&mut self, _t: Time) {}
+    }
+
+    #[test]
+    fn idle_ignores_everything() {
+        let mut ctx = CountingCtx { sent: vec![] };
+        let mut p = Idle;
+        Program::<u32>::on_start(&mut p, &mut ctx);
+        p.on_receive(&mut ctx, ProcId(1), 42);
+        assert!(ctx.sent.is_empty());
+    }
+
+    #[test]
+    fn programs_from_assigns_ids_in_order() {
+        let programs: Vec<Box<dyn Program<u32>>> = programs_from(3, |_id| Box::new(Idle));
+        assert_eq!(programs.len(), 3);
+    }
+}

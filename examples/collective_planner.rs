@@ -1,0 +1,92 @@
+//! Collective-communication planner: pick the right broadcast algorithm
+//! for your machine.
+//!
+//! The paper's motivation is machines like the CM-5, J-machine and
+//! Vulcan, where the network looks fully connected and the latency ratio
+//! λ is a measurable machine constant. This example plays the role of an
+//! MPI library's collective tuner: given (n, λ) and a message count m, it
+//! evaluates every algorithm's exact model time and recommends one —
+//! the same decision MPI implementations make when switching between
+//! binomial, pipelined, and scatter-allgather broadcasts.
+//!
+//! Run with: `cargo run --example collective_planner [n] [m] [lambda]`
+//! e.g. `cargo run --example collective_planner 512 16 5/2`
+
+use postal::model::{runtimes, Latency, Time};
+
+struct Candidate {
+    name: &'static str,
+    time: Time,
+    note: &'static str,
+}
+
+fn plan(n: u128, m: u64, lambda: Latency) -> Vec<Candidate> {
+    let d = runtimes::latency_matched_degree(n, lambda);
+    let mut v = vec![
+        Candidate {
+            name: "REPEAT",
+            time: runtimes::repeat_time(n, m, lambda),
+            note: "m overlapped optimal single-message broadcasts (Lemma 10)",
+        },
+        Candidate {
+            name: "PACK",
+            time: runtimes::pack_time(n, m, lambda),
+            note: "one broadcast of the packed message (Lemma 12)",
+        },
+        Candidate {
+            name: "PIPELINE",
+            time: runtimes::pipeline_time(n, m, lambda),
+            note: "streamed broadcast, regime chosen by m vs λ (Lemmas 14/16)",
+        },
+        Candidate {
+            name: "LINE",
+            time: runtimes::line_time(n, m, lambda),
+            note: "degree-1 chain; asymptotically best as m → ∞",
+        },
+        Candidate {
+            name: "STAR",
+            time: runtimes::star_time(n, m, lambda),
+            note: "root sends everything directly; best as λ → ∞",
+        },
+        Candidate {
+            name: "DTREE(⌈λ⌉+1)",
+            time: runtimes::dtree_time_bound(n, m, lambda, d),
+            note: "latency-matched fixed-degree tree (Lemma 18 bound)",
+        },
+    ];
+    v.sort_by_key(|c| c.time);
+    v
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u128 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let m: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let lambda: Latency = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| Latency::from_ratio(5, 2));
+
+    println!("Broadcast plan for n = {n} processors, m = {m} messages, λ = {lambda}");
+    println!(
+        "Lower bound (Lemma 8): (m−1) + f_λ(n) = {} units\n",
+        runtimes::multi_lower_bound(n, m, lambda)
+    );
+
+    let plans = plan(n, m, lambda);
+    for (rank, c) in plans.iter().enumerate() {
+        let marker = if rank == 0 { "→" } else { " " };
+        println!(
+            "{marker} {:<14} {:>14} units   {}",
+            c.name,
+            c.time.to_string(),
+            c.note
+        );
+    }
+    let lb = runtimes::multi_lower_bound(n, m, lambda);
+    println!(
+        "\nRecommended: {} ({:.2}× the lower bound)",
+        plans[0].name,
+        plans[0].time.to_f64() / lb.to_f64().max(1e-9)
+    );
+}

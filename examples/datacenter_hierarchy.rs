@@ -1,0 +1,65 @@
+//! Rack-aware broadcast in a two-level datacenter.
+//!
+//! Section 5 of the paper proposes latency hierarchies as future work:
+//! this example models a datacenter of racks (fast intra-rack latency,
+//! slow inter-rack latency) and compares a flat latency-blind broadcast
+//! against the two-phase rack-aware algorithm, plus the other collectives
+//! (combine / gossip / scatter) a datacenter job actually uses.
+//!
+//! Run with: `cargo run --example datacenter_hierarchy`
+
+use postal::algos::ext::{combine, gossip, hier, scatter};
+use postal::model::Latency;
+
+fn main() {
+    // 8 racks × 8 machines; intra-rack λ = 1, inter-rack λ = 8.
+    let (n, rack) = (64usize, 8usize);
+    let local = Latency::TELEPHONE;
+    let remote = Latency::from_int(8);
+
+    println!(
+        "Datacenter: {} machines in {} racks (λ_local = {local}, λ_remote = {remote})\n",
+        n,
+        n / rack
+    );
+
+    let flat = hier::run_flat_under_hierarchy(n, rack, local, remote);
+    let aware = hier::run_hierarchical(n, rack, local, remote);
+    assert!(hier::delivered_everywhere(&flat, n));
+    assert!(hier::delivered_everywhere(&aware, n));
+    println!("Broadcast one message to all machines:");
+    println!(
+        "  flat tree (assumes λ_remote everywhere): {} units",
+        flat.completion
+    );
+    println!(
+        "  rack-aware two-phase broadcast:          {} units",
+        aware.completion
+    );
+    println!(
+        "  speedup: {:.2}×\n",
+        flat.completion.to_f64() / aware.completion.to_f64()
+    );
+
+    // The other collectives, at the inter-rack latency.
+    let values: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+
+    let c = combine::run_combine(&values, remote);
+    println!(
+        "Combine (sum-reduce {} values to the root): total = {}, done at t = {} (optimal: reversed Fibonacci tree)",
+        n, c.root_total, c.report.completion
+    );
+
+    let g = gossip::run_gossip(&values, remote);
+    assert!(g.complete(&values));
+    println!(
+        "Gossip (everyone learns everything):        done at t = {} (gather + pipelined broadcast)",
+        g.report.completion
+    );
+
+    let s = scatter::run_scatter(&values, remote);
+    println!(
+        "Scatter (personalized data to each node):   done at t = {} (direct star — provably optimal)",
+        s.completion
+    );
+}

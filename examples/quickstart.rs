@@ -1,0 +1,39 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the optimal broadcast tree for 14 processors at latency
+//! λ = 5/2 (the paper's Figure 1), verifies Theorem 6 by simulation, and
+//! prints the tree.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use postal::algos::{run_bcast, BroadcastTree};
+use postal::model::{runtimes, Latency, Time};
+
+fn main() {
+    // λ is exact: 5/2, not 2.5000000000000004.
+    let lambda = Latency::from_ratio(5, 2);
+    let n = 14;
+
+    // 1. The closed form: Theorem 6 says broadcasting to n processors
+    //    takes exactly f_λ(n) time, and nothing can do better.
+    let optimal = runtimes::bcast_time(n as u128, lambda);
+    println!("Optimal broadcast time for MPS({n}, {lambda}): {optimal} units");
+    assert_eq!(optimal, Time::new(15, 2));
+
+    // 2. The broadcast tree (the paper's Figure 1).
+    let tree = BroadcastTree::build(n as u64, lambda);
+    println!("\nGeneralized Fibonacci broadcast tree:\n{}", tree.render());
+
+    // 3. The event-driven algorithm, executed on the discrete-event
+    //    simulator. Completion matches the closed form *exactly*, and the
+    //    run respects the postal model's port semantics (no overlapping
+    //    receives).
+    let report = run_bcast(n, lambda);
+    report.assert_model_clean();
+    assert_eq!(report.completion, optimal);
+    println!(
+        "Simulated: {} messages, completion at t = {} — matches f_λ({n}) exactly.",
+        report.messages(),
+        report.completion
+    );
+}

@@ -1,0 +1,57 @@
+//! Scale tests: the implementation must stay exact and fast well beyond
+//! paper-sized examples.
+
+use postal::algos::{flood_schedule, run_bcast, BroadcastTree, ToSchedule};
+use postal::model::{runtimes, GenFib, Latency};
+
+#[test]
+fn bcast_simulation_at_fifty_thousand_processors() {
+    let lam = Latency::from_ratio(5, 2);
+    let n = 50_000usize;
+    let report = run_bcast(n, lam);
+    report.assert_model_clean();
+    assert_eq!(report.completion, runtimes::bcast_time(n as u128, lam));
+    assert_eq!(report.messages(), n - 1);
+}
+
+#[test]
+fn tree_and_flood_at_scale() {
+    let lam = Latency::from_int(3);
+    let n = 100_000u64;
+    let tree = BroadcastTree::build(n, lam);
+    assert_eq!(tree.root.size(), n as usize);
+    let schedule = tree.to_schedule();
+    schedule.validate_broadcast().expect("tree schedule valid");
+    let flood = flood_schedule(n, lam);
+    assert_eq!(flood.completion(), tree.completion());
+    assert!(flood.informed_curve_matches(n));
+}
+
+#[test]
+fn index_function_at_astronomical_n() {
+    // u128-scale processor counts evaluate instantly and stay inside the
+    // Theorem 7 sandwich.
+    for lam in [
+        Latency::TELEPHONE,
+        Latency::from_ratio(5, 2),
+        Latency::from_int(50),
+    ] {
+        let g = GenFib::new(lam);
+        let n = u128::MAX;
+        let f = g.index(n).to_f64();
+        assert!(postal::model::bounds::index_lower_bound(n, lam) <= f + 1e-6);
+        assert!(f <= postal::model::bounds::index_upper_bound(n, lam) + 1e-6);
+    }
+}
+
+#[test]
+fn pipeline_with_many_messages() {
+    let lam = Latency::from_int(2);
+    let (n, m) = (64usize, 256u32);
+    let r = postal::algos::run_pipeline(n, m, lam);
+    r.verify().unwrap();
+    assert_eq!(
+        r.completion(),
+        runtimes::pipeline_time(n as u128, m as u64, lam)
+    );
+}
