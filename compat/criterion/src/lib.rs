@@ -1,0 +1,219 @@
+//! A dependency-free subset of the `criterion` benchmarking API.
+//!
+//! This workspace builds in hermetic environments with no access to
+//! crates.io, so the real `criterion` cannot be fetched. This crate
+//! keeps the workspace's `[[bench]]` targets compiling and running: it
+//! implements the group/`bench_with_input`/`iter` surface with a simple
+//! calibrated wall-clock loop and plain-text reporting (median of a
+//! fixed number of samples — no outlier analysis, plots, or baselines).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 15;
+/// Target wall time per sample during calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+    }
+
+    /// Benchmarks `f`, labeled by `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), f);
+    }
+
+    /// Ends the group (reporting is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label (stand-in for `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` label.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark measurement handle.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Calibrated iterations per sample.
+    iters: u64,
+    /// Collected per-iteration sample durations (seconds).
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, running it enough times for stable wall-clock
+    /// sampling. The closure's return value is dropped (passing it
+    /// through `std::hint::black_box` first defeats dead-code
+    /// elimination, as with real criterion).
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Calibrate: grow the batch until one batch takes TARGET_SAMPLE.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64
+            };
+            iters = iters.saturating_mul(grow.clamp(2, 16)).max(iters + 1);
+        }
+        self.iters = iters;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn run_one<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 0,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label}: no measurement (iter never called)");
+        return;
+    }
+    b.samples.sort_by(|a, b| a.total_cmp(b));
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "  {label}: {} [{} .. {}] ({} iters/sample)",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi),
+        b.iters
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Builds a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Builds the `main` for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(3u32), &3u32, |b, &k| {
+            b.iter(|| (0..k).sum::<u32>());
+        });
+        group.bench_function("direct", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("a", 7).label, "a/7");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

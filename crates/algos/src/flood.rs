@@ -170,10 +170,10 @@ mod tests {
             let lam = Latency::from_ratio(pp, qq);
             for n in [1u64, 2, 14, 64] {
                 let flood = flood_schedule(n, lam);
-                flood
-                    .schedule
-                    .validate_broadcast()
-                    .unwrap_or_else(|e| panic!("λ={lam} n={n}: {e:?}"));
+                postal_verify::assert_broadcast_clean(
+                    &flood.schedule,
+                    &format!("flood λ={lam} n={n}"),
+                );
                 assert_eq!(flood.schedule.len(), n as usize - 1);
             }
         }

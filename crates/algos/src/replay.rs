@@ -114,9 +114,7 @@ mod tests {
         ] {
             for n in [1u64, 2, 5, 14, 60, 200] {
                 let schedule = BroadcastTree::build(n, lam).to_schedule();
-                schedule
-                    .validate_broadcast()
-                    .unwrap_or_else(|e| panic!("λ={lam} n={n}: invalid schedule: {e:?}"));
+                postal_verify::assert_broadcast_clean(&schedule, &format!("tree λ={lam} n={n}"));
                 assert_eq!(
                     schedule.completion(),
                     if n == 1 {
@@ -178,7 +176,9 @@ mod tests {
                 },
             ],
         );
-        assert!(bad.validate_ports().is_err());
+        use postal_verify::{lint_schedule, LintCode, LintOptions};
+        let diags = lint_schedule(&bad, &LintOptions::ports_only());
+        assert!(diags.iter().any(|d| d.code == LintCode::InputWindowOverlap));
         let report = replay(&bad);
         assert_eq!(report.violations.len(), 1);
     }

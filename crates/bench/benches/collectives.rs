@@ -21,11 +21,12 @@ fn bench_flood(c: &mut Criterion) {
 }
 
 fn bench_schedule_validation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_validate");
+    use postal_verify::{lint_schedule, LintOptions};
+    let mut group = c.benchmark_group("schedule_lint");
     for n in [64u64, 1024, 16384] {
         let schedule = BroadcastTree::build(n, LAM()).to_schedule();
         group.bench_with_input(BenchmarkId::from_parameter(n), &schedule, |b, s| {
-            b.iter(|| black_box(s.validate_broadcast()));
+            b.iter(|| black_box(lint_schedule(s, &LintOptions::default())));
         });
     }
     group.finish();

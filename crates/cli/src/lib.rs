@@ -25,6 +25,9 @@ pub enum CliError {
     Usage(String),
     /// Arguments parsed but invalid (e.g. λ < 1).
     Invalid(String),
+    /// `postal lint` found diagnostics at or above the `--deny` level;
+    /// the message is the rendered report.
+    LintFailed(String),
 }
 
 const USAGE: &str =
@@ -42,6 +45,10 @@ USAGE:
     postal svg <n> <lambda>                  broadcast tree as an SVG document (stdout)
     postal optimal <n> <m> <lambda>          exact optimum via exhaustive search
                                              (tiny instances only)
+    postal lint <schedule.json>              static analysis: lint codes P0001-P0007
+           [--deny warn|error] [--format text|json] [--m N]
+                                             exits nonzero when any diagnostic reaches
+                                             the --deny level (default: error)
 
 <lambda> accepts integers, fractions and decimals: 3, 5/2, 2.5";
 
@@ -57,9 +64,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let (n, lam) = parse_n_lambda(&args[1..])?;
             let tree = BroadcastTree::build(n as u64, lam);
             let schedule = tree.to_schedule();
-            schedule
-                .validate_broadcast()
-                .expect("generated trees are always valid");
+            postal_verify::assert_broadcast_clean(&schedule, "tree");
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -153,7 +158,97 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let (n, m, lam) = parse_n_m_lambda(&args[2..])?;
             simulate(algo, n, m, lam)
         }
+        Some("lint") => lint(&args[1..]),
         _ => Err(usage()),
+    }
+}
+
+fn lint(args: &[String]) -> Result<String, CliError> {
+    use postal_verify::{json, lint_schedule, render, LintOptions, Severity};
+    let mut file: Option<&str> = None;
+    let mut deny = Severity::Error;
+    let mut as_json = false;
+    let mut m_override: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: usize| {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Invalid(format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--deny" => {
+                deny = match flag_value(i)? {
+                    "warn" => Severity::Warn,
+                    "error" => Severity::Error,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--deny must be 'warn' or 'error', got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--format" => {
+                as_json = match flag_value(i)? {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--format must be 'text' or 'json', got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--m" => {
+                let m: u64 = flag_value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Invalid("--m must be a positive integer".into()))?;
+                if m == 0 {
+                    return Err(CliError::Invalid("--m must be ≥ 1".into()));
+                }
+                m_override = Some(m);
+                i += 2;
+            }
+            s if s.starts_with('-') => {
+                return Err(CliError::Invalid(format!("unknown lint flag {s:?}")));
+            }
+            s if file.is_none() => {
+                file = Some(s);
+                i += 1;
+            }
+            s => {
+                return Err(CliError::Invalid(format!(
+                    "unexpected extra argument {s:?}"
+                )));
+            }
+        }
+    }
+    let path = file.ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Invalid(format!("cannot read {path}: {e}")))?;
+    let parsed =
+        json::parse_schedule(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let messages = m_override.or(parsed.messages).unwrap_or(1);
+    let diags = lint_schedule(&parsed.schedule, &LintOptions::broadcast_of(messages));
+    let report = if as_json {
+        json::diagnostics_to_json(&diags)
+    } else if diags.is_empty() {
+        format!(
+            "{path}: clean — valid broadcast of {messages} message(s) over MPS({}, {}), \
+             completes at t = {}\n",
+            parsed.schedule.n(),
+            parsed.schedule.latency(),
+            parsed.schedule.completion()
+        )
+    } else {
+        render::render_report(&diags, path)
+    };
+    if diags.iter().any(|d| d.severity >= deny) {
+        Err(CliError::LintFailed(report))
+    } else {
+        Ok(report)
     }
 }
 
@@ -441,6 +536,90 @@ mod tests {
         ));
         assert!(matches!(
             call(&["simulate", "dtree:0", "5", "1", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("postal-cli-test-{name}"));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn lint_passes_a_valid_schedule() {
+        let path = write_temp(
+            "valid.json",
+            r#"{"n": 3, "lambda": "5/2",
+                "sends": [{"src":0,"dst":1,"at":"0"}, {"src":0,"dst":2,"at":"1"}]}"#,
+        );
+        let out = call(&["lint", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("t = 7/2"), "{out}");
+    }
+
+    #[test]
+    fn lint_reports_corrupted_schedule_with_code() {
+        // A BCAST(3) schedule with p1's forward shifted one unit early:
+        // a causality violation (P0003).
+        let path = write_temp(
+            "corrupt.json",
+            r#"{"n": 3, "lambda": "5/2",
+                "sends": [{"src":0,"dst":1,"at":"0"}, {"src":1,"dst":2,"at":"3/2"}]}"#,
+        );
+        let err = call(&["lint", path.to_str().unwrap()]).unwrap_err();
+        let CliError::LintFailed(report) = err else {
+            panic!("expected LintFailed, got {err:?}");
+        };
+        assert!(report.contains("error[P0003]"), "{report}");
+        assert!(report.contains("p1 -> p2 at t = 3/2"), "{report}");
+    }
+
+    #[test]
+    fn lint_deny_warn_fails_suboptimal_schedules() {
+        // A valid but suboptimal LINE(3): passes by default, fails
+        // under --deny warn with the P0007 gap.
+        let line = r#"{"n": 3, "lambda": "5/2",
+            "sends": [{"src":0,"dst":1,"at":"0"}, {"src":1,"dst":2,"at":"5/2"}]}"#;
+        let path = write_temp("line.json", line);
+        let p = path.to_str().unwrap();
+        assert!(call(&["lint", p]).is_ok());
+        let err = call(&["lint", p, "--deny", "warn"]).unwrap_err();
+        let CliError::LintFailed(report) = err else {
+            panic!("expected LintFailed, got {err:?}");
+        };
+        assert!(report.contains("P0007"), "{report}");
+    }
+
+    #[test]
+    fn lint_json_format_and_m_override() {
+        let path = write_temp(
+            "multi.json",
+            r#"{"n": 2, "lambda": 2,
+                "sends": [{"src":0,"dst":1,"at":0}, {"src":0,"dst":1,"at":2}]}"#,
+        );
+        let p = path.to_str().unwrap();
+        let out = call(&["lint", p, "--m", "2", "--format", "json"]).unwrap();
+        assert!(out.contains("\"code\": \"P0007\""), "{out}");
+        assert!(out.contains("\"severity\": \"info\""), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_bad_flags_and_files() {
+        assert!(matches!(call(&["lint"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            call(&["lint", "/nonexistent/x.json"]),
+            Err(CliError::Invalid(_))
+        ));
+        let path = write_temp("notjson.json", "not json at all");
+        let p = path.to_str().unwrap();
+        assert!(matches!(call(&["lint", p]), Err(CliError::Invalid(_))));
+        assert!(matches!(
+            call(&["lint", p, "--deny", "everything"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["lint", p, "--m", "0"]),
             Err(CliError::Invalid(_))
         ));
     }

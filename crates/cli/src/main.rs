@@ -22,5 +22,9 @@ fn main() {
             eprintln!("error: {msg}");
             std::process::exit(1);
         }
+        Err(CliError::LintFailed(report)) => {
+            eprint!("{report}");
+            std::process::exit(1);
+        }
     }
 }

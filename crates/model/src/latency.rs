@@ -18,7 +18,6 @@ use std::str::FromStr;
 
 /// The postal-model communication latency λ ≥ 1, stored exactly.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Latency(Ratio);
 
 /// Error constructing a [`Latency`].

@@ -29,6 +29,9 @@
 //!   message lower bound;
 //! * [`schedule`] — explicit timed-send schedules with a mechanical
 //!   validator for the model's port and causality rules;
+//! * [`lint`] — the schedule lint engine behind that validator: stable
+//!   codes `P0001`–`P0007` covering every validity rule plus quality
+//!   checks (idle ports, optimality gaps against `f_λ(n)`);
 //! * [`step_fn`] — the paper's generic step-function/index-function
 //!   machinery (Claims 1–2), with `F_λ` as one instance;
 //! * [`corollaries`] — the elementary upper bounds of Corollaries 11,
@@ -62,6 +65,7 @@ pub mod bounds;
 pub mod corollaries;
 pub mod fib;
 pub mod latency;
+pub mod lint;
 pub mod ratio;
 pub mod runtimes;
 pub mod schedule;

@@ -30,7 +30,6 @@ use std::str::FromStr;
 /// assert_eq!("2.5".parse::<Ratio>().unwrap(), ratio(5, 2));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ratio {
     num: i128,
     den: i128,

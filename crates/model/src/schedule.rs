@@ -19,14 +19,23 @@
 //! The validator lets the crates above prove properties of *arbitrary*
 //! schedules (including hand-written or adversarial ones), independent
 //! of the event-driven engine.
+//!
+//! Since the introduction of the [`crate::lint`] engine, the two
+//! `validate_*` methods are thin (deprecated) wrappers that run the
+//! relevant lints and translate the first error back into the legacy
+//! [`ScheduleError`]. New code should call [`crate::lint::lint_schedule`]
+//! directly and get *all* findings with stable codes.
 
 use crate::latency::Latency;
+use crate::lint::{lint_schedule, Diagnostic, LintCode, LintOptions, Severity};
 use crate::time::Time;
-use std::collections::HashMap;
+
+pub use crate::lint::{
+    Diagnostic as LintDiagnostic, LintCode as ScheduleLintCode, Severity as LintSeverity,
+};
 
 /// One timed send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimedSend {
     /// Sending processor index.
     pub src: u32,
@@ -50,12 +59,14 @@ impl TimedSend {
 /// use postal_model::{Latency, Time};
 ///
 /// // p0 → p1 at t = 0; p1 forwards to p2 the moment it knows (t = λ).
+/// use postal_model::lint::{is_clean, lint_schedule, LintOptions, Severity};
 /// let lam = Latency::from_ratio(5, 2);
 /// let schedule = Schedule::new(3, lam, vec![
 ///     TimedSend { src: 0, dst: 1, send_start: Time::ZERO },
 ///     TimedSend { src: 1, dst: 2, send_start: Time::new(5, 2) },
 /// ]);
-/// schedule.validate_broadcast().unwrap();
+/// let diags = lint_schedule(&schedule, &LintOptions::default());
+/// assert!(is_clean(&diags, Severity::Error));
 /// assert_eq!(schedule.completion(), Time::from_int(5));
 /// ```
 #[derive(Debug, Clone)]
@@ -140,49 +151,18 @@ impl Schedule {
 
     /// Validates port constraints (rules 1–2 of the module docs).
     ///
+    /// Thin wrapper over [`crate::lint::lint_schedule`] with
+    /// [`LintOptions::ports_only`]; prefer the lint engine in new code —
+    /// it reports *all* violations with stable codes, not just the first.
+    ///
     /// # Errors
     /// Returns the first violation in deterministic order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use postal_model::lint::lint_schedule with LintOptions::ports_only()"
+    )]
     pub fn validate_ports(&self) -> Result<(), ScheduleError> {
-        let mut out_last: HashMap<u32, Time> = HashMap::new();
-        for s in &self.sends {
-            if s.src >= self.n || s.dst >= self.n || s.src == s.dst {
-                return Err(ScheduleError::BadEndpoints { send: *s });
-            }
-            if s.send_start < Time::ZERO {
-                return Err(ScheduleError::NegativeTime { send: *s });
-            }
-            if let Some(&prev) = out_last.get(&s.src) {
-                if s.send_start < prev + Time::ONE {
-                    return Err(ScheduleError::OutputPortOverlap {
-                        proc: s.src,
-                        first: prev,
-                        second: s.send_start,
-                    });
-                }
-            }
-            out_last.insert(s.src, s.send_start);
-        }
-        // Receives, in arrival order per destination.
-        let mut arrivals: HashMap<u32, Vec<Time>> = HashMap::new();
-        for s in &self.sends {
-            arrivals
-                .entry(s.dst)
-                .or_default()
-                .push(s.recv_finish(self.latency));
-        }
-        for (proc, mut times) in arrivals {
-            times.sort();
-            for w in times.windows(2) {
-                if w[1] < w[0] + Time::ONE {
-                    return Err(ScheduleError::InputPortOverlap {
-                        proc,
-                        first_finish: w[0],
-                        second_finish: w[1],
-                    });
-                }
-            }
-        }
-        Ok(())
+        self.first_legacy_error(&lint_schedule(self, &LintOptions::ports_only()))
     }
 
     /// Validates the schedule as a *broadcast* schedule from `p_0`
@@ -191,46 +171,61 @@ impl Schedule {
     /// and every processor must receive it (for `n ≥ 2`, all of
     /// `1..n`).
     ///
+    /// Thin wrapper over [`crate::lint::lint_schedule`]; prefer the lint
+    /// engine in new code — it reports *all* violations with stable
+    /// codes, not just the first, plus quality warnings.
+    ///
     /// # Errors
     /// Returns the first violation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use postal_model::lint::lint_schedule with LintOptions::default()"
+    )]
     pub fn validate_broadcast(&self) -> Result<(), ScheduleError> {
-        self.validate_ports()?;
-        // First-receipt times.
-        let mut knows: HashMap<u32, Time> = HashMap::new();
-        for s in &self.sends {
-            let r = s.recv_finish(self.latency);
-            knows
-                .entry(s.dst)
-                .and_modify(|t| {
-                    if r < *t {
-                        *t = r;
-                    }
-                })
-                .or_insert(r);
-        }
-        for s in &self.sends {
-            if s.src == 0 {
+        self.first_legacy_error(&lint_schedule(self, &LintOptions::default()))
+    }
+
+    /// Translates the first error-severity diagnostic into the legacy
+    /// [`ScheduleError`] shape.
+    fn first_legacy_error(&self, diags: &[Diagnostic]) -> Result<(), ScheduleError> {
+        for d in diags {
+            if d.severity < Severity::Error {
                 continue;
             }
-            match knows.get(&s.src) {
-                Some(&t) if t <= s.send_start => {}
-                other => {
-                    return Err(ScheduleError::SendsBeforeKnowing {
-                        proc: s.src,
-                        sends_at: s.send_start,
-                        knows_at: other.copied(),
-                    });
+            return Err(match d.code {
+                LintCode::MalformedSend => {
+                    let send = d.sends[0];
+                    if send.src >= self.n || send.dst >= self.n || send.src == send.dst {
+                        ScheduleError::BadEndpoints { send }
+                    } else {
+                        ScheduleError::NegativeTime { send }
+                    }
                 }
-            }
-        }
-        for p in 1..self.n {
-            if !knows.contains_key(&p) {
-                return Err(ScheduleError::SendsBeforeKnowing {
-                    proc: p,
+                LintCode::OutputPortOverlap => ScheduleError::OutputPortOverlap {
+                    proc: d.proc.unwrap_or(0),
+                    first: d.sends[0].send_start,
+                    second: d.sends[1].send_start,
+                },
+                LintCode::InputWindowOverlap => ScheduleError::InputPortOverlap {
+                    proc: d.proc.unwrap_or(0),
+                    first_finish: d.sends[0].recv_finish(self.latency),
+                    second_finish: d.sends[1].recv_finish(self.latency),
+                },
+                LintCode::CausalityViolation => ScheduleError::SendsBeforeKnowing {
+                    proc: d.proc.unwrap_or(0),
+                    sends_at: d.sends[0].send_start,
+                    knows_at: d.related_time,
+                },
+                LintCode::UninformedProcessor => ScheduleError::SendsBeforeKnowing {
+                    proc: d.proc.unwrap_or(0),
                     sends_at: Time::ZERO,
                     knows_at: None,
-                });
-            }
+                },
+                // Quality codes have no legacy representation; they are
+                // never emitted at error severity for a schedule that is
+                // clean of the codes above (the paper's lower bound).
+                LintCode::IdlePortWaste | LintCode::OptimalityGap => continue,
+            });
         }
         Ok(())
     }
@@ -247,6 +242,7 @@ impl Schedule {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are exactly what is under test
 mod tests {
     use super::*;
 

@@ -15,7 +15,6 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// computing `f_λ(n) − λ`), but all schedule times produced by the crates in
 /// this workspace are non-negative.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Time(pub Ratio);
 
 impl Time {

@@ -26,11 +26,11 @@
 //! tokens they spawn are registered) implies global quiescence.
 
 use crate::clock::UnitClock;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use postal_model::{Latency, Time};
 use postal_sim::{Context, ProcId, Program};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -99,7 +99,7 @@ struct ThreadCtx<'a, P> {
     me: ProcId,
     n: usize,
     clock: UnitClock,
-    out_queue: &'a Sender<SendRequest<P>>,
+    out_queue: &'a SyncSender<SendRequest<P>>,
     wakes: &'a mut BinaryHeap<std::cmp::Reverse<OrderedF64>>,
     outstanding: &'a AtomicI64,
 }
@@ -172,7 +172,7 @@ where
     let mut inbox_tx: Vec<Sender<TimedMsg<P>>> = Vec::with_capacity(n);
     let mut inbox_rx: Vec<Option<Receiver<TimedMsg<P>>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         inbox_tx.push(tx);
         inbox_rx.push(Some(rx));
     }
@@ -189,8 +189,9 @@ where
         let all_inboxes = inbox_tx.clone();
         let outstanding = Arc::clone(&outstanding);
 
-        // Output-port thread: serialize sends at 1 unit each.
-        let (port_tx, port_rx) = bounded::<SendRequest<P>>(1024);
+        // Output-port thread: serialize sends at 1 unit each. The
+        // bounded queue backpressures runaway senders.
+        let (port_tx, port_rx) = sync_channel::<SendRequest<P>>(1024);
         let port_clock = clock;
         port_handles.push(std::thread::spawn(move || {
             let mut port_free = 0.0f64;
@@ -370,6 +371,59 @@ mod tests {
             report.elapsed_units < model * 3.0 + 5.0,
             "far too slow: {} vs {model}",
             report.elapsed_units
+        );
+    }
+
+    /// Converts a threaded report's deliveries into race-detector
+    /// flights (send instants reconstructed as `recv − λ`).
+    fn flights_of<P>(report: &ThreadedReport<P>, latency: Latency) -> Vec<postal_verify::Flight> {
+        postal_verify::flights_from_deliveries(
+            report
+                .deliveries
+                .iter()
+                .map(|d| (d.from.0, d.to.0, d.at_units)),
+            latency,
+        )
+    }
+
+    #[test]
+    fn bcast_wall_trace_has_no_delivery_races() {
+        // A broadcast delivers exactly once per processor: nothing to
+        // reorder, so the happens-before detector must stay silent even
+        // on jittery wall-clock timings.
+        let n = 14;
+        let lam = Latency::from_ratio(5, 2);
+        let report = bcast_threaded(n, lam);
+        let races = postal_verify::detect_races(n as u32, &flights_of(&report, lam));
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn independent_senders_race_on_the_wall_clock() {
+        // p1 and p2 each fire one message at p0 at start: the arrival
+        // order is whatever the OS scheduler made of it, and the
+        // detector must flag it as not causally forced.
+        struct FireAtRoot;
+        impl Program<u32> for FireAtRoot {
+            fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+                if ctx.me() != ProcId::ROOT {
+                    ctx.send(ProcId::ROOT, ctx.me().0);
+                }
+            }
+            fn on_receive(&mut self, _ctx: &mut dyn Context<u32>, _from: ProcId, _p: u32) {}
+        }
+        let lam = Latency::from_int(1);
+        let programs =
+            send_programs_from(3, |_| Box::new(FireAtRoot) as Box<dyn Program<u32> + Send>);
+        let report = run_threaded(lam, RuntimeConfig::default(), programs);
+        assert_eq!(report.deliveries.len(), 2);
+        let races = postal_verify::detect_races(3, &flights_of(&report, lam));
+        assert_eq!(races.len(), 1, "{races:?}");
+        assert_eq!(races[0].dst, 0);
+        assert!(
+            races[0].message.contains("not causally forced"),
+            "{}",
+            races[0].message
         );
     }
 

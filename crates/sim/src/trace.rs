@@ -1,7 +1,8 @@
 //! Execution traces: every message transfer with its exact timing.
 
 use crate::ids::{ProcId, SendSeq};
-use postal_model::Time;
+use postal_model::schedule::{Schedule, TimedSend};
+use postal_model::{Latency, Time};
 
 /// One completed message transfer.
 ///
@@ -82,6 +83,23 @@ impl<P> Trace<P> {
             .map(|t| t.recv_finish)
             .max()
             .unwrap_or(Time::ZERO)
+    }
+
+    /// Extracts the static [`Schedule`] this trace realized, so the
+    /// lint engine can check an *execution* by the same rules as a
+    /// hand-written schedule. `n` and `latency` are the run's
+    /// parameters (a trace does not carry them).
+    pub fn to_schedule(&self, n: u32, latency: Latency) -> Schedule {
+        let sends = self
+            .transfers
+            .iter()
+            .map(|t| TimedSend {
+                src: t.src.0,
+                dst: t.dst.0,
+                send_start: t.send_start,
+            })
+            .collect();
+        Schedule::new(n, latency, sends)
     }
 
     /// Transfers received by one processor, in receive order.

@@ -1,0 +1,482 @@
+//! Minimal JSON codec for schedules and diagnostics.
+//!
+//! The workspace builds hermetically (no external crates), so this is a
+//! small hand-rolled parser/emitter for the one format the tools need:
+//!
+//! ```json
+//! {
+//!   "n": 3,
+//!   "lambda": "5/2",
+//!   "messages": 1,
+//!   "sends": [
+//!     { "src": 0, "dst": 1, "at": "0" },
+//!     { "src": 1, "dst": 2, "at": "5/2" }
+//!   ]
+//! }
+//! ```
+//!
+//! Times and λ accept the same forms the CLI does: `"5/2"`, `"2.5"`, or
+//! a bare JSON number. `"messages"` is optional (default 1).
+
+use postal_model::latency::Latency;
+use postal_model::lint::Diagnostic;
+use postal_model::ratio::Ratio;
+use postal_model::schedule::{Schedule, TimedSend};
+use postal_model::time::Time;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A schedule as read from a file, with its optional message count.
+#[derive(Debug, Clone)]
+pub struct ScheduleFile {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// `"messages"` field, when present.
+    pub messages: Option<u64>,
+}
+
+/// A JSON syntax or shape error, with a byte offset when syntactic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parsed JSON value. Numbers keep their literal text so that times can
+/// be re-parsed exactly as rationals (e.g. `2.5` → `5/2`, no binary
+/// float round-trip).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> JsonError {
+        JsonError(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if text.is_empty() || text == "-" {
+            return Err(self.err("malformed number"));
+        }
+        Ok(Value::Num(text.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+fn as_ratio(v: &Value, field: &str) -> Result<Ratio, JsonError> {
+    let text = match v {
+        Value::Num(t) => t.as_str(),
+        Value::Str(s) => s.as_str(),
+        _ => return Err(JsonError(format!("\"{field}\" must be a number or string"))),
+    };
+    text.parse::<Ratio>()
+        .map_err(|_| JsonError(format!("\"{field}\": cannot parse {text:?} as a rational")))
+}
+
+fn as_u64(v: &Value, field: &str) -> Result<u64, JsonError> {
+    if let Value::Num(t) = v {
+        if let Ok(x) = t.parse::<u64>() {
+            return Ok(x);
+        }
+    }
+    Err(JsonError(format!(
+        "\"{field}\" must be a nonnegative integer"
+    )))
+}
+
+/// Parses a schedule file (see module docs for the format).
+pub fn parse_schedule(text: &str) -> Result<ScheduleFile, JsonError> {
+    let Value::Obj(top) = parse_value(text)? else {
+        return Err(JsonError("top level must be an object".into()));
+    };
+    let n = top
+        .get("n")
+        .ok_or_else(|| JsonError("missing \"n\"".into()))
+        .and_then(|v| as_u64(v, "n"))?;
+    if n == 0 || n > u32::MAX as u64 {
+        return Err(JsonError(format!("\"n\" out of range: {n}")));
+    }
+    let lam_ratio = top
+        .get("lambda")
+        .ok_or_else(|| JsonError("missing \"lambda\"".into()))
+        .and_then(|v| as_ratio(v, "lambda"))?;
+    let latency =
+        Latency::new(lam_ratio).map_err(|e| JsonError(format!("invalid \"lambda\": {e}")))?;
+    let messages = match top.get("messages") {
+        None => None,
+        Some(v) => Some(as_u64(v, "messages")?),
+    };
+    let Some(Value::Arr(raw_sends)) = top.get("sends") else {
+        return Err(JsonError("missing \"sends\" array".into()));
+    };
+    let mut sends = Vec::with_capacity(raw_sends.len());
+    for (i, item) in raw_sends.iter().enumerate() {
+        let Value::Obj(o) = item else {
+            return Err(JsonError(format!("sends[{i}] must be an object")));
+        };
+        let src = o
+            .get("src")
+            .ok_or_else(|| JsonError(format!("sends[{i}]: missing \"src\"")))
+            .and_then(|v| as_u64(v, "src"))?;
+        let dst = o
+            .get("dst")
+            .ok_or_else(|| JsonError(format!("sends[{i}]: missing \"dst\"")))
+            .and_then(|v| as_u64(v, "dst"))?;
+        let at = o
+            .get("at")
+            .ok_or_else(|| JsonError(format!("sends[{i}]: missing \"at\"")))
+            .and_then(|v| as_ratio(v, "at"))?;
+        if src > u32::MAX as u64 || dst > u32::MAX as u64 {
+            return Err(JsonError(format!("sends[{i}]: endpoint out of range")));
+        }
+        sends.push(TimedSend {
+            src: src as u32,
+            dst: dst as u32,
+            send_start: Time(at),
+        });
+    }
+    Ok(ScheduleFile {
+        schedule: Schedule::new(n as u32, latency, sends),
+        messages,
+    })
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a schedule in the format [`parse_schedule`] reads.
+pub fn schedule_to_json(schedule: &Schedule, messages: Option<u64>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"n\": {},\n  \"lambda\": \"{}\",\n",
+        schedule.n(),
+        schedule.latency()
+    ));
+    if let Some(m) = messages {
+        out.push_str(&format!("  \"messages\": {m},\n"));
+    }
+    out.push_str("  \"sends\": [\n");
+    let body: Vec<String> = schedule
+        .sends()
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"src\": {}, \"dst\": {}, \"at\": \"{}\" }}",
+                s.src, s.dst, s.send_start
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Serializes diagnostics as a JSON array (for `postal lint --format json`).
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    let body: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let sends: Vec<String> = d
+                .sends
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{ \"src\": {}, \"dst\": {}, \"at\": \"{}\" }}",
+                        s.src, s.dst, s.send_start
+                    )
+                })
+                .collect();
+            let proc = match d.proc {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            let related = match d.related_time {
+                Some(t) => format!("\"{t}\""),
+                None => "null".to_string(),
+            };
+            format!(
+                "  {{ \"code\": \"{}\", \"severity\": \"{}\", \"proc\": {proc}, \
+                 \"message\": \"{}\", \"related_time\": {related}, \"sends\": [{}] }}",
+                d.code,
+                d.severity,
+                esc(&d.message),
+                sends.join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::lint::{lint_schedule, LintOptions};
+
+    const SAMPLE: &str = r#"{
+      "n": 3,
+      "lambda": "5/2",
+      "sends": [
+        { "src": 0, "dst": 1, "at": "0" },
+        { "src": 1, "dst": 2, "at": "5/2" }
+      ]
+    }"#;
+
+    #[test]
+    fn parses_the_documented_format() {
+        let file = parse_schedule(SAMPLE).unwrap();
+        assert_eq!(file.schedule.n(), 3);
+        assert_eq!(file.schedule.latency(), Latency::from_ratio(5, 2));
+        assert_eq!(file.schedule.len(), 2);
+        assert_eq!(file.messages, None);
+        assert_eq!(file.schedule.sends()[1].send_start, Time::new(5, 2));
+    }
+
+    #[test]
+    fn accepts_decimal_and_bare_number_times() {
+        let file =
+            parse_schedule(r#"{"n": 2, "lambda": 2.5, "sends": [{"src":0,"dst":1,"at":1.5}]}"#)
+                .unwrap();
+        assert_eq!(file.schedule.latency(), Latency::from_ratio(5, 2));
+        assert_eq!(file.schedule.sends()[0].send_start, Time::new(3, 2));
+    }
+
+    #[test]
+    fn round_trips_through_emitter() {
+        let file = parse_schedule(SAMPLE).unwrap();
+        let text = schedule_to_json(&file.schedule, Some(2));
+        let again = parse_schedule(&text).unwrap();
+        assert_eq!(again.schedule.sends(), file.schedule.sends());
+        assert_eq!(again.messages, Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_schedule("[1, 2]").is_err());
+        assert!(parse_schedule("{\"n\": 2}").is_err());
+        assert!(parse_schedule("{\"n\": 0, \"lambda\": 1, \"sends\": []}").is_err());
+        assert!(
+            parse_schedule(r#"{"n": 2, "lambda": "1/2", "sends": []}"#).is_err(),
+            "lambda < 1 must be rejected"
+        );
+        assert!(parse_schedule("{\"n\": 2, \"lambda\": 1, \"sends\": [{}]}").is_err());
+        assert!(parse_schedule("{\"n\": 2, \"lambda\": 1, \"sends\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn diagnostics_serialize_with_code_and_sends() {
+        let file = parse_schedule(
+            r#"{"n": 3, "lambda": "5/2",
+                "sends": [{"src":0,"dst":1,"at":"0"}, {"src":0,"dst":2,"at":"1/2"}]}"#,
+        )
+        .unwrap();
+        let diags = lint_schedule(&file.schedule, &LintOptions::ports_only());
+        let json = diagnostics_to_json(&diags);
+        assert!(json.contains("\"code\": \"P0001\""), "{json}");
+        assert!(json.contains("\"at\": \"1/2\""), "{json}");
+    }
+}

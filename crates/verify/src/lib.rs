@@ -1,0 +1,192 @@
+//! # postal-verify
+//!
+//! Static analyzer for postal-model schedules and traces, companion to
+//! `postal-model`'s [lint engine](postal_model::lint):
+//!
+//! * **Lint access** — re-exports the engine's stable codes
+//!   `P0001`–`P0007` ([`LintCode`]), [`Diagnostic`]s and
+//!   [`lint_schedule`], plus `assert_*` helpers that panic with fully
+//!   rendered reports (for use in algorithm test suites);
+//! * **Trace analysis** — [`flight::schedule_from_trace`] converts an
+//!   event-engine [`postal_sim::Trace`] back into a static
+//!   [`Schedule`](postal_model::schedule::Schedule) so executions are
+//!   linted by the same rules as hand-written schedules
+//!   ([`lint_trace`]);
+//! * **Race detection** — [`race::detect_races`] replays a trace's
+//!   flights, builds the send→receive happens-before order with vector
+//!   clocks, and flags deliveries whose observed order is not causally
+//!   forced (see [`race`]);
+//! * **Interchange** — [`json`] reads and writes the `postal lint`
+//!   schedule format, and [`render`] prints rustc-style reports.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use postal_verify::{json, lint_schedule, LintCode, LintOptions};
+//!
+//! let file = json::parse_schedule(
+//!     r#"{ "n": 3, "lambda": "5/2",
+//!          "sends": [ { "src": 0, "dst": 1, "at": "0" },
+//!                     { "src": 1, "dst": 2, "at": "1" } ] }"#,
+//! ).unwrap();
+//! let diags = lint_schedule(&file.schedule, &LintOptions::default());
+//! // p1 forwards at t = 1 but only knows the message at t = 5/2:
+//! assert_eq!(diags[0].code, LintCode::CausalityViolation);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flight;
+pub mod json;
+pub mod race;
+pub mod render;
+
+pub use flight::{flights_from_deliveries, flights_from_trace, schedule_from_trace, Flight};
+pub use postal_model::lint::{
+    is_clean, lint_schedule, max_severity, Diagnostic, LintCode, LintOptions, Severity,
+};
+pub use race::{detect_races, Race};
+
+use postal_model::latency::Latency;
+use postal_model::schedule::Schedule;
+use postal_sim::Trace;
+
+/// Lints `schedule` and panics with a rendered report if any diagnostic
+/// reaches `threshold`. Returns the diagnostics otherwise, so callers
+/// can make further assertions (e.g. on warnings).
+///
+/// # Panics
+/// When the schedule is not clean at `threshold`.
+pub fn assert_clean(
+    schedule: &Schedule,
+    opts: &LintOptions,
+    threshold: Severity,
+    context: &str,
+) -> Vec<Diagnostic> {
+    let diags = lint_schedule(schedule, opts);
+    if !is_clean(&diags, threshold) {
+        panic!(
+            "schedule not lint-clean at {threshold} ({context}):\n{}",
+            render::render_report(&diags, context)
+        );
+    }
+    diags
+}
+
+/// Asserts a schedule is a valid broadcast: no error-severity lints
+/// under [`LintOptions::default`]. The standard check every broadcast
+/// algorithm's tests run against its emitted schedule.
+///
+/// # Panics
+/// When any `P0001`–`P0005` (or an impossible `P0007`) fires.
+pub fn assert_broadcast_clean(schedule: &Schedule, context: &str) -> Vec<Diagnostic> {
+    assert_clean(schedule, &LintOptions::default(), Severity::Error, context)
+}
+
+/// Asserts only the port rules (`P0001`, `P0002`, `P0004`) — for
+/// schedules that are not single-source broadcasts (gather, all-to-all,
+/// multi-message traffic).
+///
+/// # Panics
+/// When any port-rule lint fires.
+pub fn assert_ports_clean(schedule: &Schedule, context: &str) -> Vec<Diagnostic> {
+    assert_clean(
+        schedule,
+        &LintOptions::ports_only(),
+        Severity::Error,
+        context,
+    )
+}
+
+/// The combined result of linting a trace.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Schedule-level lint findings for the trace's implied schedule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Delivery races found by the happens-before detector.
+    pub races: Vec<Race>,
+}
+
+impl TraceReport {
+    /// True when no diagnostic reaches `threshold` (races are reported
+    /// separately — they are properties of the traffic pattern, not
+    /// violations).
+    pub fn is_clean(&self, threshold: Severity) -> bool {
+        is_clean(&self.diagnostics, threshold)
+    }
+}
+
+/// Lints an event-engine trace: converts it to a schedule, runs the
+/// schedule lints with `opts`, and runs the happens-before race
+/// detector over the trace's flights.
+pub fn lint_trace<P>(
+    trace: &Trace<P>,
+    n: u32,
+    latency: Latency,
+    opts: &LintOptions,
+) -> TraceReport {
+    let schedule = schedule_from_trace(trace, n, latency);
+    TraceReport {
+        diagnostics: lint_schedule(&schedule, opts),
+        races: detect_races(n, &flights_from_trace(trace)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::schedule::TimedSend;
+    use postal_model::time::Time;
+
+    fn line3() -> Schedule {
+        let lam = Latency::from_ratio(5, 2);
+        Schedule::new(
+            3,
+            lam,
+            vec![
+                TimedSend {
+                    src: 0,
+                    dst: 1,
+                    send_start: Time::ZERO,
+                },
+                TimedSend {
+                    src: 1,
+                    dst: 2,
+                    send_start: Time::new(5, 2),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn assert_broadcast_clean_accepts_valid_and_reports_warnings() {
+        let diags = assert_broadcast_clean(&line3(), "line3");
+        // The line is valid but suboptimal: quality lints may be present.
+        assert!(is_clean(&diags, Severity::Error));
+        assert!(diags.iter().any(|d| d.code == LintCode::OptimalityGap));
+    }
+
+    #[test]
+    #[should_panic(expected = "P0003")]
+    fn assert_broadcast_clean_panics_with_code() {
+        let lam = Latency::from_ratio(5, 2);
+        let bad = Schedule::new(
+            3,
+            lam,
+            vec![
+                TimedSend {
+                    src: 0,
+                    dst: 1,
+                    send_start: Time::ZERO,
+                },
+                TimedSend {
+                    src: 1,
+                    dst: 2,
+                    send_start: Time::ONE,
+                },
+            ],
+        );
+        assert_broadcast_clean(&bad, "bad");
+    }
+}

@@ -1,0 +1,221 @@
+//! Happens-before race detection over message flights.
+//!
+//! The detector replays a trace's flights, builds the send→receive
+//! partial order with vector clocks, and flags pairs of deliveries to
+//! the same destination whose observed order is **not causally
+//! forced** — i.e. the later message's send does not happen-after the
+//! earlier message's receipt, and the two do not share a sender (the
+//! postal model's fixed latency makes each `src → dst` channel FIFO).
+//! Such a pair could arrive in either order under latency jitter, so a
+//! program whose meaning depends on the observed order is racy.
+//!
+//! Broadcast schedules deliver each message once per processor and are
+//! race-free; the lint exists for multi-message and collective traffic
+//! (`m`-message broadcast, gather, all-to-all), where it distinguishes
+//! pipelines whose ordering is enforced by the channel from those that
+//! merely *happened* to arrive in a convenient order.
+
+use crate::flight::Flight;
+
+/// A pair of deliveries whose order is not causally forced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Race {
+    /// The destination processor observing the ambiguous order.
+    pub dst: u32,
+    /// The earlier delivery (by observed receive time).
+    pub first: Flight,
+    /// The later delivery.
+    pub second: Flight,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Vector clock: one logical counter per processor.
+type Clock = Vec<u64>;
+
+fn leq(a: &Clock, b: &Clock) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Detects delivery races in `flights` over `n` processors.
+///
+/// Returns one [`Race`] per *adjacent* unforced pair at each
+/// destination (forcedness is transitive along a destination's delivery
+/// sequence, so adjacent pairs characterize the whole order).
+pub fn detect_races(n: u32, flights: &[Flight]) -> Vec<Race> {
+    let n = n as usize;
+    // Event list: receives sort before sends at equal instants so that
+    // a processor forwarding the moment it finishes receiving (legal in
+    // the postal model) picks up the causal dependency.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Kind {
+        Recv,
+        Send,
+    }
+    let mut events: Vec<(f64, Kind, usize)> = Vec::with_capacity(flights.len() * 2);
+    for (i, f) in flights.iter().enumerate() {
+        events.push((f.send_at, Kind::Send, i));
+        events.push((f.recv_at, Kind::Recv, i));
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut clock: Vec<Clock> = vec![vec![0; n]; n];
+    let mut send_vc: Vec<Clock> = vec![Vec::new(); flights.len()];
+    let mut recv_vc: Vec<Clock> = vec![Vec::new(); flights.len()];
+    for (_, kind, i) in events {
+        let f = &flights[i];
+        match kind {
+            Kind::Send => {
+                let p = f.src as usize;
+                clock[p][p] += 1;
+                send_vc[i] = clock[p].clone();
+            }
+            Kind::Recv => {
+                let d = f.dst as usize;
+                // A flight whose send never happened (malformed input)
+                // contributes no edge.
+                if !send_vc[i].is_empty() {
+                    let sv = send_vc[i].clone();
+                    for (c, s) in clock[d].iter_mut().zip(&sv) {
+                        *c = (*c).max(*s);
+                    }
+                }
+                clock[d][d] += 1;
+                recv_vc[i] = clock[d].clone();
+            }
+        }
+    }
+
+    // Adjacent delivery pairs per destination, in observed order.
+    let mut by_dst: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, f) in flights.iter().enumerate() {
+        if (f.dst as usize) < n {
+            by_dst[f.dst as usize].push(i);
+        }
+    }
+    let mut races = Vec::new();
+    for (dst, mut idxs) in by_dst.into_iter().enumerate() {
+        idxs.sort_by(|&a, &b| {
+            flights[a]
+                .recv_at
+                .total_cmp(&flights[b].recv_at)
+                .then(flights[a].send_at.total_cmp(&flights[b].send_at))
+        });
+        for w in idxs.windows(2) {
+            let (i, j) = (w[0], w[1]);
+            let (fi, fj) = (&flights[i], &flights[j]);
+            let simultaneous = fi.recv_at == fj.recv_at;
+            // Channel FIFO: same sender, sends in matching order.
+            let fifo = fi.src == fj.src && fi.send_at < fj.send_at;
+            // Causally forced: the later send happens-after the earlier
+            // receipt.
+            let causal =
+                !recv_vc[i].is_empty() && !send_vc[j].is_empty() && leq(&recv_vc[i], &send_vc[j]);
+            if simultaneous || (!fifo && !causal) {
+                let why = if simultaneous {
+                    "they complete simultaneously".to_string()
+                } else {
+                    format!(
+                        "p{}'s send at t = {} does not happen-after p{dst}'s receipt at \
+                         t = {}, and the two use different channels",
+                        fj.src, fj.send_at, fi.recv_at
+                    )
+                };
+                races.push(Race {
+                    dst: dst as u32,
+                    first: fi.clone(),
+                    second: fj.clone(),
+                    message: format!(
+                        "delivery race at p{dst}: {} from p{} (recv t = {}) vs {} from \
+                         p{} (recv t = {}) — the observed order is not causally forced: {why}",
+                        fi.label, fi.src, fi.recv_at, fj.label, fj.src, fj.recv_at
+                    ),
+                });
+            }
+        }
+    }
+    races
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fl(src: u32, dst: u32, send_at: f64, recv_at: f64, label: &str) -> Flight {
+        Flight {
+            src,
+            dst,
+            send_at,
+            recv_at,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn single_deliveries_are_race_free() {
+        // A broadcast tree: every processor receives exactly once.
+        let flights = vec![fl(0, 1, 0.0, 2.5, "a"), fl(0, 2, 1.0, 3.5, "b")];
+        assert!(detect_races(3, &flights).is_empty());
+    }
+
+    #[test]
+    fn same_channel_pipeline_is_fifo_forced() {
+        // m messages p0 → p1 back to back: FIFO, no race.
+        let flights = vec![
+            fl(0, 1, 0.0, 2.5, "m0"),
+            fl(0, 1, 1.0, 3.5, "m1"),
+            fl(0, 1, 2.0, 4.5, "m2"),
+        ];
+        assert!(detect_races(2, &flights).is_empty());
+    }
+
+    #[test]
+    fn independent_senders_race() {
+        // p1 and p2 both send to p3 with nothing ordering them.
+        let flights = vec![fl(1, 3, 0.0, 1.0, "a"), fl(2, 3, 0.5, 1.5, "b")];
+        let races = detect_races(4, &flights);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].dst, 3);
+        assert_eq!(races[0].first.label, "a");
+        assert!(races[0].message.contains("not causally forced"));
+    }
+
+    #[test]
+    fn relay_order_is_causally_forced() {
+        // p0 → p1; p1 forwards to p2 only after receiving; meanwhile the
+        // second delivery to p2 is p1's, whose send happens-after p2...
+        // Construct the classic forced chain: a → c, then c's receipt is
+        // relayed b-ward and b sends to c afterwards? Simpler: p0 sends
+        // to p2; p2 then sends to p1; p1's send to p2 happens-after its
+        // receipt from p2, which happens-after p2's first receipt.
+        let flights = vec![
+            fl(0, 2, 0.0, 1.0, "a"), // p2 learns at 1
+            fl(2, 1, 1.0, 2.0, "b"), // p2 relays to p1
+            fl(1, 2, 2.0, 3.0, "c"), // p1 replies: forced after "a"
+        ];
+        assert!(detect_races(3, &flights).is_empty());
+    }
+
+    #[test]
+    fn simultaneous_deliveries_always_race() {
+        let flights = vec![fl(0, 2, 0.0, 1.0, "a"), fl(1, 2, 0.0, 1.0, "b")];
+        let races = detect_races(3, &flights);
+        assert_eq!(races.len(), 1);
+        assert!(races[0].message.contains("simultaneously"));
+    }
+
+    #[test]
+    fn same_channel_wrong_order_is_a_race() {
+        // Same channel but the "later" send arrives first (latency
+        // anomaly in a wall-clock trace): not FIFO-forced.
+        let flights = vec![fl(0, 1, 1.0, 2.0, "late"), fl(0, 1, 0.0, 2.5, "early")];
+        let races = detect_races(2, &flights);
+        assert_eq!(races.len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! rustc-style text rendering for diagnostics.
+//!
+//! ```text
+//! error[P0001]: p0 starts sends at t = 0 and t = 1/2 (1/2 < 1 unit apart)
+//!   --> bad.json: p0
+//!    = send: p0 -> p1 at t = 0
+//!    = send: p0 -> p2 at t = 1/2
+//!    = rule: a processor "can send a new message to a new processor every
+//!      unit of time" ...
+//! ```
+
+use postal_model::lint::{Diagnostic, Severity};
+
+/// Renders one diagnostic in rustc style. `source` names the schedule
+/// being linted (a file path, or e.g. `"<trace>"`).
+pub fn render_diagnostic(d: &Diagnostic, source: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    match d.proc {
+        Some(p) => out.push_str(&format!("  --> {source}: p{p}\n")),
+        None => out.push_str(&format!("  --> {source}\n")),
+    }
+    for s in &d.sends {
+        out.push_str(&format!(
+            "   = send: p{} -> p{} at t = {}\n",
+            s.src, s.dst, s.send_start
+        ));
+    }
+    if let Some(t) = d.related_time {
+        out.push_str(&format!("   = at: t = {t}\n"));
+    }
+    out.push_str(&format!("   = rule: {}\n", wrap(d.rule(), 72, "     ")));
+    out
+}
+
+/// Renders a full report: every diagnostic plus a summary line.
+/// Returns the empty string when there is nothing to say.
+pub fn render_report(diags: &[Diagnostic], source: &str) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render_diagnostic(d, source));
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    let infos = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Info)
+        .count();
+    let mut parts = Vec::new();
+    if errors > 0 {
+        parts.push(format!("{errors} error{}", plural(errors)));
+    }
+    if warnings > 0 {
+        parts.push(format!("{warnings} warning{}", plural(warnings)));
+    }
+    if infos > 0 {
+        parts.push(format!("{infos} note{}", plural(infos)));
+    }
+    out.push_str(&format!("{source}: {}\n", parts.join(", ")));
+    out
+}
+
+fn plural(k: usize) -> &'static str {
+    if k == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Greedy word wrap with a hanging indent for continuation lines.
+fn wrap(text: &str, width: usize, indent: &str) -> String {
+    let mut out = String::new();
+    let mut line_len = 0usize;
+    for word in text.split_whitespace() {
+        if line_len == 0 {
+            out.push_str(word);
+            line_len = word.len();
+        } else if line_len + 1 + word.len() > width {
+            out.push('\n');
+            out.push_str(indent);
+            out.push_str(word);
+            line_len = word.len();
+        } else {
+            out.push(' ');
+            out.push_str(word);
+            line_len += 1 + word.len();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::latency::Latency;
+    use postal_model::lint::{lint_schedule, LintOptions};
+    use postal_model::schedule::{Schedule, TimedSend};
+    use postal_model::time::Time;
+
+    #[test]
+    fn renders_code_location_sends_and_rule() {
+        let s = Schedule::new(
+            3,
+            Latency::from_ratio(5, 2),
+            vec![
+                TimedSend {
+                    src: 0,
+                    dst: 1,
+                    send_start: Time::ZERO,
+                },
+                TimedSend {
+                    src: 0,
+                    dst: 2,
+                    send_start: Time::new(1, 2),
+                },
+            ],
+        );
+        let diags = lint_schedule(&s, &LintOptions::ports_only());
+        let text = render_report(&diags, "bad.json");
+        assert!(text.contains("error[P0001]"), "{text}");
+        assert!(text.contains("--> bad.json: p0"), "{text}");
+        assert!(text.contains("= send: p0 -> p2 at t = 1/2"), "{text}");
+        assert!(text.contains("= rule:"), "{text}");
+        assert!(text.contains("bad.json: 1 error"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_renders_nothing() {
+        assert_eq!(render_report(&[], "x"), "");
+    }
+}

@@ -3,3 +3,4 @@ pub use postal_algos as algos;
 pub use postal_model as model;
 pub use postal_runtime as runtime;
 pub use postal_sim as sim;
+pub use postal_verify as verify;

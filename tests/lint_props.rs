@@ -1,0 +1,106 @@
+//! Property tests for the lint engine and analyzer: every algorithm's
+//! schedule is lint-clean at error severity for random (n, λ, m), and
+//! an adversarially mutated schedule — one send shifted a unit early —
+//! always trips one of the hard validity codes.
+
+use postal::algos::{
+    flood_schedule, run_bcast, run_dtree, run_pack, run_pipeline, run_repeat, BroadcastTree,
+    ToSchedule,
+};
+use postal::model::schedule::{Schedule, TimedSend};
+use postal::model::{Latency, Time};
+use postal::verify::{is_clean, lint_schedule, LintCode, LintOptions, Severity};
+use proptest::prelude::*;
+
+/// Random λ = p/q with 1 ≤ λ ≤ 8 and a small lattice (q ≤ 4).
+fn arb_latency8() -> impl Strategy<Value = Latency> {
+    (1i128..=4, 1i128..=8).prop_map(|(q, mult)| Latency::from_ratio(q * mult, q))
+}
+
+fn assert_error_clean(schedule: &Schedule, opts: &LintOptions) -> Result<(), TestCaseError> {
+    let diags = lint_schedule(schedule, opts);
+    prop_assert!(
+        is_clean(&diags, Severity::Error),
+        "schedule not error-clean: {:?}",
+        diags
+    );
+    Ok(())
+}
+
+/// Shifts send `idx` one unit earlier, keeping everything else intact.
+fn shift_back_one(schedule: &Schedule, idx: usize) -> Schedule {
+    let mut sends: Vec<TimedSend> = schedule.sends().to_vec();
+    sends[idx].send_start -= Time::ONE;
+    Schedule::new(schedule.n(), schedule.latency(), sends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn static_broadcast_schedules_are_error_clean(lam in arb_latency8(), n in 2u64..=512) {
+        let tree = BroadcastTree::build(n, lam).to_schedule();
+        assert_error_clean(&tree, &LintOptions::default())?;
+        let flood = flood_schedule(n, lam);
+        assert_error_clean(&flood.schedule, &LintOptions::default())?;
+    }
+
+    #[test]
+    fn simulated_algorithms_are_error_clean(
+        lam in arb_latency8(),
+        n in 2usize..=96,
+        m in 1u32..=8,
+        which in 0usize..5,
+    ) {
+        let (name, report) = match which {
+            0 => ("repeat", run_repeat(n, m, lam)),
+            1 => ("pack", run_pack(n, m, lam)),
+            2 => ("pipeline", run_pipeline(n, m, lam)),
+            3 => ("line", run_dtree(n, m, lam, 1)),
+            _ => ("binary", run_dtree(n, m, lam, 2)),
+        };
+        prop_assert!(report.verify().is_ok(), "{name}: engine verify failed");
+        let schedule = report.report.trace.to_schedule(n as u32, lam);
+        let diags = lint_schedule(&schedule, &LintOptions::broadcast_of(m as u64));
+        prop_assert!(is_clean(&diags, Severity::Error), "{name}: {:?}", diags);
+    }
+
+    #[test]
+    fn bcast_trace_schedule_is_error_clean(lam in arb_latency8(), n in 2usize..=512) {
+        let report = run_bcast(n, lam);
+        let schedule = report.trace.to_schedule(n as u32, lam);
+        assert_error_clean(&schedule, &LintOptions::default())?;
+    }
+
+    #[test]
+    fn shifting_any_send_early_always_trips_a_hard_lint(
+        lam in arb_latency8(),
+        n in 3u64..=512,
+        pick in 0usize..10_000,
+    ) {
+        // Mutate one send of an optimal broadcast schedule one unit
+        // earlier. Any such mutation must trip a hard validity code:
+        // the sender's port double-books (P0001), a receive window
+        // collides (P0002), or the sender now transmits before it holds
+        // the message (P0003). Sends starting before t = 1 are excluded
+        // (shifting those goes negative, which is P0004's domain).
+        let schedule = BroadcastTree::build(n, lam).to_schedule();
+        let eligible: Vec<usize> = (0..schedule.len())
+            .filter(|&i| schedule.sends()[i].send_start >= Time::ONE)
+            .collect();
+        prop_assert!(!eligible.is_empty(), "n ≥ 3 always has a send at t ≥ 1");
+        let idx = eligible[pick % eligible.len()];
+        let mutated = shift_back_one(&schedule, idx);
+        let diags = lint_schedule(&mutated, &LintOptions::default());
+        prop_assert!(
+            diags.iter().any(|d| matches!(
+                d.code,
+                LintCode::OutputPortOverlap
+                    | LintCode::InputWindowOverlap
+                    | LintCode::CausalityViolation
+            )),
+            "mutating send #{idx} tripped nothing hard: {:?}",
+            diags
+        );
+    }
+}

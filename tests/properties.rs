@@ -147,14 +147,17 @@ proptest! {
         // agree: the Fibonacci tree, its extracted schedule (validated
         // and replayed on the engine), and the greedy flood of Lemma 5.
         use postal::algos::{flood_schedule, replay, ToSchedule};
+        use postal::verify::{is_clean, lint_schedule, LintOptions, Severity};
         let tree = BroadcastTree::build(n, lam);
         let schedule = tree.to_schedule();
-        prop_assert!(schedule.validate_broadcast().is_ok());
+        let diags = lint_schedule(&schedule, &LintOptions::default());
+        prop_assert!(is_clean(&diags, Severity::Error), "{:?}", diags);
         let replayed = replay(&schedule);
         prop_assert!(replayed.violations.is_empty());
         prop_assert_eq!(replayed.completion, schedule.completion());
         let flood = flood_schedule(n, lam);
-        prop_assert!(flood.schedule.validate_broadcast().is_ok());
+        let diags = lint_schedule(&flood.schedule, &LintOptions::default());
+        prop_assert!(is_clean(&diags, Severity::Error), "{:?}", diags);
         prop_assert_eq!(flood.completion(), tree.completion());
         prop_assert!(flood.informed_curve_matches(n));
     }

@@ -21,7 +21,7 @@ fn tree_and_flood_at_scale() {
     let tree = BroadcastTree::build(n, lam);
     assert_eq!(tree.root.size(), n as usize);
     let schedule = tree.to_schedule();
-    schedule.validate_broadcast().expect("tree schedule valid");
+    postal::verify::assert_broadcast_clean(&schedule, "tree at scale");
     let flood = flood_schedule(n, lam);
     assert_eq!(flood.completion(), tree.completion());
     assert!(flood.informed_curve_matches(n));
