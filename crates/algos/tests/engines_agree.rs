@@ -1,16 +1,22 @@
 //! Cross-engine validation: the event-driven engine and the lockstep
 //! engine are independent implementations of the postal model and must
 //! produce transfer-for-transfer identical traces for every algorithm
-//! in the paper.
+//! in the paper. The threaded runtime runs the same programs on real
+//! threads; wall jitter forbids exact-time comparison, so it is held to
+//! structural agreement (same message multiset) and completion bounds.
 
+use postal_algos::bcast::{BcastPayload, BcastProgram};
 use postal_algos::ext::combine::{combine_programs, run_combine};
+use postal_algos::repeat::RepeatProgram;
 use postal_algos::{
     bcast_programs, dtree::dtree_programs, pack::pack_programs, pipeline::pipeline_programs,
     repeat::repeat_programs, Pacing,
 };
 use postal_model::{Latency, Time};
-use postal_sim::lockstep::run_lockstep;
-use postal_sim::{Program, RunReport, Simulation, Uniform};
+use postal_obs::{MemoryRecorder, ObsEvent, RunMeta};
+use postal_runtime::{run_threaded, send_programs_from, RuntimeConfig};
+use postal_sim::lockstep::run_lockstep_observed;
+use postal_sim::{ProcId, Program, RunReport, Simulation, Uniform};
 
 /// Canonical form of a trace: sorted (src, dst, send_start, recv_finish).
 fn canon<P>(report: &RunReport<P>) -> Vec<(u32, u32, Time, Time)> {
@@ -24,6 +30,35 @@ fn canon<P>(report: &RunReport<P>) -> Vec<(u32, u32, Time, Time)> {
     v
 }
 
+/// Canonical form of an observability log's message events, seq-blind
+/// (the engines may number identical same-instant sends differently).
+fn canon_obs(log: &postal_obs::ObsLog) -> Vec<(u32, u32, Time, Time, bool)> {
+    let mut v: Vec<_> = log
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            ObsEvent::Send {
+                src,
+                dst,
+                start,
+                finish,
+                ..
+            } => Some((src, dst, start, finish, false)),
+            ObsEvent::Recv {
+                src,
+                dst,
+                start,
+                finish,
+                queued,
+                ..
+            } => Some((src, dst, start, finish, queued)),
+            _ => None,
+        })
+        .collect();
+    v.sort();
+    v
+}
+
 fn assert_engines_agree<P: Clone>(
     n: usize,
     lam: Latency,
@@ -31,8 +66,13 @@ fn assert_engines_agree<P: Clone>(
     label: &str,
 ) {
     let model = Uniform(lam);
-    let event = Simulation::new(n, &model).run(build()).unwrap();
-    let lock = run_lockstep(n, lam, build(), 1_000_000).unwrap();
+    let rec_event = MemoryRecorder::new();
+    let event = Simulation::new(n, &model)
+        .observe(&rec_event)
+        .run(build())
+        .unwrap();
+    let rec_lock = MemoryRecorder::new();
+    let lock = run_lockstep_observed(n, lam, build(), 1_000_000, &rec_lock).unwrap();
     assert_eq!(event.completion, lock.completion, "{label}: completion");
     assert_eq!(
         event.violations.len(),
@@ -40,6 +80,14 @@ fn assert_engines_agree<P: Clone>(
         "{label}: violations"
     );
     assert_eq!(canon(&event), canon(&lock), "{label}: traces");
+    // Both engines must also emit the same observability stream: the
+    // exporters downstream see one truth regardless of substrate.
+    let meta = RunMeta::new("x", n as u32).latency(lam);
+    assert_eq!(
+        canon_obs(&rec_event.into_log(meta.clone())),
+        canon_obs(&rec_lock.into_log(meta)),
+        "{label}: obs streams"
+    );
 }
 
 #[test]
@@ -118,4 +166,91 @@ fn combine_agrees() {
     let event = run_combine(&values, lam);
     event.report.assert_model_clean();
     assert_eq!(event.report.completion, Time::new(15, 2));
+}
+
+/// Structural agreement between the event engine and a threaded run:
+/// identical (src, dst) edge multisets and per-destination counts, with
+/// the threaded completion bounded below by the model time (sleeps
+/// enforce minimums) and above by a generous jitter allowance.
+fn assert_threaded_agrees<P: Clone + Send + 'static>(
+    n: usize,
+    lam: Latency,
+    build_sim: impl Fn() -> Vec<Box<dyn Program<P>>>,
+    build_threaded: impl Fn() -> Vec<Box<dyn Program<P> + Send>>,
+    label: &str,
+) {
+    let model = Uniform(lam);
+    let event = Simulation::new(n, &model).run(build_sim()).unwrap();
+    event.assert_model_clean();
+    let threaded = run_threaded(lam, RuntimeConfig::default(), build_threaded());
+
+    let mut sim_edges: Vec<(u32, u32)> = event
+        .trace
+        .transfers()
+        .iter()
+        .map(|t| (t.src.0, t.dst.0))
+        .collect();
+    let mut thr_edges: Vec<(u32, u32)> = threaded
+        .deliveries
+        .iter()
+        .map(|d| (d.from.0, d.to.0))
+        .collect();
+    sim_edges.sort_unstable();
+    thr_edges.sort_unstable();
+    assert_eq!(sim_edges, thr_edges, "{label}: edge multisets");
+
+    let model_t = event.completion.to_f64();
+    let wall_t = threaded.completion.to_f64();
+    assert!(
+        wall_t >= model_t - 0.01,
+        "{label}: threaded finished impossibly fast ({wall_t} < {model_t})"
+    );
+    assert!(
+        wall_t < model_t * 3.0 + 5.0,
+        "{label}: threaded far too slow ({wall_t} vs {model_t})"
+    );
+}
+
+#[test]
+fn threaded_runtime_agrees_on_bcast() {
+    for (n, lam) in [
+        (5usize, Latency::from_int(2)),
+        (14, Latency::from_ratio(5, 2)),
+    ] {
+        assert_threaded_agrees(
+            n,
+            lam,
+            || bcast_programs(n, lam),
+            || {
+                send_programs_from(n, |id| {
+                    Box::new(BcastProgram::new(
+                        lam,
+                        (id == ProcId::ROOT).then_some(n as u64),
+                    )) as Box<dyn Program<BcastPayload> + Send>
+                })
+            },
+            "bcast",
+        );
+    }
+}
+
+#[test]
+fn threaded_runtime_agrees_on_repeat() {
+    let (n, m) = (8usize, 3u32);
+    let lam = Latency::from_int(2);
+    assert_threaded_agrees(
+        n,
+        lam,
+        || repeat_programs(n, m, lam, Pacing::Greedy),
+        || {
+            send_programs_from(n, |id| {
+                Box::new(RepeatProgram::new(
+                    lam,
+                    Pacing::Greedy,
+                    (id == ProcId::ROOT).then_some((n as u64, m)),
+                )) as Box<dyn Program<postal_algos::MultiPacket> + Send>
+            })
+        },
+        "repeat",
+    );
 }

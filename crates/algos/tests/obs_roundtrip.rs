@@ -1,0 +1,129 @@
+//! Round-trip property: a lint-clean run survives the observability
+//! pipeline intact. For every paper algorithm workload we simulate,
+//! export the event stream as JSONL, re-ingest it through postal-verify,
+//! and require (a) the parsed log equals the original bit-for-bit and
+//! (b) the reconstructed schedule lints exactly as clean as the one the
+//! simulator executed. This is the contract that makes recorded traces
+//! trustworthy inputs to offline analysis.
+
+use postal_algos::{bcast_programs, pack::pack_programs, repeat::repeat_programs, Pacing};
+use postal_model::Latency;
+use postal_obs::{from_jsonl, to_jsonl, ObsLog};
+use postal_sim::{log_from_report, Simulation, Uniform};
+use postal_verify::{
+    is_clean, lint_jsonl, lint_schedule, schedule_from_jsonl, LintOptions, Severity,
+};
+use proptest::prelude::*;
+
+/// One generated workload: which algorithm, at what size and latency.
+#[derive(Debug, Clone, Copy)]
+enum Workload {
+    Bcast { n: usize, lam: Latency },
+    Repeat { n: usize, m: u32, lam: Latency },
+    Pack { n: usize, m: u32, lam: Latency },
+}
+
+impl Workload {
+    fn n(self) -> usize {
+        match self {
+            Workload::Bcast { n, .. } | Workload::Repeat { n, .. } | Workload::Pack { n, .. } => n,
+        }
+    }
+
+    fn lam(self) -> Latency {
+        match self {
+            Workload::Bcast { lam, .. }
+            | Workload::Repeat { lam, .. }
+            | Workload::Pack { lam, .. } => lam,
+        }
+    }
+
+    fn messages(self) -> u64 {
+        match self {
+            Workload::Bcast { .. } => 1,
+            Workload::Repeat { m, .. } | Workload::Pack { m, .. } => m as u64,
+        }
+    }
+
+    /// The lint profile the workload's schedule must satisfy: full
+    /// broadcast rules for single-message runs, port rules for
+    /// multi-message traffic (which legitimately re-sends to informed
+    /// processors).
+    fn lint_options(self) -> LintOptions {
+        match self {
+            Workload::Bcast { .. } => LintOptions::default(),
+            Workload::Repeat { .. } | Workload::Pack { .. } => LintOptions::ports_only(),
+        }
+    }
+
+    fn run(self) -> ObsLog {
+        let model = Uniform(self.lam());
+        let (n, m) = (self.n() as u32, self.messages());
+        match self {
+            Workload::Bcast { n: sz, lam } => {
+                let report = Simulation::new(sz, &model)
+                    .run(bcast_programs(sz, lam))
+                    .unwrap();
+                log_from_report(&report, "event", n, Some(lam), Some(m))
+            }
+            Workload::Repeat { n: sz, m: k, lam } => {
+                let report = Simulation::new(sz, &model)
+                    .run(repeat_programs(sz, k, lam, Pacing::Greedy))
+                    .unwrap();
+                log_from_report(&report, "event", n, Some(lam), Some(m))
+            }
+            Workload::Pack { n: sz, m: k, lam } => {
+                let report = Simulation::new(sz, &model)
+                    .run(pack_programs(sz, k, lam))
+                    .unwrap();
+                log_from_report(&report, "event", n, Some(lam), Some(m))
+            }
+        }
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (0usize..3, 2usize..=64, 1u32..=4, 0usize..3).prop_map(|(alg, n, m, li)| {
+        let lam = [
+            Latency::from_int(1),
+            Latency::from_int(2),
+            Latency::from_ratio(5, 2),
+        ][li];
+        match alg {
+            0 => Workload::Bcast { n, lam },
+            1 => Workload::Repeat { n, m, lam },
+            _ => Workload::Pack { n, m, lam },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn jsonl_round_trip_preserves_log_and_lint_verdict(w in arb_workload()) {
+        let log = w.run();
+        let opts = w.lint_options();
+
+        // The run itself must be lint-clean before we rely on it.
+        let schedule = log.to_schedule().unwrap();
+        let direct = lint_schedule(&schedule, &opts);
+        prop_assert!(
+            is_clean(&direct, Severity::Error),
+            "{w:?}: simulated schedule not clean: {direct:?}"
+        );
+
+        // Serialize and re-ingest: the parsed log is the original log.
+        let text = to_jsonl(&log);
+        let parsed = from_jsonl(&text).unwrap();
+        prop_assert_eq!(&parsed, &log, "{w:?}: JSONL round trip changed the log");
+
+        // postal-verify's ingest path reaches the same schedule and the
+        // same verdict as linting the in-memory run directly.
+        let re_schedule = schedule_from_jsonl(&text).unwrap();
+        prop_assert_eq!(re_schedule.sends(), schedule.sends());
+        let re_diags = lint_jsonl(&text, &opts).unwrap();
+        prop_assert_eq!(re_diags.len(), direct.len());
+        prop_assert!(is_clean(&re_diags, Severity::Error));
+    }
+}

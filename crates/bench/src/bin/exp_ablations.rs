@@ -1,9 +1,13 @@
 //! Ablations: λ-blind trees and port-contention semantics.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
-    println!(
-        "{}",
-        postal_bench::experiments::ablations::latency_blind_tree()
-    );
-    println!("{}", postal_bench::experiments::ablations::port_modes());
+    let blind = postal_bench::experiments::ablations::latency_blind_tree();
+    let ports = postal_bench::experiments::ablations::port_modes();
+    println!("{blind}");
+    println!("{ports}");
+    let mut report = BenchReport::new("ablations");
+    report.table(&blind).table(&ports);
+    println!("wrote {}", report.write().display());
 }

@@ -3,18 +3,22 @@
 //!
 //! Pass a directory as the first argument to also dump each table as
 //! CSV: `cargo run --release -p postal-bench --bin exp_all -- out/`.
+//! Always writes `BENCH_all.json` summarizing every table emitted.
 
 use postal_bench::experiments as exp;
+use postal_bench::report::BenchReport;
 use postal_bench::table::Table;
 
 struct CsvSink {
     dir: Option<std::path::PathBuf>,
     count: u32,
+    report: BenchReport,
 }
 
 impl CsvSink {
     fn emit(&mut self, table: &Table) {
         println!("{table}");
+        self.report.table(table);
         if let Some(dir) = &self.dir {
             self.count += 1;
             let slug: String = table
@@ -34,14 +38,21 @@ fn main() {
     if let Some(d) = &dir {
         std::fs::create_dir_all(d).expect("can create CSV output directory");
     }
-    let mut sink = CsvSink { dir, count: 0 };
+    let mut sink = CsvSink {
+        dir,
+        count: 0,
+        report: BenchReport::new("all"),
+    };
     println!("=== F1: Figure 1 ===");
     let (art, table) = exp::single::figure1();
     println!("{art}");
     sink.emit(&table);
 
     println!("=== T6: Theorem 6 ===");
-    sink.emit(&exp::single::theorem6());
+    let (t6, gap_violations) = exp::single::theorem6_checked();
+    sink.emit(&t6);
+    sink.report
+        .int("theorem6_gap_violations", gap_violations as i128);
 
     println!("=== T7: Theorem 7 ===");
     sink.emit(&exp::bounds_exp::fib_bounds());
@@ -88,4 +99,10 @@ fn main() {
     println!("=== Ablations ===");
     sink.emit(&exp::ablations::latency_blind_tree());
     sink.emit(&exp::ablations::port_modes());
+
+    if gap_violations > 0 {
+        eprintln!("error: {gap_violations} Theorem-6 gap violations");
+        std::process::exit(1);
+    }
+    println!("wrote {}", sink.report.write().display());
 }

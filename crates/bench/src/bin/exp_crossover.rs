@@ -1,14 +1,27 @@
 //! Experiment X1: winner maps over (m, λ).
 
+use postal_bench::report::BenchReport;
+
 fn main() {
+    let mut report = BenchReport::new("crossover");
     for n in [16u128, 64, 256] {
-        println!("{}", postal_bench::experiments::crossover::winner_map(n));
+        let map = postal_bench::experiments::crossover::winner_map(n);
+        println!("{map}");
+        report.table(&map);
     }
     for lam_i in [4i128, 8, 16] {
         let lam = postal_model::Latency::from_int(lam_i);
+        let key = format!("pack_pipeline_crossover_m_n64_lambda{lam_i}");
         match postal_bench::experiments::crossover::pack_pipeline_crossover(64, lam) {
-            Some(m) => println!("PACK→PIPELINE crossover at n=64, λ={lam}: m = {m}"),
-            None => println!("No PACK→PIPELINE crossover found at n=64, λ={lam} for m ≤ 512"),
+            Some(m) => {
+                println!("PACK→PIPELINE crossover at n=64, λ={lam}: m = {m}");
+                report.int(&key, m as i128);
+            }
+            None => {
+                println!("No PACK→PIPELINE crossover found at n=64, λ={lam} for m ≤ 512");
+                report.int(&key, 0);
+            }
         }
     }
+    println!("wrote {}", report.write().display());
 }

@@ -1,17 +1,20 @@
 //! Experiment L18: the DTREE(d) family.
 
+use postal_bench::report::BenchReport;
 use postal_model::Latency;
 
 fn main() {
-    println!("{}", postal_bench::experiments::dtree_exp::bound_check());
+    let bound = postal_bench::experiments::dtree_exp::bound_check();
+    println!("{bound}");
+    let mut report = BenchReport::new("dtree");
+    report.table(&bound);
     for lam in [Latency::from_ratio(5, 2), Latency::from_int(8)] {
-        println!(
-            "{}",
-            postal_bench::experiments::dtree_exp::degree_sweep(32, 8, lam)
-        );
+        let sweep = postal_bench::experiments::dtree_exp::degree_sweep(32, 8, lam);
+        println!("{sweep}");
+        report.table(&sweep);
     }
-    println!(
-        "{}",
-        postal_bench::experiments::dtree_exp::constant_factor_table()
-    );
+    let constants = postal_bench::experiments::dtree_exp::constant_factor_table();
+    println!("{constants}");
+    report.table(&constants);
+    println!("wrote {}", report.write().display());
 }

@@ -1,16 +1,18 @@
 //! Experiment X3: Section 5 extensions.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
-    println!(
-        "{}",
-        postal_bench::experiments::extensions_exp::adaptive_table()
-    );
-    println!(
-        "{}",
-        postal_bench::experiments::extensions_exp::hierarchy_table()
-    );
-    println!(
-        "{}",
-        postal_bench::experiments::extensions_exp::collectives_table()
-    );
+    let adaptive = postal_bench::experiments::extensions_exp::adaptive_table();
+    let hierarchy = postal_bench::experiments::extensions_exp::hierarchy_table();
+    let collectives = postal_bench::experiments::extensions_exp::collectives_table();
+    println!("{adaptive}");
+    println!("{hierarchy}");
+    println!("{collectives}");
+    let mut report = BenchReport::new("extensions");
+    report
+        .table(&adaptive)
+        .table(&hierarchy)
+        .table(&collectives);
+    println!("wrote {}", report.write().display());
 }

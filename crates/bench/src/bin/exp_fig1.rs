@@ -1,7 +1,16 @@
 //! Experiment F1: regenerate Figure 1 of the paper.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
     let (art, table) = postal_bench::experiments::single::figure1();
     println!("{art}");
     println!("{table}");
+    let mismatches = table.rows().iter().filter(|r| r[1] != r[2]).count();
+    let mut report = BenchReport::new("fig1");
+    report
+        .int("processors", 14)
+        .int("tree_sim_mismatches", mismatches as i128)
+        .table(&table);
+    println!("wrote {}", report.write().display());
 }

@@ -1,8 +1,11 @@
 //! Experiment X5: exact optimum vs Lemma 8 on tiny instances.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
-    println!(
-        "{}",
-        postal_bench::experiments::gap_exp::gap_table(30_000_000)
-    );
+    let table = postal_bench::experiments::gap_exp::gap_table(30_000_000);
+    println!("{table}");
+    let mut report = BenchReport::new("gap");
+    report.table(&table);
+    println!("wrote {}", report.write().display());
 }

@@ -1,5 +1,11 @@
 //! Experiment X4: BCAST robustness to latency jitter.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
-    println!("{}", postal_bench::experiments::jitter_exp::jitter_table());
+    let table = postal_bench::experiments::jitter_exp::jitter_table();
+    println!("{table}");
+    let mut report = BenchReport::new("jitter");
+    report.table(&table);
+    println!("wrote {}", report.write().display());
 }

@@ -1,8 +1,11 @@
 //! Experiment L8: the multi-message lower bound and overhead factors.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
-    println!(
-        "{}",
-        postal_bench::experiments::multi_exp::lower_bound_factors()
-    );
+    let table = postal_bench::experiments::multi_exp::lower_bound_factors();
+    println!("{table}");
+    let mut report = BenchReport::new("lower_bounds");
+    report.table(&table);
+    println!("wrote {}", report.write().display());
 }

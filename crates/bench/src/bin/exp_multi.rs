@@ -1,9 +1,13 @@
 //! Experiments L10/L12/L14/L16: multi-message closed forms.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
-    println!("{}", postal_bench::experiments::multi_exp::closed_forms());
-    println!(
-        "{}",
-        postal_bench::experiments::multi_exp::repeat_pacing_ablation()
-    );
+    let closed = postal_bench::experiments::multi_exp::closed_forms();
+    let pacing = postal_bench::experiments::multi_exp::repeat_pacing_ablation();
+    println!("{closed}");
+    println!("{pacing}");
+    let mut report = BenchReport::new("multi");
+    report.table(&closed).table(&pacing);
+    println!("wrote {}", report.write().display());
 }

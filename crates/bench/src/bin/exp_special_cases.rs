@@ -1,7 +1,18 @@
 //! Experiment X2: λ = 1 (binomial) and λ = 2 (Fibonacci) sanity anchors.
 
+use postal_bench::report::BenchReport;
+
 fn main() {
     let (pow2, fibo) = postal_bench::experiments::single::special_cases();
     println!("{pow2}");
     println!("{fibo}");
+    let pow2_mismatches = pow2.rows().iter().filter(|r| r[1] != r[2]).count();
+    let fibo_mismatches = fibo.rows().iter().filter(|r| r[1] != r[2]).count();
+    let mut report = BenchReport::new("special_cases");
+    report
+        .int("pow2_mismatches", pow2_mismatches as i128)
+        .int("fibonacci_mismatches", fibo_mismatches as i128)
+        .table(&pow2)
+        .table(&fibo);
+    println!("wrote {}", report.write().display());
 }

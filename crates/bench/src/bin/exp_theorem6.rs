@@ -1,5 +1,45 @@
 //! Experiment T6: BCAST optimality (Theorem 6).
+//!
+//! Besides the text table, writes `BENCH_theorem6.json` (gap-violation
+//! count CI asserts is zero) and the observability artifacts for the
+//! paper's flagship instance BCAST(14, 5/2): a Chrome trace and a
+//! Prometheus exposition, both in `$BENCH_OUT_DIR` (default `.`).
+
+use postal_bench::report::BenchReport;
+use postal_model::Latency;
+use postal_sim::log_from_report;
 
 fn main() {
-    println!("{}", postal_bench::experiments::single::theorem6());
+    let (table, gap_violations) = postal_bench::experiments::single::theorem6_checked();
+    println!("{table}");
+
+    // Observability artifacts for the Figure-1 instance.
+    let lam = Latency::from_ratio(5, 2);
+    let run = postal_algos::run_bcast(14, lam);
+    let log = log_from_report(&run, "event", 14, Some(lam), Some(1));
+    let dir = std::env::var_os("BENCH_OUT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::write(
+        dir.join("TRACE_theorem6.json"),
+        postal_obs::to_chrome_trace(&log),
+    )
+    .expect("writable output directory");
+    std::fs::write(
+        dir.join("METRICS_theorem6.prom"),
+        postal_obs::to_prometheus(&log),
+    )
+    .expect("writable output directory");
+
+    let mut report = BenchReport::new("theorem6");
+    report
+        .int("cases", table.len() as i128)
+        .int("gap_violations", gap_violations as i128)
+        .text("flagship_completion", &run.completion.to_string())
+        .table(&table);
+    let path = report.write();
+    println!("wrote {}", path.display());
+    if gap_violations > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,11 +1,15 @@
 //! Experiment T7: bounds on F_λ and f_λ (Theorem 7 + appendix).
 
+use postal_bench::report::BenchReport;
+
 fn main() {
-    let e = &postal_bench::experiments::bounds_exp::fib_bounds();
-    println!("{e}");
-    println!("{}", postal_bench::experiments::bounds_exp::index_bounds());
-    println!(
-        "{}",
-        postal_bench::experiments::bounds_exp::asymptotic_bounds()
-    );
+    let fib = postal_bench::experiments::bounds_exp::fib_bounds();
+    let index = postal_bench::experiments::bounds_exp::index_bounds();
+    let asym = postal_bench::experiments::bounds_exp::asymptotic_bounds();
+    println!("{fib}");
+    println!("{index}");
+    println!("{asym}");
+    let mut report = BenchReport::new("theorem7");
+    report.table(&fib).table(&index).table(&asym);
+    println!("wrote {}", report.write().display());
 }

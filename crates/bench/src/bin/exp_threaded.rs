@@ -8,6 +8,7 @@
 use postal_algos::bcast::{BcastPayload, BcastProgram};
 use postal_algos::pipeline::PipelineProgram;
 use postal_algos::MultiPacket;
+use postal_bench::report::BenchReport;
 use postal_model::{runtimes, Latency};
 use postal_runtime::{run_threaded, send_programs_from, RuntimeConfig};
 use postal_sim::{ProcId, Program};
@@ -25,6 +26,9 @@ fn main() {
         "{:<26} {:>12} {:>12} {:>9}",
         "workload", "model", "measured", "overhead"
     );
+    let mut report = BenchReport::new("threaded");
+    let mut workloads = 0i128;
+    let mut max_overhead = 0.0f64;
 
     for (n, lam) in [
         (8usize, Latency::from_int(2)),
@@ -38,15 +42,19 @@ fn main() {
                 (id == ProcId::ROOT).then_some(n as u64),
             )) as Box<dyn Program<BcastPayload> + Send>
         });
-        let report = run_threaded(lam, config, programs);
-        assert!(report.elapsed_units >= model - 0.05, "impossibly fast");
+        let run = run_threaded(lam, config, programs);
+        assert!(run.elapsed_units >= model - 0.05, "impossibly fast");
+        let overhead = (run.elapsed_units / model - 1.0) * 100.0;
         println!(
             "{:<26} {:>12.2} {:>12.2} {:>8.1}%",
             format!("BCAST n={n} λ={lam}"),
             model,
-            report.elapsed_units,
-            (report.elapsed_units / model - 1.0) * 100.0
+            run.elapsed_units,
+            overhead
         );
+        report.num(&format!("overhead_pct_bcast_n{n}"), overhead);
+        workloads += 1;
+        max_overhead = max_overhead.max(overhead);
     }
 
     for (n, m, lam) in [
@@ -61,14 +69,23 @@ fn main() {
                 (id == ProcId::ROOT).then_some(n as u64),
             )) as Box<dyn Program<MultiPacket> + Send>
         });
-        let report = run_threaded(lam, config, programs);
-        assert!(report.elapsed_units >= model - 0.05, "impossibly fast");
+        let run = run_threaded(lam, config, programs);
+        assert!(run.elapsed_units >= model - 0.05, "impossibly fast");
+        let overhead = (run.elapsed_units / model - 1.0) * 100.0;
         println!(
             "{:<26} {:>12.2} {:>12.2} {:>8.1}%",
             format!("PIPELINE n={n} m={m} λ={lam}"),
             model,
-            report.elapsed_units,
-            (report.elapsed_units / model - 1.0) * 100.0
+            run.elapsed_units,
+            overhead
         );
+        report.num(&format!("overhead_pct_pipeline_n{n}_m{m}"), overhead);
+        workloads += 1;
+        max_overhead = max_overhead.max(overhead);
     }
+
+    report
+        .int("workloads", workloads)
+        .num("max_overhead_pct", max_overhead);
+    println!("wrote {}", report.write().display());
 }

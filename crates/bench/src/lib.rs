@@ -9,6 +9,8 @@
 //!   the paper's claims while producing a human-readable table.
 //! * [`optimal`] — exact exhaustive search for optimal multi-message
 //!   broadcast on tiny instances (quantifying the paper's Section 5 gap);
+//! * [`report`] — `BENCH_<id>.json` machine-readable summaries every
+//!   `exp_*` binary writes for CI;
 //! * [`table`] — the minimal text-table formatter used for output.
 //!
 //! Run `cargo run -p postal-bench --bin exp_all` for the full report, or
@@ -20,4 +22,5 @@
 
 pub mod experiments;
 pub mod optimal;
+pub mod report;
 pub mod table;

@@ -15,7 +15,9 @@ use postal_algos::{
 };
 use postal_bench::optimal::{optimal_multi_broadcast_with, OrderPolicy, SearchResult};
 use postal_model::{runtimes, GenFib, Latency, Time};
+use postal_obs::{to_chrome_trace, to_jsonl, to_prometheus, MetricsSummary, ObsLog};
 use postal_sim::gantt::render_gantt;
+use postal_sim::{log_from_report, RunReport};
 use std::fmt::Write as _;
 
 /// CLI failure modes.
@@ -42,13 +44,21 @@ USAGE:
                                              (algo: bcast|repeat|repeat-greedy|pack|
                                               pipeline|line|binary|star|dtree:<d>|
                                               combine|gossip|scatter)
+           [--trace-out FILE]                export Chrome trace JSON (Perfetto/about:tracing)
+           [--events-out FILE]               export JSONL event log (re-lintable: postal lint)
+           [--metrics-out FILE]              export Prometheus text exposition
+           [--format text|json]              machine-readable summary
+    postal stats <algo> <n> <m> <lambda>     observed-run metrics: gap to f_λ(n), port
+                                             utilization, latency, idle-port waste (P0006)
+           [--trace-out|--events-out|--metrics-out FILE] [--format text|json]
     postal svg <n> <lambda>                  broadcast tree as an SVG document (stdout)
     postal optimal <n> <m> <lambda>          exact optimum via exhaustive search
                                              (tiny instances only)
-    postal lint <schedule.json>              static analysis: lint codes P0001-P0007
+    postal lint <schedule.json|events.jsonl> static analysis: lint codes P0001-P0007
            [--deny warn|error] [--format text|json] [--m N]
-                                             exits nonzero when any diagnostic reaches
-                                             the --deny level (default: error)
+                                             accepts schedule JSON or an observability
+                                             JSONL event log; exits nonzero when any
+                                             diagnostic reaches --deny (default: error)
 
 <lambda> accepts integers, fractions and decimals: 3, 5/2, 2.5";
 
@@ -154,9 +164,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(plan(n as u128, m as u64, lam))
         }
         Some("simulate") => {
-            let algo = args.get(1).ok_or_else(usage)?.as_str();
-            let (n, m, lam) = parse_n_m_lambda(&args[2..])?;
-            simulate(algo, n, m, lam)
+            let (pos, opts) = split_output_flags(&args[1..])?;
+            let (algo, rest) = pos.split_first().ok_or_else(usage)?;
+            let (n, m, lam) = parse_n_m_lambda(rest)?;
+            simulate(algo, n, m, lam, &opts)
+        }
+        Some("stats") => {
+            let (pos, opts) = split_output_flags(&args[1..])?;
+            let (algo, rest) = pos.split_first().ok_or_else(usage)?;
+            let (n, m, lam) = parse_n_m_lambda(rest)?;
+            stats(algo, n, m, lam, &opts)
         }
         Some("lint") => lint(&args[1..]),
         _ => Err(usage()),
@@ -228,19 +245,32 @@ fn lint(args: &[String]) -> Result<String, CliError> {
     let path = file.ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Invalid(format!("cannot read {path}: {e}")))?;
-    let parsed =
-        json::parse_schedule(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
-    let messages = m_override.or(parsed.messages).unwrap_or(1);
-    let diags = lint_schedule(&parsed.schedule, &LintOptions::broadcast_of(messages));
+    // An observability JSONL log announces itself with a run header; a
+    // schedule file is a single JSON object. Both reduce to a Schedule.
+    let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(format!("{path}: {e}"));
+    let (schedule, file_messages) = if text
+        .lines()
+        .next()
+        .is_some_and(|l| l.contains("\"type\":\"run\""))
+    {
+        let log = postal_obs::from_jsonl(&text).map_err(|e| invalid(&e))?;
+        let messages = log.meta().messages;
+        (log.to_schedule().map_err(|e| invalid(&e))?, messages)
+    } else {
+        let parsed = json::parse_schedule(&text).map_err(|e| invalid(&e))?;
+        (parsed.schedule, parsed.messages)
+    };
+    let messages = m_override.or(file_messages).unwrap_or(1);
+    let diags = lint_schedule(&schedule, &LintOptions::broadcast_of(messages));
     let report = if as_json {
         json::diagnostics_to_json(&diags)
     } else if diags.is_empty() {
         format!(
             "{path}: clean — valid broadcast of {messages} message(s) over MPS({}, {}), \
              completes at t = {}\n",
-            parsed.schedule.n(),
-            parsed.schedule.latency(),
-            parsed.schedule.completion()
+            schedule.n(),
+            schedule.latency(),
+            schedule.completion()
         )
     } else {
         render::render_report(&diags, path)
@@ -343,35 +373,100 @@ fn plan(n: u128, m: u64, lam: Latency) -> String {
     out
 }
 
-fn simulate(algo: &str, n: usize, m: u32, lam: Latency) -> Result<String, CliError> {
-    let describe = |completion: Time, messages: usize, violations: usize| {
-        format!(
-            "algorithm: {algo}\nn = {n}, m = {m}, λ = {lam}\ncompletion: {completion} units\n\
-             messages:  {messages}\nmodel violations: {violations}\n\
-             lower bound (Lemma 8): {}",
-            runtimes::multi_lower_bound(n as u128, m as u64, lam)
-        )
-    };
-    let from_multi = |r: postal_algos::MultiReport| {
-        let v = r.report.violations.len();
-        describe(r.completion(), r.report.messages(), v)
-    };
-    let out = match algo {
-        "bcast" => {
-            let r = run_bcast(n, lam);
-            describe(r.completion, r.messages(), r.violations.len())
+/// Export destinations and output format shared by `simulate` and `stats`.
+#[derive(Debug, Default)]
+struct OutputOpts {
+    trace_out: Option<String>,
+    events_out: Option<String>,
+    metrics_out: Option<String>,
+    as_json: bool,
+}
+
+/// Splits an argument list into positionals and the shared output flags.
+fn split_output_flags(args: &[String]) -> Result<(Vec<String>, OutputOpts), CliError> {
+    let mut pos = Vec::new();
+    let mut opts = OutputOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: usize| {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Invalid(format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--trace-out" => {
+                opts.trace_out = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
+            "--events-out" => {
+                opts.events_out = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
+            "--format" => {
+                opts.as_json = match flag_value(i)? {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--format must be 'text' or 'json', got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            s if s.starts_with('-') => {
+                return Err(CliError::Invalid(format!("unknown flag {s:?}")));
+            }
+            s => {
+                pos.push(s.to_string());
+                i += 1;
+            }
         }
-        "repeat" => from_multi(run_repeat(n, m, lam)),
-        "repeat-greedy" => from_multi(run_repeat_greedy(n, m, lam)),
-        "pack" => from_multi(run_pack(n, m, lam)),
-        "pipeline" => from_multi(run_pipeline(n, m, lam)),
-        "line" => from_multi(run_dtree(n, m, lam, 1)),
-        "binary" => from_multi(run_dtree(n, m, lam, 2)),
+    }
+    Ok((pos, opts))
+}
+
+/// One simulated workload, with its observability log attached.
+struct SimRun {
+    completion: Time,
+    messages: usize,
+    violations: usize,
+    log: ObsLog,
+    /// Algorithm-specific trailing line (e.g. combine's root total).
+    extra: Option<String>,
+}
+
+fn observed<P>(report: &RunReport<P>, n: usize, m: u32, lam: Latency) -> SimRun {
+    SimRun {
+        completion: report.completion,
+        messages: report.messages(),
+        violations: report.violations.len(),
+        log: log_from_report(report, "event", n as u32, Some(lam), Some(m as u64)),
+        extra: None,
+    }
+}
+
+/// Runs one named algorithm on the event simulator and captures its
+/// observability log — the single entry point `simulate` and `stats`
+/// share, so both always describe the same run the exporters saw.
+fn run_workload(algo: &str, n: usize, m: u32, lam: Latency) -> Result<SimRun, CliError> {
+    let run = match algo {
+        "bcast" => observed(&run_bcast(n, lam), n, m, lam),
+        "repeat" => observed(&run_repeat(n, m, lam).report, n, m, lam),
+        "repeat-greedy" => observed(&run_repeat_greedy(n, m, lam).report, n, m, lam),
+        "pack" => observed(&run_pack(n, m, lam).report, n, m, lam),
+        "pipeline" => observed(&run_pipeline(n, m, lam).report, n, m, lam),
+        "line" => observed(&run_dtree(n, m, lam, 1).report, n, m, lam),
+        "binary" => observed(&run_dtree(n, m, lam, 2).report, n, m, lam),
         "star" => {
             if n < 2 {
                 return Err(CliError::Invalid("star needs n ≥ 2".into()));
             }
-            from_multi(run_dtree(n, m, lam, n as u64 - 1))
+            observed(&run_dtree(n, m, lam, n as u64 - 1).report, n, m, lam)
         }
         _ if algo.starts_with("dtree:") => {
             let d: u64 = algo[6..]
@@ -380,34 +475,22 @@ fn simulate(algo: &str, n: usize, m: u32, lam: Latency) -> Result<String, CliErr
             if d == 0 {
                 return Err(CliError::Invalid("degree must be ≥ 1".into()));
             }
-            from_multi(run_dtree(n, m, lam, d))
+            observed(&run_dtree(n, m, lam, d).report, n, m, lam)
         }
         "combine" => {
             let values: Vec<u64> = (0..n as u64).collect();
             let o = combine::run_combine(&values, lam);
-            format!(
-                "{}\nroot total: {}",
-                describe(
-                    o.report.completion,
-                    o.report.messages(),
-                    o.report.violations.len()
-                ),
-                o.root_total
-            )
+            let mut run = observed(&o.report, n, m, lam);
+            run.extra = Some(format!("root total: {}", o.root_total));
+            run
         }
         "gossip" => {
             let values: Vec<u64> = (0..n as u64).collect();
-            let o = gossip::run_gossip(&values, lam);
-            describe(
-                o.report.completion,
-                o.report.messages(),
-                o.report.violations.len(),
-            )
+            observed(&gossip::run_gossip(&values, lam).report, n, m, lam)
         }
         "scatter" => {
             let items: Vec<u64> = (0..n as u64).collect();
-            let r = scatter::run_scatter(&items, lam);
-            describe(r.completion, r.messages(), r.violations.len())
+            observed(&scatter::run_scatter(&items, lam), n, m, lam)
         }
         other => {
             return Err(CliError::Invalid(format!(
@@ -415,6 +498,161 @@ fn simulate(algo: &str, n: usize, m: u32, lam: Latency) -> Result<String, CliErr
             )))
         }
     };
+    Ok(run)
+}
+
+/// Writes the requested exporter outputs, returning one note per file.
+fn write_exports(log: &ObsLog, opts: &OutputOpts) -> Result<Vec<String>, CliError> {
+    let mut notes = Vec::new();
+    for (path, what, contents) in [
+        (&opts.trace_out, "Chrome trace", to_chrome_trace(log)),
+        (&opts.events_out, "JSONL event log", to_jsonl(log)),
+        (&opts.metrics_out, "Prometheus metrics", to_prometheus(log)),
+    ] {
+        if let Some(p) = path {
+            std::fs::write(p, contents)
+                .map_err(|e| CliError::Invalid(format!("cannot write {p}: {e}")))?;
+            notes.push(format!("wrote {what} to {p}"));
+        }
+    }
+    Ok(notes)
+}
+
+fn simulate(
+    algo: &str,
+    n: usize,
+    m: u32,
+    lam: Latency,
+    opts: &OutputOpts,
+) -> Result<String, CliError> {
+    let run = run_workload(algo, n, m, lam)?;
+    let notes = write_exports(&run.log, opts)?;
+    let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+    if opts.as_json {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"command\": \"simulate\",");
+        let _ = writeln!(out, "  \"algo\": \"{algo}\",");
+        let _ = writeln!(out, "  \"n\": {n},");
+        let _ = writeln!(out, "  \"m\": {m},");
+        let _ = writeln!(out, "  \"lambda\": \"{lam}\",");
+        let _ = writeln!(out, "  \"completion\": \"{}\",", run.completion);
+        let _ = writeln!(out, "  \"completion_units\": {},", run.completion.to_f64());
+        let _ = writeln!(out, "  \"messages\": {},", run.messages);
+        let _ = writeln!(out, "  \"violations\": {},", run.violations);
+        let _ = writeln!(out, "  \"lower_bound\": \"{lb}\"");
+        out.push('}');
+        return Ok(out);
+    }
+    let mut out = format!(
+        "algorithm: {algo}\nn = {n}, m = {m}, λ = {lam}\ncompletion: {} units\n\
+         messages:  {}\nmodel violations: {}\nlower bound (Lemma 8): {lb}",
+        run.completion, run.messages, run.violations
+    );
+    if let Some(extra) = &run.extra {
+        let _ = write!(out, "\n{extra}");
+    }
+    for note in notes {
+        let _ = write!(out, "\n{note}");
+    }
+    Ok(out)
+}
+
+/// How many per-processor rows `stats` prints before eliding the rest.
+const STATS_UTILIZATION_ROWS: usize = 16;
+
+fn stats(
+    algo: &str,
+    n: usize,
+    m: u32,
+    lam: Latency,
+    opts: &OutputOpts,
+) -> Result<String, CliError> {
+    let run = run_workload(algo, n, m, lam)?;
+    let notes = write_exports(&run.log, opts)?;
+    let s = MetricsSummary::from_log(&run.log);
+    let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+    // For a single message the paper's exact optimum f_λ(n) is known
+    // (Theorem 6); report the gap against it rather than the looser
+    // multi-message lower bound.
+    let optimum = (m == 1).then(|| runtimes::bcast_time(n as u128, lam));
+    let ratio = |target: Time| run.completion.to_f64() / target.to_f64().max(1e-9);
+    if opts.as_json {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"command\": \"stats\",");
+        let _ = writeln!(out, "  \"algo\": \"{algo}\",");
+        let _ = writeln!(out, "  \"n\": {n},");
+        let _ = writeln!(out, "  \"m\": {m},");
+        let _ = writeln!(out, "  \"lambda\": \"{lam}\",");
+        let _ = writeln!(out, "  \"completion\": \"{}\",", run.completion);
+        let _ = writeln!(out, "  \"completion_units\": {},", run.completion.to_f64());
+        if let Some(f) = optimum {
+            let _ = writeln!(out, "  \"bcast_optimum\": \"{f}\",");
+            let _ = writeln!(out, "  \"optimality_ratio\": {},", ratio(f));
+        }
+        let _ = writeln!(out, "  \"lower_bound\": \"{lb}\",");
+        let _ = writeln!(out, "  \"sends\": {},", s.total_sends());
+        let _ = writeln!(out, "  \"deliveries\": {},", s.total_recvs());
+        let _ = writeln!(out, "  \"queued_recvs\": {},", s.queued_recvs);
+        let _ = writeln!(out, "  \"violations\": {},", s.violations);
+        let _ = writeln!(out, "  \"drops\": {},", s.drops);
+        let _ = writeln!(out, "  \"crashes\": {},", s.crashes);
+        let _ = writeln!(out, "  \"wakes\": {},", s.wakes);
+        let _ = writeln!(out, "  \"mean_latency_units\": {},", s.latency.mean());
+        let _ = writeln!(out, "  \"idle_out_units\": {},", s.idle_out_units());
+        let util: Vec<String> = (0..n)
+            .map(|p| {
+                let (o, i) = s.utilization(p);
+                format!("[{o:.4}, {i:.4}]")
+            })
+            .collect();
+        let _ = writeln!(out, "  \"utilization\": [{}]", util.join(", "));
+        out.push('}');
+        return Ok(out);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "stats: {algo} on MPS({n}, {lam}), m = {m}\n");
+    let _ = writeln!(
+        out,
+        "completion:            {} units ({:.3})",
+        run.completion,
+        run.completion.to_f64()
+    );
+    if let Some(f) = optimum {
+        let _ = writeln!(out, "f_λ(n) optimum:        {f} ({:.2}× optimal)", ratio(f));
+    }
+    let _ = writeln!(out, "lower bound (Lemma 8): {lb}");
+    let _ = writeln!(
+        out,
+        "sends: {}   deliveries: {}   queued: {}   violations: {}",
+        s.total_sends(),
+        s.total_recvs(),
+        s.queued_recvs,
+        s.violations
+    );
+    if s.drops + s.crashes > 0 {
+        let _ = writeln!(out, "drops: {}   crashes: {}", s.drops, s.crashes);
+    }
+    let _ = writeln!(
+        out,
+        "mean end-to-end latency: {:.3} units",
+        s.latency.mean()
+    );
+    let _ = writeln!(
+        out,
+        "idle-port waste (cf. lint P0006): {:.3} sender-units",
+        s.idle_out_units()
+    );
+    let _ = writeln!(out, "\nper-processor port utilization (out% / in%):");
+    for p in 0..n.min(STATS_UTILIZATION_ROWS) {
+        let (o, i) = s.utilization(p);
+        let _ = writeln!(out, "  p{p:<4} {:>3.0} / {:>3.0}", o * 100.0, i * 100.0);
+    }
+    if n > STATS_UTILIZATION_ROWS {
+        let _ = writeln!(out, "  … and {} more", n - STATS_UTILIZATION_ROWS);
+    }
+    for note in notes {
+        let _ = writeln!(out, "{note}");
+    }
     Ok(out)
 }
 
@@ -629,5 +867,115 @@ mod tests {
         // The simulate and plan paths must agree on BCAST's time.
         let sim = call(&["simulate", "bcast", "14", "1", "5/2"]).unwrap();
         assert!(sim.contains("completion: 15/2 units"));
+    }
+
+    #[test]
+    fn simulate_json_format() {
+        let out = call(&["simulate", "bcast", "14", "1", "5/2", "--format", "json"]).unwrap();
+        assert!(out.contains("\"completion\": \"15/2\""), "{out}");
+        assert!(out.contains("\"messages\": 13"), "{out}");
+        assert!(out.contains("\"violations\": 0"), "{out}");
+        // Brace-balanced object.
+        assert!(out.starts_with('{') && out.ends_with('}'));
+    }
+
+    #[test]
+    fn simulate_exports_all_three_formats() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("postal-cli-test-trace.json");
+        let events = dir.join("postal-cli-test-events.jsonl");
+        let metrics = dir.join("postal-cli-test-metrics.prom");
+        let out = call(&[
+            "simulate",
+            "bcast",
+            "14",
+            "1",
+            "5/2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("\"traceEvents\""), "{trace_text}");
+        let events_text = std::fs::read_to_string(&events).unwrap();
+        assert!(
+            events_text.starts_with("{\"type\":\"run\""),
+            "{events_text}"
+        );
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            metrics_text.contains("postal_completion_units"),
+            "{metrics_text}"
+        );
+    }
+
+    #[test]
+    fn exported_jsonl_relints_clean() {
+        // The acceptance loop: simulate BCAST(14, 5/2) with --events-out,
+        // feed the JSONL straight back into `postal lint`, get clean.
+        let events = std::env::temp_dir().join("postal-cli-test-relint.jsonl");
+        call(&[
+            "simulate",
+            "bcast",
+            "14",
+            "1",
+            "5/2",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = call(&["lint", events.to_str().unwrap()]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("t = 15/2"), "{out}");
+    }
+
+    #[test]
+    fn stats_reports_the_optimum_gap() {
+        let out = call(&["stats", "bcast", "14", "1", "5/2"]).unwrap();
+        assert!(out.contains("completion:            15/2 units"), "{out}");
+        assert!(
+            out.contains("f_λ(n) optimum:        15/2 (1.00× optimal)"),
+            "{out}"
+        );
+        assert!(out.contains("sends: 13   deliveries: 13"), "{out}");
+        assert!(out.contains("per-processor port utilization"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_format() {
+        let out = call(&["stats", "line", "8", "2", "5/2", "--format", "json"]).unwrap();
+        assert!(out.contains("\"command\": \"stats\""), "{out}");
+        assert!(out.contains("\"deliveries\": 14"), "{out}");
+        assert!(out.contains("\"utilization\": ["), "{out}");
+        // m > 1: no single-message optimum claimed.
+        assert!(!out.contains("bcast_optimum"), "{out}");
+    }
+
+    #[test]
+    fn stats_elides_long_utilization_tables() {
+        let out = call(&["stats", "bcast", "40", "1", "2"]).unwrap();
+        assert!(out.contains("… and 24 more"), "{out}");
+    }
+
+    #[test]
+    fn output_flags_reject_bad_usage() {
+        assert!(matches!(
+            call(&["simulate", "bcast", "5", "1", "2", "--format", "yaml"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["simulate", "bcast", "5", "1", "2", "--trace-out"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["stats", "bcast", "5", "1", "2", "--bogus", "x"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(call(&["stats"]), Err(CliError::Usage(_))));
     }
 }

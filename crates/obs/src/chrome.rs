@@ -1,0 +1,186 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the [Trace Event Format] consumed by `chrome://tracing` and
+//! Perfetto. One *process* per postal-model processor, with two
+//! *threads* per process — thread 0 is the output port, thread 1 the
+//! input port — so the viewer shows exactly the paper's port-occupancy
+//! picture: every send a complete (`ph: "X"`) span on the out-port
+//! track, every receive a span on the in-port track, and violations,
+//! drops and crashes as instant (`ph: "i"`) markers.
+//!
+//! Model time maps to trace microseconds at 1 unit = 1000 µs, so a
+//! λ = 5/2 broadcast completing at 15/2 units spans 7.5 ms in the UI.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::ObsEvent;
+use crate::log::ObsLog;
+use postal_model::{Ratio, Time};
+use std::fmt::Write as _;
+
+/// Microseconds per model unit in the exported trace.
+const US_PER_UNIT: i128 = 1000;
+
+fn ts(t: Time) -> String {
+    fmt_f64((t.as_ratio() * Ratio::from_int(US_PER_UNIT)).to_f64())
+}
+
+/// Formats a nonnegative f64 without a trailing `.0` when integral.
+fn fmt_f64(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i128)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Serializes a log as Chrome trace-event JSON.
+pub fn to_chrome_trace(log: &ObsLog) -> String {
+    let meta = log.meta();
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {");
+    let _ = write!(
+        out,
+        " \"engine\": \"{}\", \"n\": \"{}\"",
+        meta.engine, meta.n
+    );
+    if let Some(lam) = meta.lambda {
+        let _ = write!(out, ", \"lambda\": \"{lam}\"");
+    }
+    if let Some(m) = meta.messages {
+        let _ = write!(out, ", \"messages\": \"{m}\"");
+    }
+    out.push_str(" },\n  \"traceEvents\": [\n");
+
+    let mut lines: Vec<String> = Vec::new();
+    for p in 0..meta.n {
+        lines.push(format!(
+            "    {{ \"ph\": \"M\", \"pid\": {p}, \"tid\": 0, \"name\": \"process_name\", \
+             \"args\": {{ \"name\": \"p{p}\" }} }}"
+        ));
+        lines.push(format!(
+            "    {{ \"ph\": \"M\", \"pid\": {p}, \"tid\": 0, \"name\": \"thread_name\", \
+             \"args\": {{ \"name\": \"out port\" }} }}"
+        ));
+        lines.push(format!(
+            "    {{ \"ph\": \"M\", \"pid\": {p}, \"tid\": 1, \"name\": \"thread_name\", \
+             \"args\": {{ \"name\": \"in port\" }} }}"
+        ));
+    }
+    for e in log.events() {
+        match *e {
+            ObsEvent::Send {
+                seq,
+                src,
+                dst,
+                start,
+                finish,
+            } => lines.push(format!(
+                "    {{ \"ph\": \"X\", \"pid\": {src}, \"tid\": 0, \"ts\": {}, \"dur\": {}, \
+                 \"name\": \"send #{seq} -> p{dst}\", \
+                 \"args\": {{ \"seq\": {seq}, \"dst\": {dst}, \"start\": \"{start}\" }} }}",
+                ts(start),
+                ts(finish - start),
+            )),
+            ObsEvent::Recv {
+                seq,
+                src,
+                dst,
+                arrival,
+                start,
+                finish,
+                queued,
+            } => lines.push(format!(
+                "    {{ \"ph\": \"X\", \"pid\": {dst}, \"tid\": 1, \"ts\": {}, \"dur\": {}, \
+                 \"name\": \"recv #{seq} <- p{src}\", \
+                 \"args\": {{ \"seq\": {seq}, \"src\": {src}, \"arrival\": \"{arrival}\", \
+                 \"queued\": {queued} }} }}",
+                ts(start),
+                ts(finish - start),
+            )),
+            ObsEvent::Wake { proc, at } => lines.push(format!(
+                "    {{ \"ph\": \"i\", \"pid\": {proc}, \"tid\": 0, \"ts\": {}, \"s\": \"t\", \
+                 \"name\": \"wake\" }}",
+                ts(at),
+            )),
+            ObsEvent::Violation {
+                seq,
+                dst,
+                arrival,
+                busy_until,
+            } => lines.push(format!(
+                "    {{ \"ph\": \"i\", \"pid\": {dst}, \"tid\": 1, \"ts\": {}, \"s\": \"p\", \
+                 \"name\": \"violation #{seq}\", \
+                 \"args\": {{ \"busy_until\": \"{busy_until}\" }} }}",
+                ts(arrival),
+            )),
+            ObsEvent::Drop { seq, src, dst, at } => lines.push(format!(
+                "    {{ \"ph\": \"i\", \"pid\": {dst}, \"tid\": 1, \"ts\": {}, \"s\": \"p\", \
+                 \"name\": \"drop #{seq} <- p{src}\" }}",
+                ts(at),
+            )),
+            ObsEvent::Crash { proc, at } => lines.push(format!(
+                "    {{ \"ph\": \"i\", \"pid\": {proc}, \"tid\": 0, \"ts\": {}, \"s\": \"p\", \
+                 \"name\": \"crash\" }}",
+                ts(at),
+            )),
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{ObsLog, RunMeta};
+    use postal_model::Latency;
+
+    fn sample_log() -> ObsLog {
+        ObsLog::new(
+            RunMeta::new("event", 2).latency(Latency::from_ratio(5, 2)),
+            vec![
+                ObsEvent::Send {
+                    seq: 0,
+                    src: 0,
+                    dst: 1,
+                    start: Time::ZERO,
+                    finish: Time::ONE,
+                },
+                ObsEvent::Recv {
+                    seq: 0,
+                    src: 0,
+                    dst: 1,
+                    arrival: Time::new(3, 2),
+                    start: Time::new(3, 2),
+                    finish: Time::new(5, 2),
+                    queued: false,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn spans_land_on_port_tracks() {
+        let json = to_chrome_trace(&sample_log());
+        assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+        // Send on p0's out track, 1 unit = 1000 µs.
+        assert!(
+            json.contains("\"pid\": 0, \"tid\": 0, \"ts\": 0, \"dur\": 1000"),
+            "{json}"
+        );
+        // Receive on p1's in track at 3/2 units = 1500 µs.
+        assert!(
+            json.contains("\"pid\": 1, \"tid\": 1, \"ts\": 1500, \"dur\": 1000"),
+            "{json}"
+        );
+        assert!(json.contains("\"lambda\": \"5/2\""));
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn fractional_timestamps_survive() {
+        assert_eq!(ts(Time::new(1, 3)), format!("{}", 1000.0 / 3.0));
+        assert_eq!(ts(Time::new(15, 2)), "7500");
+    }
+}

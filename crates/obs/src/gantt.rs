@@ -1,0 +1,143 @@
+//! ASCII Gantt rendering of port-span streams.
+//!
+//! The chart logic lives here so that every producer of port activity —
+//! the sim trace, a re-ingested JSONL log, a threaded run — renders
+//! identically: `S` = output port busy sending, `R` = input port busy
+//! receiving, `B` = both at once (the model's *simultaneous I/O*),
+//! `·` = idle. `postal_sim::gantt::render_gantt` is a thin wrapper over
+//! [`render_spans`].
+
+use crate::event::{PortSide, PortSpan};
+use postal_model::{Ratio, Time};
+use std::fmt::Write as _;
+
+/// Renders a span stream as an ASCII Gantt chart with `cells_per_unit`
+/// columns per time unit, on a time axis running to `horizon`.
+///
+/// ```
+/// use postal_obs::gantt::render_spans;
+/// use postal_model::Time;
+///
+/// let art = render_spans(2, &[], Time::ZERO, 1);
+/// assert!(art.contains("p0"));
+/// assert!(art.contains("p1"));
+/// ```
+///
+/// # Panics
+/// Panics if `cells_per_unit == 0` or `n == 0`.
+pub fn render_spans(n: usize, spans: &[PortSpan], horizon: Time, cells_per_unit: u32) -> String {
+    assert!(cells_per_unit >= 1, "resolution must be at least 1 cell");
+    assert!(n >= 1, "at least one processor required");
+    let cells_total = (horizon.as_ratio() * Ratio::from_int(cells_per_unit as i128))
+        .ceil()
+        .max(1) as usize;
+
+    // 0 = idle, 1 = send, 2 = recv, 3 = both.
+    let mut grid = vec![vec![0u8; cells_total]; n];
+    for s in spans {
+        let bit = match s.side {
+            PortSide::Out => 1,
+            PortSide::In => 2,
+        };
+        let a = (s.start.as_ratio() * Ratio::from_int(cells_per_unit as i128))
+            .floor()
+            .max(0) as usize;
+        let b = (s.end.as_ratio() * Ratio::from_int(cells_per_unit as i128))
+            .ceil()
+            .max(0) as usize;
+        for cell in grid[s.proc as usize][a.min(cells_total)..b.min(cells_total)].iter_mut() {
+            *cell |= bit;
+        }
+    }
+
+    let mut out = String::new();
+    // Axis: a tick every unit.
+    let label_width = format!("p{}", n - 1).len().max(3);
+    let _ = write!(out, "{:>label_width$} ", "t");
+    for c in 0..cells_total {
+        let ch = if c % cells_per_unit as usize == 0 {
+            '|'
+        } else {
+            ' '
+        };
+        out.push(ch);
+    }
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let _ = write!(out, "{:>label_width$} ", format!("p{i}"));
+        for &cell in row {
+            out.push(match cell {
+                0 => '·',
+                1 => 'S',
+                2 => 'R',
+                _ => 'B',
+            });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{:>label_width$} (1 unit = {} cells; completion t = {})",
+        "", cells_per_unit, horizon
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(proc: u32, side: PortSide, start: Time, end: Time) -> PortSpan {
+        PortSpan {
+            proc,
+            side,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn renders_send_and_receive_marks() {
+        let spans = [
+            span(0, PortSide::Out, Time::ZERO, Time::ONE),
+            span(1, PortSide::In, Time::ONE, Time::from_int(2)),
+        ];
+        let art = render_spans(2, &spans, Time::from_int(2), 2);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('S'));
+        assert!(lines[2].contains('R'));
+        assert!(art.contains("completion t = 2"));
+    }
+
+    #[test]
+    fn simultaneous_io_marked_as_both() {
+        let spans = [
+            span(1, PortSide::In, Time::ONE, Time::from_int(2)),
+            span(1, PortSide::Out, Time::ONE, Time::from_int(2)),
+        ];
+        let art = render_spans(2, &spans, Time::from_int(2), 2);
+        assert!(art.contains('B'), "expected overlap marker in:\n{art}");
+    }
+
+    #[test]
+    fn empty_stream_renders_minimal_grid() {
+        let art = render_spans(3, &[], Time::ZERO, 1);
+        assert_eq!(art.lines().count(), 5); // axis + 3 procs + footer
+    }
+
+    #[test]
+    fn fractional_spans_round_outward() {
+        // A receive over [3/2, 5/2) at 2 cells/unit covers cells 3..5.
+        let spans = [span(0, PortSide::In, Time::new(3, 2), Time::new(5, 2))];
+        let art = render_spans(1, &spans, Time::new(5, 2), 2);
+        let row = art.lines().nth(1).unwrap();
+        let cells: String = row.chars().skip(4).collect();
+        assert_eq!(cells, "···RR");
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        let _ = render_spans(1, &[], Time::ZERO, 0);
+    }
+}

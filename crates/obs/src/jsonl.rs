@@ -1,0 +1,443 @@
+//! Streaming JSONL event-log codec.
+//!
+//! One JSON object per line; the first line is a `"run"` header with the
+//! metadata, every following line one [`ObsEvent`]. Times serialize as
+//! exact-rational strings (`"15/2"`), so a log round-trips with zero
+//! timing loss and `postal-verify` can lint the re-ingested schedule by
+//! the same rules as the original run:
+//!
+//! ```text
+//! {"type":"run","engine":"event","n":3,"lambda":"5/2","messages":1}
+//! {"type":"send","seq":0,"src":0,"dst":1,"start":"0","finish":"1"}
+//! {"type":"recv","seq":0,"src":0,"dst":1,"arrival":"3/2","start":"3/2","finish":"5/2","queued":false}
+//! ```
+//!
+//! The parser accepts exactly the flat objects the writer emits (string,
+//! integer and boolean values — no nesting), keeping the hermetic
+//! workspace free of a JSON dependency.
+
+use crate::event::ObsEvent;
+use crate::log::{ObsError, ObsLog, RunMeta};
+use postal_model::{Latency, Ratio, Time};
+use std::fmt::Write as _;
+
+/// Serializes a log as JSONL (header line + one line per event).
+pub fn to_jsonl(log: &ObsLog) -> String {
+    let meta = log.meta();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"type\":\"run\",\"engine\":\"{}\",\"n\":{}",
+        meta.engine, meta.n
+    );
+    if let Some(lam) = meta.lambda {
+        let _ = write!(out, ",\"lambda\":\"{lam}\"");
+    }
+    if let Some(m) = meta.messages {
+        let _ = write!(out, ",\"messages\":{m}");
+    }
+    out.push_str("}\n");
+    for e in log.events() {
+        match *e {
+            ObsEvent::Send {
+                seq,
+                src,
+                dst,
+                start,
+                finish,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"send\",\"seq\":{seq},\"src\":{src},\"dst\":{dst},\
+                     \"start\":\"{start}\",\"finish\":\"{finish}\"}}"
+                );
+            }
+            ObsEvent::Recv {
+                seq,
+                src,
+                dst,
+                arrival,
+                start,
+                finish,
+                queued,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"recv\",\"seq\":{seq},\"src\":{src},\"dst\":{dst},\
+                     \"arrival\":\"{arrival}\",\"start\":\"{start}\",\"finish\":\"{finish}\",\
+                     \"queued\":{queued}}}"
+                );
+            }
+            ObsEvent::Wake { proc, at } => {
+                let _ = writeln!(out, "{{\"type\":\"wake\",\"proc\":{proc},\"at\":\"{at}\"}}");
+            }
+            ObsEvent::Violation {
+                seq,
+                dst,
+                arrival,
+                busy_until,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"violation\",\"seq\":{seq},\"dst\":{dst},\
+                     \"arrival\":\"{arrival}\",\"busy_until\":\"{busy_until}\"}}"
+                );
+            }
+            ObsEvent::Drop { seq, src, dst, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"drop\",\"seq\":{seq},\"src\":{src},\"dst\":{dst},\
+                     \"at\":\"{at}\"}}"
+                );
+            }
+            ObsEvent::Crash { proc, at } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"crash\",\"proc\":{proc},\"at\":\"{at}\"}}"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One parsed flat-object field value.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Str(String),
+    Num(String),
+    Bool(bool),
+}
+
+/// Parses one flat JSON object (`{"key": value, ...}`; values are
+/// strings, numbers or booleans).
+fn parse_flat(line: &str, lineno: usize) -> Result<Vec<(String, Tok)>, ObsError> {
+    let err = |what: &str| ObsError(format!("line {lineno}: {what}"));
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Result<String, ObsError> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected '\"'"));
+        }
+        *pos += 1;
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'"' {
+            if bytes[*pos] == b'\\' {
+                return Err(err("escapes are not used in obs logs"));
+            }
+            *pos += 1;
+        }
+        if *pos >= bytes.len() {
+            return Err(err("unterminated string"));
+        }
+        let s = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| err("invalid UTF-8"))?
+            .to_string();
+        *pos += 1;
+        Ok(s)
+    };
+
+    skip_ws(&mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err(err("expected '{'"));
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(&mut pos);
+            let key = parse_string(&mut pos)?;
+            skip_ws(&mut pos);
+            if bytes.get(pos) != Some(&b':') {
+                return Err(err("expected ':'"));
+            }
+            pos += 1;
+            skip_ws(&mut pos);
+            let val = match bytes.get(pos) {
+                Some(b'"') => Tok::Str(parse_string(&mut pos)?),
+                Some(b't') if line[pos..].starts_with("true") => {
+                    pos += 4;
+                    Tok::Bool(true)
+                }
+                Some(b'f') if line[pos..].starts_with("false") => {
+                    pos += 5;
+                    Tok::Bool(false)
+                }
+                Some(&b) if b == b'-' || b.is_ascii_digit() => {
+                    let start = pos;
+                    while pos < bytes.len()
+                        && (bytes[pos].is_ascii_digit()
+                            || matches!(bytes[pos], b'-' | b'+' | b'.' | b'e' | b'E'))
+                    {
+                        pos += 1;
+                    }
+                    Tok::Num(line[start..pos].to_string())
+                }
+                _ => return Err(err("expected a string, number or boolean value")),
+            };
+            fields.push((key, val));
+            skip_ws(&mut pos);
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(err("expected ',' or '}'")),
+            }
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != bytes.len() {
+        return Err(err("trailing characters after object"));
+    }
+    Ok(fields)
+}
+
+struct Fields<'a> {
+    fields: Vec<(String, Tok)>,
+    lineno: usize,
+    marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Fields<'_> {
+    fn err(&self, what: String) -> ObsError {
+        ObsError(format!("line {}: {}", self.lineno, what))
+    }
+
+    fn get(&self, key: &str) -> Result<&Tok, ObsError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| self.err(format!("missing field {key:?}")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ObsError> {
+        match self.get(key)? {
+            Tok::Num(t) => t
+                .parse()
+                .map_err(|_| self.err(format!("{key:?} is not a nonnegative integer"))),
+            _ => Err(self.err(format!("{key:?} must be a number"))),
+        }
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, ObsError> {
+        u32::try_from(self.u64(key)?).map_err(|_| self.err(format!("{key:?} out of range")))
+    }
+
+    fn time(&self, key: &str) -> Result<Time, ObsError> {
+        let text = match self.get(key)? {
+            Tok::Str(s) => s.as_str(),
+            Tok::Num(t) => t.as_str(),
+            Tok::Bool(_) => return Err(self.err(format!("{key:?} must be a time"))),
+        };
+        text.parse::<Ratio>()
+            .map(Time)
+            .map_err(|_| self.err(format!("{key:?}: cannot parse {text:?} as a rational")))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ObsError> {
+        match self.get(key)? {
+            Tok::Bool(b) => Ok(*b),
+            _ => Err(self.err(format!("{key:?} must be a boolean"))),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ObsError> {
+        match self.get(key)? {
+            Tok::Str(s) => Ok(s),
+            _ => Err(self.err(format!("{key:?} must be a string"))),
+        }
+    }
+}
+
+/// Parses a JSONL log produced by [`to_jsonl`].
+///
+/// # Errors
+/// [`ObsError`] on syntax errors, a missing or misplaced `"run"` header,
+/// or unknown event types.
+pub fn from_jsonl(text: &str) -> Result<ObsLog, ObsError> {
+    let mut meta: Option<RunMeta> = None;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = Fields {
+            fields: parse_flat(line, lineno)?,
+            lineno,
+            marker: std::marker::PhantomData,
+        };
+        let kind = f.str("type")?.to_string();
+        if kind == "run" {
+            if meta.is_some() {
+                return Err(f.err("duplicate \"run\" header".into()));
+            }
+            let mut m = RunMeta::new(f.str("engine")?, f.u32("n")?);
+            if f.get("lambda").is_ok() {
+                let lam = f.time("lambda")?;
+                m.lambda = Some(
+                    Latency::new(lam.as_ratio())
+                        .map_err(|e| f.err(format!("invalid lambda: {e}")))?,
+                );
+            }
+            if f.get("messages").is_ok() {
+                m.messages = Some(f.u64("messages")?);
+            }
+            meta = Some(m);
+            continue;
+        }
+        if meta.is_none() {
+            return Err(f.err("first line must be the \"run\" header".into()));
+        }
+        let event = match kind.as_str() {
+            "send" => ObsEvent::Send {
+                seq: f.u64("seq")?,
+                src: f.u32("src")?,
+                dst: f.u32("dst")?,
+                start: f.time("start")?,
+                finish: f.time("finish")?,
+            },
+            "recv" => ObsEvent::Recv {
+                seq: f.u64("seq")?,
+                src: f.u32("src")?,
+                dst: f.u32("dst")?,
+                arrival: f.time("arrival")?,
+                start: f.time("start")?,
+                finish: f.time("finish")?,
+                queued: f.bool("queued")?,
+            },
+            "wake" => ObsEvent::Wake {
+                proc: f.u32("proc")?,
+                at: f.time("at")?,
+            },
+            "violation" => ObsEvent::Violation {
+                seq: f.u64("seq")?,
+                dst: f.u32("dst")?,
+                arrival: f.time("arrival")?,
+                busy_until: f.time("busy_until")?,
+            },
+            "drop" => ObsEvent::Drop {
+                seq: f.u64("seq")?,
+                src: f.u32("src")?,
+                dst: f.u32("dst")?,
+                at: f.time("at")?,
+            },
+            "crash" => ObsEvent::Crash {
+                proc: f.u32("proc")?,
+                at: f.time("at")?,
+            },
+            other => return Err(f.err(format!("unknown event type {other:?}"))),
+        };
+        events.push(event);
+    }
+    let meta = meta.ok_or_else(|| ObsError("empty log: no \"run\" header".into()))?;
+    Ok(ObsLog::new(meta, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ObsLog {
+        ObsLog::new(
+            RunMeta::new("event", 3)
+                .latency(Latency::from_ratio(5, 2))
+                .messages(1),
+            vec![
+                ObsEvent::Send {
+                    seq: 0,
+                    src: 0,
+                    dst: 1,
+                    start: Time::ZERO,
+                    finish: Time::ONE,
+                },
+                ObsEvent::Recv {
+                    seq: 0,
+                    src: 0,
+                    dst: 1,
+                    arrival: Time::new(3, 2),
+                    start: Time::new(3, 2),
+                    finish: Time::new(5, 2),
+                    queued: false,
+                },
+                ObsEvent::Wake {
+                    proc: 1,
+                    at: Time::new(5, 2),
+                },
+                ObsEvent::Violation {
+                    seq: 1,
+                    dst: 2,
+                    arrival: Time::from_int(3),
+                    busy_until: Time::from_int(4),
+                },
+                ObsEvent::Drop {
+                    seq: 2,
+                    src: 1,
+                    dst: 2,
+                    at: Time::from_int(4),
+                },
+                ObsEvent::Crash {
+                    proc: 2,
+                    at: Time::from_int(5),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let log = sample_log();
+        let text = to_jsonl(&log);
+        let again = from_jsonl(&text).unwrap();
+        assert_eq!(again, log);
+    }
+
+    #[test]
+    fn header_carries_metadata() {
+        let text = to_jsonl(&sample_log());
+        let header = text.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "{\"type\":\"run\",\"engine\":\"event\",\"n\":3,\"lambda\":\"5/2\",\"messages\":1}"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_logs() {
+        assert!(from_jsonl("").is_err());
+        assert!(from_jsonl("{\"type\":\"send\"}").is_err(), "missing header");
+        assert!(from_jsonl("{\"type\":\"run\",\"engine\":\"e\",\"n\":2}\nnot json").is_err());
+        assert!(
+            from_jsonl("{\"type\":\"run\",\"engine\":\"e\",\"n\":2}\n{\"type\":\"warp\"}").is_err()
+        );
+        assert!(
+            from_jsonl("{\"type\":\"run\",\"engine\":\"e\",\"n\":2,\"lambda\":\"1/2\"}").is_err(),
+            "lambda < 1 must be rejected"
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut text = to_jsonl(&sample_log());
+        text.push('\n');
+        assert!(from_jsonl(&text).is_ok());
+    }
+
+    #[test]
+    fn header_without_lambda_parses_but_cannot_schedule() {
+        let log = from_jsonl("{\"type\":\"run\",\"engine\":\"e\",\"n\":2}\n").unwrap();
+        assert_eq!(log.meta().lambda, None);
+        assert!(log.to_schedule().is_err());
+    }
+}

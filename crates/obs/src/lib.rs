@@ -1,0 +1,49 @@
+//! # postal-obs
+//!
+//! Unified tracing, metrics and profiling for postal-model runs.
+//!
+//! Every execution substrate in the workspace — the discrete-event
+//! engine, the lockstep tick engine, and the threaded wall-clock
+//! executor — emits the same [`ObsEvent`] stream through a [`Recorder`].
+//! The assembled [`ObsLog`] then feeds:
+//!
+//! * [`chrome`] — Chrome trace-event JSON (`chrome://tracing`,
+//!   Perfetto), one track per processor port;
+//! * [`prometheus`] — text-exposition counters, gauges and histograms;
+//! * [`jsonl`] — a streaming line-per-event log with exact-rational
+//!   timestamps that round-trips losslessly and re-ingests into
+//!   `postal-verify` via [`ObsLog::to_schedule`];
+//! * [`metrics`] — per-processor utilization, latency and queue-delay
+//!   summaries ([`MetricsSummary`]);
+//! * [`gantt`] — the ASCII port-activity chart shared with `postal-sim`.
+//!
+//! The crate sits just above `postal-model` and below everything else,
+//! so instrumentation never creates a dependency cycle: engines push
+//! events down into a recorder; exporters read the log back out.
+//!
+//! ## Timing fidelity
+//!
+//! Events carry [`postal_model::Time`] (exact rationals). The JSONL
+//! codec serializes them as rational strings (`"15/2"`), so a λ = 5/2
+//! run re-ingests with *equal* — not approximately equal — timestamps,
+//! and lint verdicts are identical before and after export.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod event;
+pub mod gantt;
+pub mod jsonl;
+pub mod log;
+pub mod metrics;
+pub mod prometheus;
+pub mod recorder;
+
+pub use chrome::to_chrome_trace;
+pub use event::{ObsEvent, PortSide, PortSpan};
+pub use jsonl::{from_jsonl, to_jsonl};
+pub use log::{port_busy_times, ObsError, ObsLog, RunMeta};
+pub use metrics::{Histogram, MetricsSummary};
+pub use prometheus::to_prometheus;
+pub use recorder::{MemoryRecorder, NullRecorder, Recorder};

@@ -1,0 +1,269 @@
+//! The assembled record of one observed run.
+
+use crate::event::{ObsEvent, PortSide, PortSpan};
+use postal_model::schedule::{Schedule, TimedSend};
+use postal_model::{Latency, Time};
+use std::fmt;
+
+/// Metadata identifying a run: which engine produced it and the model
+/// parameters needed to re-derive schedules and bounds from the events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Which substrate produced the log: `"event"`, `"lockstep"`,
+    /// `"threaded"`, or a caller-chosen tag.
+    pub engine: String,
+    /// Processor count of the run.
+    pub n: u32,
+    /// Uniform λ of the run, when known. Logs recorded under
+    /// non-uniform latency models leave this unset; such logs cannot be
+    /// reduced to a [`Schedule`].
+    pub lambda: Option<Latency>,
+    /// Number of distinct broadcast messages (the paper's `m`), when the
+    /// workload has one.
+    pub messages: Option<u64>,
+}
+
+impl RunMeta {
+    /// Creates metadata for `engine` over `n` processors.
+    pub fn new(engine: &str, n: u32) -> RunMeta {
+        RunMeta {
+            engine: engine.to_string(),
+            n,
+            lambda: None,
+            messages: None,
+        }
+    }
+
+    /// Sets the uniform λ.
+    pub fn latency(mut self, lambda: Latency) -> RunMeta {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Sets the broadcast message count `m`.
+    pub fn messages(mut self, m: u64) -> RunMeta {
+        self.messages = Some(m);
+        self
+    }
+}
+
+/// Failure converting or parsing a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsError(pub String);
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// A complete, ordered observability log: run metadata plus every event
+/// the engines recorded. This is the hub type — exporters
+/// ([`crate::chrome`], [`crate::prometheus`], [`crate::jsonl`]), the
+/// metrics summary ([`crate::metrics::MetricsSummary`]) and the Gantt
+/// span renderer all consume it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsLog {
+    meta: RunMeta,
+    events: Vec<ObsEvent>,
+}
+
+impl ObsLog {
+    /// Wraps metadata and an event list (assumed already ordered; use
+    /// [`crate::MemoryRecorder::into_log`] for engine output).
+    pub fn new(meta: RunMeta, events: Vec<ObsEvent>) -> ObsLog {
+        ObsLog { meta, events }
+    }
+
+    /// The run metadata.
+    pub fn meta(&self) -> &RunMeta {
+        &self.meta
+    }
+
+    /// All events in timeline order.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The paper's running time: when the last receive finished
+    /// (`Time::ZERO` when nothing was delivered).
+    pub fn completion_time(&self) -> Time {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                ObsEvent::Recv { finish, .. } => Some(finish),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Messages delivered (count of `Recv` events).
+    pub fn deliveries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::Recv { .. }))
+            .count()
+    }
+
+    /// Strict-mode violations observed.
+    pub fn violations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::Violation { .. }))
+            .count()
+    }
+
+    /// Reduces the log to the static [`Schedule`] it realized (one
+    /// `TimedSend` per `Send` event), so `postal-verify` can lint an
+    /// observed run by the same rules as a hand-written schedule.
+    ///
+    /// # Errors
+    /// [`ObsError`] when the log's metadata carries no uniform λ (a
+    /// schedule cannot be reconstructed without it).
+    pub fn to_schedule(&self) -> Result<Schedule, ObsError> {
+        let lambda = self.meta.lambda.ok_or_else(|| {
+            ObsError("log has no uniform lambda; cannot reduce to a schedule".into())
+        })?;
+        let sends = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ObsEvent::Send {
+                    src, dst, start, ..
+                } => Some(TimedSend {
+                    src,
+                    dst,
+                    send_start: start,
+                }),
+                _ => None,
+            })
+            .collect();
+        Ok(Schedule::new(self.meta.n, lambda, sends))
+    }
+
+    /// The busy intervals of every port, in event order — the span
+    /// stream the Gantt renderer and utilization accounting consume.
+    pub fn port_spans(&self) -> Vec<PortSpan> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                ObsEvent::Send {
+                    src, start, finish, ..
+                } => Some(PortSpan {
+                    proc: src,
+                    side: PortSide::Out,
+                    start,
+                    end: finish,
+                }),
+                ObsEvent::Recv {
+                    dst, start, finish, ..
+                } => Some(PortSpan {
+                    proc: dst,
+                    side: PortSide::In,
+                    start,
+                    end: finish,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Per-processor busy time `(send_busy, recv_busy)` summed from a span
+/// stream. `sim::Trace::port_busy_times` and the Prometheus exporter
+/// both delegate here, so there is exactly one definition of "port busy"
+/// in the workspace.
+pub fn port_busy_times(n: usize, spans: &[PortSpan]) -> Vec<(Time, Time)> {
+    let mut busy = vec![(Time::ZERO, Time::ZERO); n];
+    for s in spans {
+        let slot = &mut busy[s.proc as usize];
+        let dur = s.end - s.start;
+        match s.side {
+            PortSide::Out => slot.0 += dur,
+            PortSide::In => slot.1 += dur,
+        }
+    }
+    busy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_log() -> ObsLog {
+        // BCAST(3, λ=2): p0 sends to p1 at 0 and p2 at 1.
+        let lam = Latency::from_int(2);
+        let ev = |seq: u64, src: u32, dst: u32, at: i128| {
+            let start = Time::from_int(at);
+            vec![
+                ObsEvent::Send {
+                    seq,
+                    src,
+                    dst,
+                    start,
+                    finish: start + Time::ONE,
+                },
+                ObsEvent::Recv {
+                    seq,
+                    src,
+                    dst,
+                    arrival: start + Time::ONE,
+                    start: start + Time::ONE,
+                    finish: start + Time::from_int(2),
+                    queued: false,
+                },
+            ]
+        };
+        let mut events = ev(0, 0, 1, 0);
+        events.extend(ev(1, 0, 2, 1));
+        ObsLog::new(RunMeta::new("event", 3).latency(lam).messages(1), events)
+    }
+
+    #[test]
+    fn completion_and_counts() {
+        let log = sample_log();
+        assert_eq!(log.completion_time(), Time::from_int(3));
+        assert_eq!(log.deliveries(), 2);
+        assert_eq!(log.violations(), 0);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn reduces_to_a_schedule() {
+        let log = sample_log();
+        let schedule = log.to_schedule().unwrap();
+        assert_eq!(schedule.n(), 3);
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule.sends()[1].send_start, Time::ONE);
+    }
+
+    #[test]
+    fn missing_lambda_is_an_error() {
+        let log = ObsLog::new(RunMeta::new("event", 2), vec![]);
+        assert!(log.to_schedule().is_err());
+    }
+
+    #[test]
+    fn spans_and_busy_times() {
+        let log = sample_log();
+        let spans = log.port_spans();
+        assert_eq!(spans.len(), 4);
+        let busy = port_busy_times(3, &spans);
+        assert_eq!(busy[0], (Time::from_int(2), Time::ZERO));
+        assert_eq!(busy[1], (Time::ZERO, Time::ONE));
+        assert_eq!(busy[2], (Time::ZERO, Time::ONE));
+    }
+}

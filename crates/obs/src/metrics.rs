@@ -1,0 +1,288 @@
+//! Counters and histograms summarizing an observed run.
+
+use crate::event::ObsEvent;
+use crate::log::{port_busy_times, ObsLog};
+use postal_model::Time;
+
+/// A fixed-bucket histogram over model-time durations (in units).
+///
+/// Buckets are cumulative-compatible: `counts[i]` is the number of
+/// samples `≤ bounds[i]`, with an implicit `+Inf` bucket at the end —
+/// exactly the shape Prometheus `_bucket{le=...}` series expect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+/// Default bucket boundaries, in model units: sub-unit through 64 units.
+pub const DEFAULT_BOUNDS: [f64; 9] = [0.5, 1.0, 2.0, 3.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new(&DEFAULT_BOUNDS)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket bounds (an
+    /// implicit `+Inf` bucket is always appended).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Cumulative `(upper_bound, count_le)` pairs ending with the
+    /// `+Inf` bucket — ready for Prometheus exposition.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// Aggregated counters for one run, computed from an [`ObsLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSummary {
+    /// Processor count.
+    pub n: usize,
+    /// Messages sent, per processor.
+    pub sends: Vec<u64>,
+    /// Messages received, per processor.
+    pub recvs: Vec<u64>,
+    /// Receives delayed by input-port contention.
+    pub queued_recvs: u64,
+    /// Strict-mode port violations.
+    pub violations: u64,
+    /// Messages dropped by fault injection.
+    pub drops: u64,
+    /// Processor crashes injected.
+    pub crashes: u64,
+    /// Timer wake-ups fired.
+    pub wakes: u64,
+    /// Output-port busy time, per processor.
+    pub out_busy: Vec<Time>,
+    /// Input-port busy time, per processor.
+    pub in_busy: Vec<Time>,
+    /// When the last receive finished.
+    pub completion: Time,
+    /// End-to-end message latency samples (`recv_finish − send_start`),
+    /// which equal λ exactly on conflict-free strict runs and exceed it
+    /// under queued-port contention or jitter.
+    pub latency: Histogram,
+    /// Queueing delay samples (`recv_start − arrival`); all-zero on any
+    /// schedule the paper's algorithms produce.
+    pub queue_delay: Histogram,
+}
+
+impl MetricsSummary {
+    /// Computes every counter and histogram from a log.
+    pub fn from_log(log: &ObsLog) -> MetricsSummary {
+        let n = log.meta().n as usize;
+        let mut s = MetricsSummary {
+            n,
+            sends: vec![0; n],
+            recvs: vec![0; n],
+            queued_recvs: 0,
+            violations: 0,
+            drops: 0,
+            crashes: 0,
+            wakes: 0,
+            out_busy: vec![Time::ZERO; n],
+            in_busy: vec![Time::ZERO; n],
+            completion: log.completion_time(),
+            latency: Histogram::default(),
+            queue_delay: Histogram::default(),
+        };
+        let mut send_starts: Vec<(u64, Time)> = Vec::new();
+        for e in log.events() {
+            match *e {
+                ObsEvent::Send {
+                    seq, src, start, ..
+                } => {
+                    if (src as usize) < n {
+                        s.sends[src as usize] += 1;
+                    }
+                    send_starts.push((seq, start));
+                }
+                ObsEvent::Recv {
+                    seq,
+                    dst,
+                    arrival,
+                    start,
+                    finish,
+                    queued,
+                    ..
+                } => {
+                    if (dst as usize) < n {
+                        s.recvs[dst as usize] += 1;
+                    }
+                    s.queued_recvs += u64::from(queued);
+                    if let Some(&(_, sent)) = send_starts.iter().find(|&&(q, _)| q == seq) {
+                        s.latency.observe((finish - sent).to_f64());
+                    }
+                    s.queue_delay.observe((start - arrival).to_f64());
+                }
+                ObsEvent::Violation { .. } => s.violations += 1,
+                ObsEvent::Drop { .. } => s.drops += 1,
+                ObsEvent::Crash { .. } => s.crashes += 1,
+                ObsEvent::Wake { .. } => s.wakes += 1,
+            }
+        }
+        let busy = port_busy_times(n, &log.port_spans());
+        for (i, (out, inn)) in busy.into_iter().enumerate() {
+            s.out_busy[i] = out;
+            s.in_busy[i] = inn;
+        }
+        s
+    }
+
+    /// Port utilization fractions `(out, in)` for one processor over
+    /// the run's completion window (0 when the run is empty).
+    pub fn utilization(&self, proc: usize) -> (f64, f64) {
+        let horizon = self.completion.to_f64();
+        if horizon <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (
+            self.out_busy[proc].to_f64() / horizon,
+            self.in_busy[proc].to_f64() / horizon,
+        )
+    }
+
+    /// Total messages sent.
+    pub fn total_sends(&self) -> u64 {
+        self.sends.iter().sum()
+    }
+
+    /// Total messages delivered.
+    pub fn total_recvs(&self) -> u64 {
+        self.recvs.iter().sum()
+    }
+
+    /// Aggregate output-port idle time across processors that sent at
+    /// least once, measured over the completion window. This is the
+    /// quantity the lint code `P0006` (idle-port waste) localizes to
+    /// specific intervals; here it is a single scalar for dashboards.
+    pub fn idle_out_units(&self) -> f64 {
+        let horizon = self.completion.to_f64();
+        (0..self.n)
+            .filter(|&i| self.sends[i] > 0)
+            .map(|i| (horizon - self.out_busy[i].to_f64()).max(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{ObsLog, RunMeta};
+    use postal_model::Latency;
+
+    fn sample_log() -> ObsLog {
+        let lam = Latency::from_int(2);
+        let ev = |seq: u64, src: u32, dst: u32, at: i128| {
+            let start = Time::from_int(at);
+            vec![
+                ObsEvent::Send {
+                    seq,
+                    src,
+                    dst,
+                    start,
+                    finish: start + Time::ONE,
+                },
+                ObsEvent::Recv {
+                    seq,
+                    src,
+                    dst,
+                    arrival: start + Time::ONE,
+                    start: start + Time::ONE,
+                    finish: start + Time::from_int(2),
+                    queued: false,
+                },
+            ]
+        };
+        let mut events = ev(0, 0, 1, 0);
+        events.extend(ev(1, 0, 2, 1));
+        ObsLog::new(RunMeta::new("event", 3).latency(lam).messages(1), events)
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(10.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 12.5 / 3.0).abs() < 1e-12);
+        assert_eq!(h.cumulative(), vec![(1.0, 1), (2.0, 2), (f64::INFINITY, 3)]);
+    }
+
+    #[test]
+    fn summary_counts_everything() {
+        let s = MetricsSummary::from_log(&sample_log());
+        assert_eq!(s.total_sends(), 2);
+        assert_eq!(s.total_recvs(), 2);
+        assert_eq!(s.sends, vec![2, 0, 0]);
+        assert_eq!(s.recvs, vec![0, 1, 1]);
+        assert_eq!(s.violations, 0);
+        assert_eq!(s.completion, Time::from_int(3));
+        // Both messages took exactly λ = 2 units end to end.
+        assert_eq!(s.latency.count(), 2);
+        assert!((s.latency.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.queue_delay.count(), 2);
+        assert_eq!(s.queue_delay.sum(), 0.0);
+    }
+
+    #[test]
+    fn utilization_and_idle_waste() {
+        let s = MetricsSummary::from_log(&sample_log());
+        let (out0, in0) = s.utilization(0);
+        assert!((out0 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(in0, 0.0);
+        // p0 is the only sender; idle 1 of 3 units.
+        assert!((s.idle_out_units() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! Prometheus text-exposition export.
+//!
+//! Postal runs are batch jobs, not long-lived servers, so this emits
+//! the [text exposition format] for a one-shot scrape (file-based
+//! collection, `node_exporter` textfile collector, or pushgateway).
+//! Counter semantics are per-run totals; histograms use the cumulative
+//! `_bucket{le=...}` convention.
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::log::ObsLog;
+use crate::metrics::{Histogram, MetricsSummary};
+use std::fmt::Write as _;
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_infinite() {
+        "+Inf".to_string()
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i128)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (bound, count) in h.cumulative() {
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {count}", fmt_f64(bound));
+    }
+    let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum()));
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Serializes a log's metrics in Prometheus text exposition format.
+pub fn to_prometheus(log: &ObsLog) -> String {
+    let s = MetricsSummary::from_log(log);
+    let meta = log.meta();
+    let mut out = String::new();
+
+    let _ = writeln!(out, "# HELP postal_run_info Run metadata as labels.");
+    let _ = writeln!(out, "# TYPE postal_run_info gauge");
+    let lam = meta
+        .lambda
+        .map(|l| l.to_string())
+        .unwrap_or_else(|| "unknown".into());
+    let _ = writeln!(
+        out,
+        "postal_run_info{{engine=\"{}\",n=\"{}\",lambda=\"{}\",messages=\"{}\"}} 1",
+        meta.engine,
+        meta.n,
+        lam,
+        meta.messages
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "unknown".into()),
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP postal_sends_total Messages sent, per processor."
+    );
+    let _ = writeln!(out, "# TYPE postal_sends_total counter");
+    for (p, c) in s.sends.iter().enumerate() {
+        let _ = writeln!(out, "postal_sends_total{{proc=\"{p}\"}} {c}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP postal_recvs_total Messages received, per processor."
+    );
+    let _ = writeln!(out, "# TYPE postal_recvs_total counter");
+    for (p, c) in s.recvs.iter().enumerate() {
+        let _ = writeln!(out, "postal_recvs_total{{proc=\"{p}\"}} {c}");
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP postal_port_busy_units Port busy time in model units."
+    );
+    let _ = writeln!(out, "# TYPE postal_port_busy_units gauge");
+    for p in 0..s.n {
+        let _ = writeln!(
+            out,
+            "postal_port_busy_units{{proc=\"{p}\",port=\"out\"}} {}",
+            fmt_f64(s.out_busy[p].to_f64())
+        );
+        let _ = writeln!(
+            out,
+            "postal_port_busy_units{{proc=\"{p}\",port=\"in\"}} {}",
+            fmt_f64(s.in_busy[p].to_f64())
+        );
+    }
+
+    for (name, help, value) in [
+        (
+            "postal_queued_recvs_total",
+            "Receives delayed by input-port contention.",
+            s.queued_recvs,
+        ),
+        (
+            "postal_violations_total",
+            "Strict-mode receive-window overlaps.",
+            s.violations,
+        ),
+        (
+            "postal_drops_total",
+            "Messages dropped by fault injection.",
+            s.drops,
+        ),
+        (
+            "postal_crashes_total",
+            "Processor crashes injected.",
+            s.crashes,
+        ),
+        ("postal_wakes_total", "Timer wake-ups fired.", s.wakes),
+    ] {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP postal_completion_units Model time at which the last receive finished."
+    );
+    let _ = writeln!(out, "# TYPE postal_completion_units gauge");
+    let _ = writeln!(
+        out,
+        "postal_completion_units {}",
+        fmt_f64(s.completion.to_f64())
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP postal_idle_out_units Output-port idle time summed over informed processors."
+    );
+    let _ = writeln!(out, "# TYPE postal_idle_out_units gauge");
+    let _ = writeln!(out, "postal_idle_out_units {}", fmt_f64(s.idle_out_units()));
+
+    histogram(
+        &mut out,
+        "postal_message_latency_units",
+        "End-to-end message latency (recv finish minus send start), model units.",
+        &s.latency,
+    );
+    histogram(
+        &mut out,
+        "postal_queue_delay_units",
+        "Input-port queueing delay (recv start minus arrival), model units.",
+        &s.queue_delay,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsEvent;
+    use crate::log::RunMeta;
+    use postal_model::{Latency, Time};
+
+    #[test]
+    fn exposition_has_counters_gauges_and_histograms() {
+        let log = ObsLog::new(
+            RunMeta::new("event", 2)
+                .latency(Latency::from_int(2))
+                .messages(1),
+            vec![
+                ObsEvent::Send {
+                    seq: 0,
+                    src: 0,
+                    dst: 1,
+                    start: Time::ZERO,
+                    finish: Time::ONE,
+                },
+                ObsEvent::Recv {
+                    seq: 0,
+                    src: 0,
+                    dst: 1,
+                    arrival: Time::ONE,
+                    start: Time::ONE,
+                    finish: Time::from_int(2),
+                    queued: false,
+                },
+            ],
+        );
+        let text = to_prometheus(&log);
+        assert!(text
+            .contains("postal_run_info{engine=\"event\",n=\"2\",lambda=\"2\",messages=\"1\"} 1"));
+        assert!(text.contains("postal_sends_total{proc=\"0\"} 1"));
+        assert!(text.contains("postal_recvs_total{proc=\"1\"} 1"));
+        assert!(text.contains("postal_port_busy_units{proc=\"0\",port=\"out\"} 1"));
+        assert!(text.contains("postal_completion_units 2"));
+        assert!(text.contains("postal_message_latency_units_bucket{le=\"2\"} 1"));
+        assert!(text.contains("postal_message_latency_units_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("postal_message_latency_units_count 1"));
+        assert!(text.contains("postal_violations_total 0"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Event sinks the engines write to.
+//!
+//! A [`Recorder`] is the narrow waist between an engine and the
+//! observability layer: engines call [`Recorder::record`] once per event
+//! and never look back. The trait is `Send + Sync` so a single recorder
+//! can be shared by the threaded runtime's processor and port threads;
+//! the standard implementation ([`MemoryRecorder`]) is a
+//! mutex-guarded append-only buffer — contention is one short critical
+//! section per message, far below the engines' own costs ("lock-free
+//! enough" for runs of millions of events).
+
+use crate::event::ObsEvent;
+use crate::log::{ObsLog, RunMeta};
+use std::sync::Mutex;
+
+/// An event sink. Implementations must tolerate concurrent calls.
+pub trait Recorder: Send + Sync {
+    /// Records one event. Ordering between threads is not guaranteed;
+    /// consumers sort by timestamp/sequence as needed.
+    fn record(&self, event: ObsEvent);
+}
+
+/// A recorder that discards everything (the default when a run is not
+/// being observed).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: ObsEvent) {}
+}
+
+/// An in-memory recorder: appends events to a mutex-guarded buffer.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recorder poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the recorded events into an [`ObsLog`] with the given run
+    /// metadata, sorted by (timestamp, kind, seq) so logs from threaded
+    /// runs are deterministic given their timestamps.
+    pub fn into_log(self, meta: RunMeta) -> ObsLog {
+        let mut events = self.events.into_inner().expect("recorder poisoned");
+        sort_events(&mut events);
+        ObsLog::new(meta, events)
+    }
+
+    /// Copies the events recorded so far (sorted as in
+    /// [`MemoryRecorder::into_log`]) without consuming the recorder.
+    pub fn snapshot(&self, meta: RunMeta) -> ObsLog {
+        let mut events = self.events.lock().expect("recorder poisoned").clone();
+        sort_events(&mut events);
+        ObsLog::new(meta, events)
+    }
+}
+
+fn sort_events(events: &mut [ObsEvent]) {
+    events.sort_by_key(|e| {
+        let seq = match *e {
+            ObsEvent::Send { seq, .. }
+            | ObsEvent::Recv { seq, .. }
+            | ObsEvent::Violation { seq, .. }
+            | ObsEvent::Drop { seq, .. } => seq,
+            _ => u64::MAX,
+        };
+        (e.at(), kind_rank(e), seq)
+    });
+}
+
+fn kind_rank(e: &ObsEvent) -> u8 {
+    match e {
+        ObsEvent::Crash { .. } => 0,
+        ObsEvent::Send { .. } => 1,
+        ObsEvent::Recv { .. } => 2,
+        ObsEvent::Violation { .. } => 3,
+        ObsEvent::Drop { .. } => 4,
+        ObsEvent::Wake { .. } => 5,
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: ObsEvent) {
+        self.events.lock().expect("recorder poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::{Latency, Time};
+
+    #[test]
+    fn memory_recorder_collects_and_sorts() {
+        let rec = MemoryRecorder::new();
+        rec.record(ObsEvent::Recv {
+            seq: 0,
+            src: 0,
+            dst: 1,
+            arrival: Time::ONE,
+            start: Time::ONE,
+            finish: Time::from_int(2),
+            queued: false,
+        });
+        rec.record(ObsEvent::Send {
+            seq: 0,
+            src: 0,
+            dst: 1,
+            start: Time::ZERO,
+            finish: Time::ONE,
+        });
+        assert_eq!(rec.len(), 2);
+        let log = rec.into_log(RunMeta::new("test", 2).latency(Latency::from_int(2)));
+        assert_eq!(log.events()[0].kind(), "send");
+        assert_eq!(log.events()[1].kind(), "recv");
+    }
+
+    #[test]
+    fn null_recorder_discards() {
+        let rec = NullRecorder;
+        rec.record(ObsEvent::Wake {
+            proc: 0,
+            at: Time::ZERO,
+        });
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = std::sync::Arc::new(MemoryRecorder::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let rec = std::sync::Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    rec.record(ObsEvent::Wake {
+                        proc: i,
+                        at: Time::from_int(i as i128),
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.len(), 4);
+    }
+}

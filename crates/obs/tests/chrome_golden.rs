@@ -1,0 +1,81 @@
+//! Golden-file test for the Chrome trace exporter: the exact bytes for
+//! a fixed BCAST(3, λ=5/2) log are pinned so format drift is caught.
+//!
+//! To re-bless after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test -p postal-obs --test chrome_golden`
+
+use postal_model::{Latency, Time};
+use postal_obs::{to_chrome_trace, ObsEvent, ObsLog, RunMeta};
+
+fn bcast3_log() -> ObsLog {
+    // BCAST on 3 processors at λ = 5/2: p0 sends to p1 at t=0 and to
+    // p2 at t=1; each receive occupies [start+3/2, start+5/2).
+    let lam = Latency::from_ratio(5, 2);
+    let pair = |seq: u64, src: u32, dst: u32, at: Time| {
+        vec![
+            ObsEvent::Send {
+                seq,
+                src,
+                dst,
+                start: at,
+                finish: at + Time::ONE,
+            },
+            ObsEvent::Recv {
+                seq,
+                src,
+                dst,
+                arrival: at + Time::new(3, 2),
+                start: at + Time::new(3, 2),
+                finish: at + Time::new(5, 2),
+                queued: false,
+            },
+        ]
+    };
+    let mut events = pair(0, 0, 1, Time::ZERO);
+    events.extend(pair(1, 0, 2, Time::ONE));
+    ObsLog::new(RunMeta::new("event", 3).latency(lam).messages(1), events)
+}
+
+#[test]
+fn chrome_export_matches_golden() {
+    let got = to_chrome_trace(&bcast3_log());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_bcast3.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        got, want,
+        "chrome exporter output drifted from golden; \
+         re-bless with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn golden_is_valid_json() {
+    // The workspace is hermetic, so validate shape with a bracket/brace
+    // balance check plus a few structural anchors rather than a parser.
+    let text = to_chrome_trace(&bcast3_log());
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth_obj += 1,
+            '}' if !in_str => depth_obj -= 1,
+            '[' if !in_str => depth_arr += 1,
+            ']' if !in_str => depth_arr -= 1,
+            _ => {}
+        }
+        assert!(depth_obj >= 0 && depth_arr >= 0);
+    }
+    assert_eq!(depth_obj, 0);
+    assert_eq!(depth_arr, 0);
+    assert!(!in_str);
+    assert!(text.contains("\"traceEvents\""));
+}

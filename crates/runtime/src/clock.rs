@@ -34,7 +34,7 @@ impl UnitClock {
     /// Elapsed model time as an (approximate) exact rational, for the
     /// `Context::now` interface. Resolution: 1/1024 unit.
     pub fn now_time(&self) -> Time {
-        Time(Ratio::approximate(self.now_units(), 1024))
+        units_to_time(self.now_units())
     }
 
     /// Sleeps the current thread until `units` of model time have elapsed
@@ -51,9 +51,24 @@ impl UnitClock {
     }
 }
 
+/// Quantizes fractional model units onto the runtime's virtual-time
+/// lattice (resolution 1/1024 unit), the single conversion used for
+/// `Context::now`, observability timestamps and report completion times.
+pub fn units_to_time(units: f64) -> Time {
+    Time(Ratio::approximate(units, 1024))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn units_quantize_to_the_lattice() {
+        assert_eq!(units_to_time(2.0), Time::from_int(2));
+        assert_eq!(units_to_time(7.5), Time::new(15, 2));
+        let t = units_to_time(1.0 / 3.0);
+        assert!((t.to_f64() - 1.0 / 3.0).abs() <= 1.0 / 1024.0);
+    }
 
     #[test]
     fn unit_conversion() {

@@ -25,17 +25,19 @@
 //! the count reaches zero, which (tokens being released only after any
 //! tokens they spawn are registered) implies global quiescence.
 
-use crate::clock::UnitClock;
+use crate::clock::{units_to_time, UnitClock};
 use postal_model::{Latency, Time};
+use postal_obs::{ObsEvent, Recorder};
 use postal_sim::{Context, ProcId, Program};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A message in flight between threads.
 struct TimedMsg<P> {
+    seq: u64,
     from: ProcId,
     payload: P,
     /// Model time at which the receive completes (send_start + λ).
@@ -68,6 +70,11 @@ pub struct ThreadedReport<P> {
     pub deliveries: Vec<Delivery<P>>,
     /// Model units at which the last receive completed (0 if none).
     pub elapsed_units: f64,
+    /// The run's completion on the virtual clock, quantized to the
+    /// runtime's 1/1024-unit lattice — the executor's own answer to "when
+    /// did the last receive finish", so callers compare against model
+    /// predictions without re-deriving it from `deliveries`.
+    pub completion: Time,
 }
 
 impl<P> ThreadedReport<P> {
@@ -162,6 +169,37 @@ pub fn run_threaded<P>(
 where
     P: Clone + Send + 'static,
 {
+    run_threaded_inner(latency, config, programs, None)
+}
+
+/// [`run_threaded`] with every send and receive additionally streamed
+/// into an observability recorder from the port and processor threads
+/// (same event vocabulary as the simulators; timestamps are wall-derived
+/// and quantized to the 1/1024-unit virtual-clock lattice).
+///
+/// # Panics
+/// As [`run_threaded`].
+pub fn run_threaded_observed<P>(
+    latency: Latency,
+    config: RuntimeConfig,
+    programs: Vec<Box<dyn Program<P> + Send>>,
+    recorder: Arc<dyn Recorder>,
+) -> ThreadedReport<P>
+where
+    P: Clone + Send + 'static,
+{
+    run_threaded_inner(latency, config, programs, Some(recorder))
+}
+
+fn run_threaded_inner<P>(
+    latency: Latency,
+    config: RuntimeConfig,
+    programs: Vec<Box<dyn Program<P> + Send>>,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> ThreadedReport<P>
+where
+    P: Clone + Send + 'static,
+{
     let n = programs.len();
     assert!(n >= 1, "at least one processor required");
     let lam = latency.to_f64();
@@ -179,6 +217,8 @@ where
 
     // One startup token per processor, released after its on_start.
     let outstanding = Arc::new(AtomicI64::new(n as i64));
+    // Global send sequence numbers, claimed by port threads at send start.
+    let send_seq = Arc::new(AtomicU64::new(0));
 
     let mut proc_handles = Vec::with_capacity(n);
     let mut port_handles = Vec::with_capacity(n);
@@ -193,15 +233,29 @@ where
         // bounded queue backpressures runaway senders.
         let (port_tx, port_rx) = sync_channel::<SendRequest<P>>(1024);
         let port_clock = clock;
+        let port_recorder = recorder.clone();
+        let port_seq = Arc::clone(&send_seq);
         port_handles.push(std::thread::spawn(move || {
             let mut port_free = 0.0f64;
             while let Ok(req) = port_rx.recv() {
                 let send_start = port_clock.now_units().max(port_free);
                 port_free = send_start + 1.0;
+                let seq = port_seq.fetch_add(1, Ordering::SeqCst);
+                if let Some(r) = &port_recorder {
+                    let start = units_to_time(send_start);
+                    r.record(ObsEvent::Send {
+                        seq,
+                        src: me.0,
+                        dst: req.dst.0,
+                        start,
+                        finish: start + Time::ONE,
+                    });
+                }
                 // Busy sending for one unit (send-and-forget: the
                 // *program* already moved on; only the port blocks).
                 port_clock.sleep_until_units(port_free);
                 let msg = TimedMsg {
+                    seq,
                     from: me,
                     payload: req.payload,
                     deliver_at_units: send_start + lam,
@@ -215,6 +269,7 @@ where
         }));
 
         let proc_clock = clock;
+        let proc_recorder = recorder.clone();
         proc_handles.push(std::thread::spawn(move || {
             let mut deliveries: Vec<Delivery<P>> = Vec::new();
             let mut wakes: BinaryHeap<std::cmp::Reverse<OrderedF64>> = BinaryHeap::new();
@@ -242,6 +297,12 @@ where
                         break;
                     }
                     wakes.pop();
+                    if let Some(r) = &proc_recorder {
+                        r.record(ObsEvent::Wake {
+                            proc: me.0,
+                            at: units_to_time(w),
+                        });
+                    }
                     let mut ctx = ThreadCtx {
                         me,
                         n,
@@ -267,8 +328,21 @@ where
                         // Input port: FIFO, one unit per receive, never
                         // earlier than the model delivery time.
                         let recv_finish = msg.deliver_at_units.max(in_port_free + 1.0);
+                        let queued = recv_finish > msg.deliver_at_units + 1e-9;
                         in_port_free = recv_finish;
                         proc_clock.sleep_until_units(recv_finish);
+                        if let Some(r) = &proc_recorder {
+                            let finish = units_to_time(recv_finish);
+                            r.record(ObsEvent::Recv {
+                                seq: msg.seq,
+                                src: msg.from.0,
+                                dst: me.0,
+                                arrival: units_to_time(msg.deliver_at_units - 1.0),
+                                start: finish - Time::ONE,
+                                finish,
+                                queued,
+                            });
+                        }
                         deliveries.push(Delivery {
                             to: me,
                             from: msg.from,
@@ -312,6 +386,7 @@ where
     ThreadedReport {
         deliveries,
         elapsed_units,
+        completion: units_to_time(elapsed_units),
     }
 }
 
@@ -497,6 +572,70 @@ mod tests {
             "finished impossibly fast: {}",
             times[7]
         );
+    }
+
+    #[test]
+    fn completion_comes_from_the_virtual_clock() {
+        let n = 8;
+        let lam = Latency::from_int(2);
+        let model = runtimes::bcast_time(n as u128, lam).to_f64();
+        let report = bcast_threaded(n, lam);
+        // The report's Time completion is the quantized elapsed_units —
+        // no caller-side recomputation from the delivery list needed.
+        assert_eq!(
+            report.completion,
+            crate::clock::units_to_time(report.elapsed_units)
+        );
+        assert!(report.completion.to_f64() >= model - 0.01);
+    }
+
+    #[test]
+    fn observed_run_records_port_spans() {
+        let n = 6;
+        let lam = Latency::from_ratio(5, 2);
+        let rec = Arc::new(postal_obs::MemoryRecorder::new());
+        let programs = send_programs_from(n, |id| {
+            Box::new(BcastProgram::new(
+                lam,
+                (id == ProcId::ROOT).then_some(n as u64),
+            )) as Box<dyn Program<BcastPayload> + Send>
+        });
+        let report = run_threaded_observed(
+            lam,
+            RuntimeConfig::default(),
+            programs,
+            Arc::clone(&rec) as Arc<dyn postal_obs::Recorder>,
+        );
+        let log = Arc::try_unwrap(rec)
+            .expect("all threads joined")
+            .into_log(postal_obs::RunMeta::new("threaded", n as u32).latency(lam));
+        // One send and one receive per delivery, nothing lost in transit.
+        assert_eq!(log.deliveries(), report.deliveries.len());
+        assert_eq!(log.deliveries(), n - 1);
+        assert_eq!(
+            log.events().iter().filter(|e| e.kind() == "send").count(),
+            n - 1
+        );
+        // Wall jitter aside, the log's completion is the report's.
+        assert_eq!(log.completion_time(), report.completion);
+        // Every recv is ≥ λ after its matching send started.
+        let sends: Vec<(u64, Time)> = log
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                postal_obs::ObsEvent::Send { seq, start, .. } => Some((seq, start)),
+                _ => None,
+            })
+            .collect();
+        for e in log.events() {
+            if let postal_obs::ObsEvent::Recv { seq, finish, .. } = *e {
+                let (_, start) = sends.iter().find(|&&(q, _)| q == seq).copied().unwrap();
+                assert!(
+                    (finish - start).to_f64() >= lam.to_f64() - 0.01,
+                    "recv #{seq} finished impossibly fast"
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,5 +33,8 @@
 pub mod clock;
 pub mod executor;
 
-pub use clock::UnitClock;
-pub use executor::{run_threaded, send_programs_from, Delivery, RuntimeConfig, ThreadedReport};
+pub use clock::{units_to_time, UnitClock};
+pub use executor::{
+    run_threaded, run_threaded_observed, send_programs_from, Delivery, RuntimeConfig,
+    ThreadedReport,
+};

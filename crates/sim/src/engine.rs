@@ -30,6 +30,7 @@ use crate::latency_model::LatencyModel;
 use crate::program::{Context, Program};
 use crate::trace::{Trace, Transfer};
 use postal_model::Time;
+use postal_obs::{ObsEvent, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -164,6 +165,7 @@ pub struct Simulation<'a> {
     latency: &'a dyn LatencyModel,
     config: SimConfig,
     faults: crate::faults::FaultPlan,
+    recorder: Option<&'a dyn Recorder>,
 }
 
 impl<'a> Simulation<'a> {
@@ -182,6 +184,7 @@ impl<'a> Simulation<'a> {
             latency,
             config: SimConfig::default(),
             faults: crate::faults::FaultPlan::none(),
+            recorder: None,
         }
     }
 
@@ -203,6 +206,13 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Streams every engine event (sends, receives, violations, faults,
+    /// wake-ups) into an observability recorder as the run executes.
+    pub fn observe(mut self, recorder: &'a dyn Recorder) -> Simulation<'a> {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Runs the given per-processor programs to quiescence.
     ///
     /// # Errors
@@ -218,8 +228,11 @@ impl<'a> Simulation<'a> {
                 got: programs.len(),
             });
         }
-        let mut engine = EngineState::new(self.n, self.config);
+        let mut engine = EngineState::new(self.n, self.config, self.recorder);
         engine.faults = self.faults.clone();
+        for &(p, t) in &engine.faults.crashes.clone() {
+            engine.emit(ObsEvent::Crash { proc: p.0, at: t });
+        }
 
         // Time 0: every processor's on_start, in index order.
         for (i, program) in programs.iter_mut().enumerate() {
@@ -246,11 +259,26 @@ impl<'a> Simulation<'a> {
                 EventKind::Deliver(d) => {
                     let dst = d.transfer.dst;
                     if engine.faults.crashed(dst, entry.time) {
+                        engine.emit(ObsEvent::Drop {
+                            seq: d.transfer.seq.0,
+                            src: d.transfer.src.0,
+                            dst: dst.0,
+                            at: entry.time,
+                        });
                         continue;
                     }
                     let from = d.transfer.src;
                     let payload = d.transfer.payload.clone();
                     engine.proc_stats[dst.index()].recvs += 1;
+                    engine.emit(ObsEvent::Recv {
+                        seq: d.transfer.seq.0,
+                        src: from.0,
+                        dst: dst.0,
+                        arrival: d.transfer.arrival,
+                        start: d.transfer.recv_start,
+                        finish: d.transfer.recv_finish,
+                        queued: d.transfer.was_queued(),
+                    });
                     engine.trace.push(d.transfer);
                     let mut ctx = EngineCtx {
                         me: dst,
@@ -266,6 +294,10 @@ impl<'a> Simulation<'a> {
                     if engine.faults.crashed(p, entry.time) {
                         continue;
                     }
+                    engine.emit(ObsEvent::Wake {
+                        proc: p.0,
+                        at: entry.time,
+                    });
                     let mut ctx = EngineCtx {
                         me: p,
                         n: self.n,
@@ -352,8 +384,9 @@ impl<P> Ord for HeapEntry<P> {
     }
 }
 
-struct EngineState<P> {
+struct EngineState<'r, P> {
     config: SimConfig,
+    recorder: Option<&'r dyn Recorder>,
     faults: crate::faults::FaultPlan,
     queue: BinaryHeap<Reverse<HeapEntry<P>>>,
     /// When each processor's output port becomes free.
@@ -368,10 +401,11 @@ struct EngineState<P> {
     events: u64,
 }
 
-impl<P: Clone> EngineState<P> {
-    fn new(n: usize, config: SimConfig) -> EngineState<P> {
+impl<'r, P: Clone> EngineState<'r, P> {
+    fn new(n: usize, config: SimConfig, recorder: Option<&'r dyn Recorder>) -> EngineState<'r, P> {
         EngineState {
             config,
+            recorder,
             faults: crate::faults::FaultPlan::none(),
             queue: BinaryHeap::new(),
             out_free: vec![Time::ZERO; n],
@@ -382,6 +416,12 @@ impl<P: Clone> EngineState<P> {
             next_seq: 0,
             next_counter: 0,
             events: 0,
+        }
+    }
+
+    fn emit(&self, event: ObsEvent) {
+        if let Some(r) = self.recorder {
+            r.record(event);
         }
     }
 
@@ -412,6 +452,13 @@ impl<P: Clone> EngineState<P> {
             self.next_seq += 1;
             let lam = latency.latency(src, dst, send_start);
             let arrival = send_start + lam.as_time() - Time::ONE;
+            self.emit(ObsEvent::Send {
+                seq: seq.0,
+                src: src.0,
+                dst: dst.0,
+                start: send_start,
+                finish: send_start + Time::ONE,
+            });
             self.push(
                 arrival,
                 EventKind::Arrival(ArrivalEvent {
@@ -444,12 +491,24 @@ impl<P: Clone> EngineState<P> {
     fn process_arrival(&mut self, arrival: Time, a: ArrivalEvent<P>) {
         if self.faults.drops(a.seq.0) || self.faults.crashed(a.dst, arrival) {
             // Lost in flight, or nobody home to receive it.
+            self.emit(ObsEvent::Drop {
+                seq: a.seq.0,
+                src: a.src.0,
+                dst: a.dst.0,
+                at: arrival,
+            });
             return;
         }
         let port_free = self.in_free[a.dst.index()];
         let recv_start = match self.config.port_mode {
             PortMode::Strict => {
                 if port_free > arrival {
+                    self.emit(ObsEvent::Violation {
+                        seq: a.seq.0,
+                        dst: a.dst.0,
+                        arrival,
+                        busy_until: port_free,
+                    });
                     self.violations.push(Violation {
                         seq: a.seq,
                         dst: a.dst,
@@ -662,6 +721,47 @@ mod tests {
         assert_eq!(report.proc_stats[0].recvs, 0);
         assert_eq!(report.proc_stats[1].recvs, 1);
         assert_eq!(report.proc_stats[2].recvs, 1);
+    }
+
+    #[test]
+    fn observe_streams_engine_events() {
+        let lam = Uniform(Latency::from_ratio(5, 2));
+        let rec = postal_obs::MemoryRecorder::new();
+        let report = Simulation::new(3, &lam)
+            .observe(&rec)
+            .run(spray_programs(3, vec![1, 2]))
+            .unwrap();
+        report.assert_model_clean();
+        let log =
+            rec.into_log(postal_obs::RunMeta::new("event", 3).latency(Latency::from_ratio(5, 2)));
+        assert_eq!(log.deliveries(), 2);
+        assert_eq!(log.completion_time(), report.completion);
+        // The streamed events match the after-the-fact trace conversion.
+        assert_eq!(log.events(), crate::obs::log_from_report(
+            &report,
+            "event",
+            3,
+            Some(Latency::from_ratio(5, 2)),
+            None,
+        ).events());
+    }
+
+    #[test]
+    fn observe_streams_fault_events() {
+        let lam = Uniform(Latency::from_int(2));
+        let rec = postal_obs::MemoryRecorder::new();
+        let plan = crate::faults::FaultPlan::none()
+            .dropping(1)
+            .crashing(ProcId(2), Time::from_int(99));
+        let _ = Simulation::new(3, &lam)
+            .faults(plan)
+            .observe(&rec)
+            .run(spray_programs(3, vec![1, 2]))
+            .unwrap();
+        let log = rec.into_log(postal_obs::RunMeta::new("event", 3));
+        let kinds: Vec<&str> = log.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"drop"), "{kinds:?}");
+        assert!(kinds.contains(&"crash"), "{kinds:?}");
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! `B` = both at once (the model's *simultaneous I/O*), `·` = idle.
 //! Used by the examples and the `postal-cli` tool to make schedules
 //! visible — the paper's Figure 1 as a timeline instead of a tree.
+//!
+//! The rendering itself lives in [`postal_obs::gantt`], which consumes
+//! the observability span stream; this module adapts a [`Trace`] to it.
 
-use crate::ids::ProcId;
 use crate::trace::Trace;
-use postal_model::{Ratio, Time};
-use std::fmt::Write as _;
 
 /// Renders a trace as an ASCII Gantt chart with `cells_per_unit` columns
 /// per time unit.
@@ -27,69 +27,20 @@ use std::fmt::Write as _;
 /// # Panics
 /// Panics if `cells_per_unit == 0` or `n == 0`.
 pub fn render_gantt<P>(trace: &Trace<P>, n: usize, cells_per_unit: u32) -> String {
-    assert!(cells_per_unit >= 1, "resolution must be at least 1 cell");
-    assert!(n >= 1, "at least one processor required");
-    let horizon = trace.completion_time();
-    let cells_total = (horizon.as_ratio() * Ratio::from_int(cells_per_unit as i128))
-        .ceil()
-        .max(1) as usize;
-
-    // 0 = idle, 1 = send, 2 = recv, 3 = both.
-    let mut grid = vec![vec![0u8; cells_total]; n];
-    let mut mark = |proc: ProcId, from: Time, to: Time, bit: u8| {
-        let a = (from.as_ratio() * Ratio::from_int(cells_per_unit as i128))
-            .floor()
-            .max(0) as usize;
-        let b = (to.as_ratio() * Ratio::from_int(cells_per_unit as i128))
-            .ceil()
-            .max(0) as usize;
-        for cell in grid[proc.index()][a.min(cells_total)..b.min(cells_total)].iter_mut() {
-            *cell |= bit;
-        }
-    };
-    for t in trace.transfers() {
-        mark(t.src, t.send_start, t.send_finish, 1);
-        mark(t.dst, t.recv_start, t.recv_finish, 2);
-    }
-
-    let mut out = String::new();
-    // Axis: a tick every unit.
-    let label_width = format!("p{}", n - 1).len().max(3);
-    let _ = write!(out, "{:>label_width$} ", "t");
-    for c in 0..cells_total {
-        let ch = if c % cells_per_unit as usize == 0 {
-            '|'
-        } else {
-            ' '
-        };
-        out.push(ch);
-    }
-    out.push('\n');
-    for (i, row) in grid.iter().enumerate() {
-        let _ = write!(out, "{:>label_width$} ", format!("p{i}"));
-        for &cell in row {
-            out.push(match cell {
-                0 => '·',
-                1 => 'S',
-                2 => 'R',
-                _ => 'B',
-            });
-        }
-        out.push('\n');
-    }
-    let _ = writeln!(
-        out,
-        "{:>label_width$} (1 unit = {} cells; completion t = {})",
-        "", cells_per_unit, horizon
-    );
-    out
+    postal_obs::gantt::render_spans(
+        n,
+        &trace.port_spans(),
+        trace.completion_time(),
+        cells_per_unit,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::SendSeq;
+    use crate::ids::{ProcId, SendSeq};
     use crate::trace::Transfer;
+    use postal_model::Time;
 
     fn transfer(src: u32, dst: u32, start: i128, lam_num: i128, lam_den: i128) -> Transfer<()> {
         let send_start = Time::from_int(start);

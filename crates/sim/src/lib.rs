@@ -66,6 +66,7 @@ pub mod ids;
 pub mod jitter;
 pub mod latency_model;
 pub mod lockstep;
+pub mod obs;
 pub mod program;
 pub mod trace;
 
@@ -86,6 +87,7 @@ pub use faults::FaultPlan;
 pub use ids::{ProcId, SendSeq};
 pub use jitter::Jittered;
 pub use latency_model::{Hierarchical, LatencyModel, TimeVarying, Uniform};
-pub use lockstep::run_lockstep;
+pub use lockstep::{run_lockstep, run_lockstep_observed};
+pub use obs::{log_from_report, trace_events};
 pub use program::{Context, Idle, Program};
 pub use trace::{Trace, Transfer};

@@ -18,6 +18,7 @@ use crate::ids::{ProcId, SendSeq};
 use crate::program::{Context, Program};
 use crate::trace::{Trace, Transfer};
 use postal_model::{Latency, Ratio, Time};
+use postal_obs::{ObsEvent, Recorder};
 use std::collections::VecDeque;
 
 /// One pending delivery in tick units.
@@ -93,8 +94,34 @@ impl<P> Context<P> for TickCtx<P> {
 pub fn run_lockstep<P: Clone>(
     n: usize,
     latency: Latency,
+    programs: Vec<Box<dyn Program<P>>>,
+    max_ticks: u64,
+) -> Result<RunReport<P>, SimError> {
+    run_lockstep_inner(n, latency, programs, max_ticks, None)
+}
+
+/// [`run_lockstep`] with every engine event additionally streamed into
+/// an observability recorder (same event vocabulary as
+/// [`crate::engine::Simulation::observe`]).
+///
+/// # Errors
+/// As [`run_lockstep`].
+pub fn run_lockstep_observed<P: Clone>(
+    n: usize,
+    latency: Latency,
+    programs: Vec<Box<dyn Program<P>>>,
+    max_ticks: u64,
+    recorder: &dyn Recorder,
+) -> Result<RunReport<P>, SimError> {
+    run_lockstep_inner(n, latency, programs, max_ticks, Some(recorder))
+}
+
+fn run_lockstep_inner<P: Clone>(
+    n: usize,
+    latency: Latency,
     mut programs: Vec<Box<dyn Program<P>>>,
     max_ticks: u64,
+    recorder: Option<&dyn Recorder>,
 ) -> Result<RunReport<P>, SimError> {
     if programs.len() != n {
         return Err(SimError::WrongProgramCount {
@@ -130,6 +157,7 @@ pub fn run_lockstep<P: Clone>(
         proc_stats: &mut [ProcStats],
         q: i128,
         p: i128,
+        recorder: Option<&dyn Recorder>,
     ) {
         let me = ctx.me.index();
         let now = ctx.now_tick;
@@ -137,11 +165,29 @@ pub fn run_lockstep<P: Clone>(
             let send_tick = now.max(out_free[me]);
             out_free[me] = send_tick + q;
             proc_stats[me].sends += 1;
+            if let Some(r) = recorder {
+                let start = Time(Ratio::new(send_tick, q));
+                r.record(ObsEvent::Send {
+                    seq: *next_seq,
+                    src: ctx.me.0,
+                    dst: dst.0,
+                    start,
+                    finish: start + Time::ONE,
+                });
+            }
             let recv_finish_tick = send_tick + p;
             // Strict-mode receive window accounting at reservation time:
             // window is (recv_finish − q, recv_finish].
             let arrival_tick = recv_finish_tick - q;
             if in_free[dst.index()] > arrival_tick {
+                if let Some(r) = recorder {
+                    r.record(ObsEvent::Violation {
+                        seq: *next_seq,
+                        dst: dst.0,
+                        arrival: Time(Ratio::new(arrival_tick, q)),
+                        busy_until: Time(Ratio::new(in_free[dst.index()], q)),
+                    });
+                }
                 violations.push(Violation {
                     seq: SendSeq(*next_seq),
                     dst,
@@ -189,6 +235,7 @@ pub fn run_lockstep<P: Clone>(
             &mut proc_stats,
             q,
             p,
+            recorder,
         );
     }
 
@@ -218,6 +265,17 @@ pub fn run_lockstep<P: Clone>(
             proc_stats[d.dst.index()].recvs += 1;
             let send_start = Time(Ratio::new(d.send_tick, q));
             let recv_finish = Time(Ratio::new(d.recv_finish_tick, q));
+            if let Some(r) = recorder {
+                r.record(ObsEvent::Recv {
+                    seq: d.seq,
+                    src: d.src.0,
+                    dst: d.dst.0,
+                    arrival: recv_finish - Time::ONE,
+                    start: recv_finish - Time::ONE,
+                    finish: recv_finish,
+                    queued: false,
+                });
+            }
             trace.push(Transfer {
                 seq: SendSeq(d.seq),
                 src: d.src,
@@ -250,6 +308,7 @@ pub fn run_lockstep<P: Clone>(
                 &mut proc_stats,
                 q,
                 p,
+                recorder,
             );
         }
 
@@ -268,6 +327,12 @@ pub fn run_lockstep<P: Clone>(
             wakes.retain(|&(w, _, _)| w > tick);
             due_wakes.sort_by_key(|&(w, order, _)| (w, order));
             for (_, _, who) in due_wakes {
+                if let Some(r) = recorder {
+                    r.record(ObsEvent::Wake {
+                        proc: who.0,
+                        at: Time(Ratio::new(tick, q)),
+                    });
+                }
                 let mut ctx = TickCtx {
                     me: who,
                     n,
@@ -289,6 +354,7 @@ pub fn run_lockstep<P: Clone>(
                     &mut proc_stats,
                     q,
                     p,
+                    recorder,
                 );
             }
         }
@@ -357,6 +423,19 @@ mod tests {
         let report = run_lockstep(3, lam, std::mem::take(&mut programs), 1000).unwrap();
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].dst, ProcId(2));
+    }
+
+    #[test]
+    fn observed_run_streams_matching_events() {
+        let lam = Latency::from_ratio(5, 2);
+        let rec = postal_obs::MemoryRecorder::new();
+        let report = run_lockstep_observed(4, lam, spray(4, vec![1, 2, 3]), 10_000, &rec).unwrap();
+        let log = rec.into_log(postal_obs::RunMeta::new("lockstep", 4).latency(lam));
+        assert_eq!(log.deliveries(), report.messages());
+        assert_eq!(log.completion_time(), report.completion);
+        // Streamed events agree with converting the finished report.
+        let converted = crate::obs::log_from_report(&report, "lockstep", 4, Some(lam), None);
+        assert_eq!(log.events(), converted.events());
     }
 
     #[test]

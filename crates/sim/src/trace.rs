@@ -3,6 +3,7 @@
 use crate::ids::{ProcId, SendSeq};
 use postal_model::schedule::{Schedule, TimedSend};
 use postal_model::{Latency, Time};
+use postal_obs::{PortSide, PortSpan};
 
 /// One completed message transfer.
 ///
@@ -130,18 +131,36 @@ impl<P> Trace<P> {
         v
     }
 
+    /// The port-occupancy intervals this trace realized, in transfer
+    /// order — the span stream the obs Gantt renderer and utilization
+    /// accounting consume.
+    pub fn port_spans(&self) -> Vec<PortSpan> {
+        let mut spans = Vec::with_capacity(self.transfers.len() * 2);
+        for t in &self.transfers {
+            spans.push(PortSpan {
+                proc: t.src.0,
+                side: PortSide::Out,
+                start: t.send_start,
+                end: t.send_finish,
+            });
+            spans.push(PortSpan {
+                proc: t.dst.0,
+                side: PortSide::In,
+                start: t.recv_start,
+                end: t.recv_finish,
+            });
+        }
+        spans
+    }
+
     /// Per-processor port utilization: `(send_busy, recv_busy)` time for
     /// each processor. Dividing by the completion time gives utilization
     /// fractions (the busiest processor in an optimal broadcast — the
     /// originator — sends for `k` consecutive units, its whole
-    /// participation).
+    /// participation). Delegates to [`postal_obs::port_busy_times`], the
+    /// workspace's single definition of port busy time.
     pub fn port_busy_times(&self, n: usize) -> Vec<(Time, Time)> {
-        let mut busy = vec![(Time::ZERO, Time::ZERO); n];
-        for t in &self.transfers {
-            busy[t.src.index()].0 += Time::ONE;
-            busy[t.dst.index()].1 += Time::ONE;
-        }
-        busy
+        postal_obs::port_busy_times(n, &self.port_spans())
     }
 
     /// Exports the trace as CSV (timing columns as exact rationals plus

@@ -46,6 +46,7 @@ pub use flight::{flights_from_deliveries, flights_from_trace, schedule_from_trac
 pub use postal_model::lint::{
     is_clean, lint_schedule, max_severity, Diagnostic, LintCode, LintOptions, Severity,
 };
+pub use postal_obs::ObsError;
 pub use race::{detect_races, Race};
 
 use postal_model::latency::Latency;
@@ -133,6 +134,28 @@ pub fn lint_trace<P>(
     }
 }
 
+/// Parses an observability JSONL log (as written by
+/// `postal_obs::to_jsonl` or `postal-cli simulate --events-out`) back
+/// into the static schedule its send events realized, ready for
+/// [`lint_schedule`].
+///
+/// # Errors
+/// When the text is not a well-formed event log or carries no uniform λ.
+pub fn schedule_from_jsonl(text: &str) -> Result<Schedule, ObsError> {
+    postal_obs::from_jsonl(text)?.to_schedule()
+}
+
+/// Lints an observability JSONL log end to end: parse the event stream,
+/// reduce it to a schedule, and run the schedule lints with `opts`.
+/// This closes the loop between the runtime exporters and the static
+/// analyzer — a recorded run can be re-checked offline.
+///
+/// # Errors
+/// When the text cannot be parsed or reduced to a schedule.
+pub fn lint_jsonl(text: &str, opts: &LintOptions) -> Result<Vec<Diagnostic>, ObsError> {
+    Ok(lint_schedule(&schedule_from_jsonl(text)?, opts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +211,40 @@ mod tests {
             ],
         );
         assert_broadcast_clean(&bad, "bad");
+    }
+
+    #[test]
+    fn lint_jsonl_round_trips_a_recorded_run() {
+        use postal_obs::{to_jsonl, ObsEvent, ObsLog, RunMeta};
+        let lam = Latency::from_ratio(5, 2);
+        let log = ObsLog::new(
+            RunMeta::new("event", 3).latency(lam).messages(1),
+            vec![
+                ObsEvent::Send {
+                    seq: 0,
+                    src: 0,
+                    dst: 1,
+                    start: Time::ZERO,
+                    finish: Time::ONE,
+                },
+                ObsEvent::Send {
+                    seq: 1,
+                    src: 1,
+                    dst: 2,
+                    start: Time::new(5, 2),
+                    finish: Time::new(7, 2),
+                },
+            ],
+        );
+        let text = to_jsonl(&log);
+        let schedule = schedule_from_jsonl(&text).unwrap();
+        assert_eq!(schedule.sends().len(), 2);
+        let diags = lint_jsonl(&text, &LintOptions::default()).unwrap();
+        assert!(is_clean(&diags, Severity::Error));
+    }
+
+    #[test]
+    fn lint_jsonl_rejects_garbage() {
+        assert!(lint_jsonl("not json", &LintOptions::default()).is_err());
     }
 }
