@@ -59,6 +59,11 @@ USAGE:
                                              accepts schedule JSON or an observability
                                              JSONL event log; exits nonzero when any
                                              diagnostic reaches --deny (default: error)
+    postal check --algo <name|all> --n N --lambda L
+                                             model-check every interleaving (DPOR):
+                                             codes P0008-P0011 over the whole state
+                                             space, plus a re-lint of each execution
+           [--m N] [--max-interleavings N] [--format text|json] [--deny warn|error]
 
 <lambda> accepts integers, fractions and decimals: 3, 5/2, 2.5";
 
@@ -176,6 +181,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             stats(algo, n, m, lam, &opts)
         }
         Some("lint") => lint(&args[1..]),
+        Some("check") => check(&args[1..]),
         _ => Err(usage()),
     }
 }
@@ -279,6 +285,177 @@ fn lint(args: &[String]) -> Result<String, CliError> {
         Err(CliError::LintFailed(report))
     } else {
         Ok(report)
+    }
+}
+
+/// The `check` subcommand: model-check one (or every) paper algorithm.
+fn check(args: &[String]) -> Result<String, CliError> {
+    use postal_mc::{check_algo, Algo, McConfig};
+    use postal_verify::{render, Severity};
+    let mut algo_arg: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut lam: Option<Latency> = None;
+    let mut m: u32 = 1;
+    let mut cfg = McConfig::default();
+    let mut as_json = false;
+    let mut deny = Severity::Error;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: usize| {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Invalid(format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--algo" => {
+                algo_arg = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
+            "--n" => {
+                n = Some(parse_n(flag_value(i)?)?);
+                i += 2;
+            }
+            "--lambda" => {
+                lam = Some(parse_lambda(flag_value(i)?)?);
+                i += 2;
+            }
+            "--m" => {
+                let v: u32 = flag_value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Invalid("--m must be a positive integer".into()))?;
+                if v == 0 || v > 64 {
+                    return Err(CliError::Invalid("--m must be in 1..=64".into()));
+                }
+                m = v;
+                i += 2;
+            }
+            "--max-interleavings" => {
+                cfg.max_interleavings = flag_value(i)?.parse().map_err(|_| {
+                    CliError::Invalid("--max-interleavings must be a positive integer".into())
+                })?;
+                if cfg.max_interleavings == 0 {
+                    return Err(CliError::Invalid("--max-interleavings must be ≥ 1".into()));
+                }
+                i += 2;
+            }
+            "--format" => {
+                as_json = match flag_value(i)? {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--format must be 'text' or 'json', got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--deny" => {
+                deny = match flag_value(i)? {
+                    "warn" => Severity::Warn,
+                    "error" => Severity::Error,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--deny must be 'warn' or 'error', got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            s => {
+                return Err(CliError::Invalid(format!("unknown check flag {s:?}")));
+            }
+        }
+    }
+    let usage = || CliError::Usage(USAGE.to_string());
+    let algo_arg = algo_arg.ok_or_else(usage)?;
+    let n = n.ok_or_else(usage)?;
+    let lam = lam.ok_or_else(usage)?;
+    // Exhaustive exploration replays prefixes from scratch; keep the
+    // state space honest rather than silently bounding it away.
+    if n > 64 {
+        return Err(CliError::Invalid(
+            "model checking is exhaustive; use n ≤ 64 (the paper grid uses n ≤ 12)".into(),
+        ));
+    }
+    let algos: Vec<Algo> = if algo_arg == "all" {
+        Algo::all().to_vec()
+    } else {
+        vec![Algo::parse(&algo_arg).ok_or_else(|| {
+            CliError::Invalid(format!(
+                "unknown algorithm {algo_arg:?} (bcast|repeat|repeat-greedy|pack|\
+                 pipeline|line|binary|star|dtree|all)"
+            ))
+        })?]
+    };
+
+    let mut out = String::new();
+    let mut failed = false;
+    if as_json {
+        out.push_str("[\n");
+    }
+    for (idx, algo) in algos.iter().enumerate() {
+        let rep = check_algo(*algo, n as u32, m, lam, None, &cfg);
+        failed |= rep.diagnostics.iter().any(|d| d.severity >= deny);
+        if as_json {
+            if idx > 0 {
+                out.push_str(",\n");
+            }
+            let _ = writeln!(out, "{{");
+            let _ = writeln!(out, "  \"algo\": \"{}\",", rep.name);
+            let _ = writeln!(out, "  \"n\": {},", rep.n);
+            let _ = writeln!(out, "  \"m\": {},", rep.m);
+            let _ = writeln!(out, "  \"lambda\": \"{}\",", rep.lambda);
+            let _ = writeln!(out, "  \"executions\": {},", rep.stats.executions);
+            let _ = writeln!(out, "  \"deadlocks\": {},", rep.stats.deadlocks);
+            let _ = writeln!(out, "  \"branch_points\": {},", rep.stats.branch_points);
+            let _ = writeln!(out, "  \"sleep_set_pruned\": {},", rep.stats.pruned);
+            let _ = writeln!(
+                out,
+                "  \"naive_interleavings\": {},",
+                rep.stats.naive_interleavings
+            );
+            let _ = writeln!(
+                out,
+                "  \"reduction_ratio\": {},",
+                rep.stats.reduction_ratio()
+            );
+            let _ = writeln!(out, "  \"truncated\": {},", rep.stats.truncated);
+            let _ = writeln!(out, "  \"bounded\": {},", rep.stats.bounded);
+            let comps: Vec<String> = rep.completions.iter().map(|c| format!("\"{c}\"")).collect();
+            let _ = writeln!(out, "  \"completions\": [{}],", comps.join(", "));
+            let _ = writeln!(
+                out,
+                "  \"reference_completion\": \"{}\",",
+                rep.reference_completion
+            );
+            let _ = writeln!(out, "  \"races\": {},", rep.races);
+            let _ = writeln!(
+                out,
+                "  \"diagnostics\": {}",
+                postal_verify::json::diagnostics_to_json(&rep.diagnostics).trim_end()
+            );
+            out.push('}');
+        } else {
+            out.push_str(&rep.summary());
+            if rep.is_clean() {
+                out.push_str("  verdict               clean\n");
+            } else {
+                out.push('\n');
+                out.push_str(&render::render_report(&rep.diagnostics, &rep.name));
+            }
+            if idx + 1 < algos.len() {
+                out.push('\n');
+            }
+        }
+    }
+    if as_json {
+        out.push_str("\n]");
+    }
+    if failed {
+        Err(CliError::LintFailed(out))
+    } else {
+        Ok(out)
     }
 }
 
@@ -960,6 +1137,91 @@ mod tests {
     fn stats_elides_long_utilization_tables() {
         let out = call(&["stats", "bcast", "40", "1", "2"]).unwrap();
         assert!(out.contains("… and 24 more"), "{out}");
+    }
+
+    #[test]
+    fn check_bcast_is_clean_and_reports_reduction() {
+        let out = call(&["check", "--algo", "bcast", "--n", "8", "--lambda", "5/2"]).unwrap();
+        assert!(out.contains("executions explored   1"), "{out}");
+        assert!(out.contains("verdict               clean"), "{out}");
+        assert!(
+            out.contains("completion            6 (reference 6)"),
+            "{out}"
+        );
+        // Concurrent receives make the naive estimate exceed 1.
+        assert!(!out.contains("naive interleavings   1\n"), "{out}");
+    }
+
+    #[test]
+    fn check_all_covers_every_algorithm() {
+        let out = call(&[
+            "check", "--algo", "all", "--n", "5", "--lambda", "2", "--m", "2",
+        ])
+        .unwrap();
+        for name in [
+            "bcast",
+            "repeat",
+            "repeat-greedy",
+            "pack",
+            "pipeline",
+            "line",
+            "binary",
+            "star",
+            "dtree",
+        ] {
+            assert!(out.contains(&format!("model check: {name} ")), "{out}");
+        }
+        assert_eq!(out.matches("verdict               clean").count(), 9);
+    }
+
+    #[test]
+    fn check_json_format() {
+        let out = call(&[
+            "check", "--algo", "bcast", "--n", "6", "--lambda", "2", "--format", "json",
+        ])
+        .unwrap();
+        assert!(out.starts_with('[') && out.ends_with(']'), "{out}");
+        assert!(out.contains("\"executions\": 1"), "{out}");
+        assert!(out.contains("\"diagnostics\": ["), "{out}");
+        let expected = runtimes::bcast_time(6, Latency::from_int(2));
+        assert!(
+            out.contains(&format!("\"reference_completion\": \"{expected}\"")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn check_rejects_bad_usage() {
+        assert!(matches!(
+            call(&["check", "--n", "8", "--lambda", "2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call(&["check", "--algo", "warp", "--n", "8", "--lambda", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["check", "--algo", "bcast", "--n", "999", "--lambda", "2"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&[
+                "check",
+                "--algo",
+                "bcast",
+                "--n",
+                "8",
+                "--lambda",
+                "2",
+                "--max-interleavings",
+                "0"
+            ]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["check", "--algo", "bcast", "--n", "8", "--lambda", "2", "--m", "0"]),
+            Err(CliError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! The controlled postal engine the explorer drives.
+//!
+//! Unlike `postal-sim`'s event loop, which always fires the
+//! lowest-timestamped event next, this engine exposes the set of
+//! *schedulable* events and lets the caller pick which one executes —
+//! that choice is exactly the interleaving freedom a wall-clock
+//! substrate (the threaded executor, a real cluster) has under jitter.
+//!
+//! ## Semantics
+//!
+//! Strict postal timing: a send issued at model time `t` by a processor
+//! whose output port is free occupies the port for `[t, t+1]` and its
+//! receive completes at `t + λ` (the receiver is busy during
+//! `[t+λ−1, t+λ]`). All timestamps are computed from the model rules at
+//! send time and never change, so executing events out of timestamp
+//! order models *observation* jitter, not physics: two receives may be
+//! handled in either order only when their busy windows overlap, i.e.
+//! their completion times differ by strictly less than one unit. That
+//! "< 1 unit" window is the same forcedness criterion
+//! `postal_verify::race` applies after the fact — two deliveries
+//! separated by a full unit are causally or FIFO ordered on every
+//! substrate, while closer pairs genuinely race.
+//!
+//! Event identifiers are allocated in creation order, so two replays of
+//! the same choice prefix allocate identical identifiers — this is what
+//! makes prefix-based replay in [`crate::explore`] sound.
+
+use crate::mutation::Mutation;
+use postal_model::Time;
+use postal_obs::ObsEvent;
+use postal_sim::{Context, ProcId, Program};
+use std::collections::BTreeMap;
+
+/// A pending (not yet executed) engine event.
+enum Pending<P> {
+    /// A message in flight: fires when the receiver finishes receiving.
+    Deliver {
+        seq: u64,
+        src: u32,
+        dst: u32,
+        recv_finish: Time,
+        payload: P,
+    },
+    /// A timer requested via `wake_at`.
+    Wake { proc: u32, at: Time },
+}
+
+impl<P> Pending<P> {
+    fn time(&self) -> Time {
+        match *self {
+            Pending::Deliver { recv_finish, .. } => recv_finish,
+            Pending::Wake { at, .. } => at,
+        }
+    }
+
+    fn proc(&self) -> u32 {
+        match *self {
+            Pending::Deliver { dst, .. } => dst,
+            Pending::Wake { proc, .. } => proc,
+        }
+    }
+}
+
+/// What the explorer needs to know about a schedulable event: its
+/// stable identifier, its model completion time, and the processor
+/// whose state it mutates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EventInfo {
+    /// Creation-order identifier, stable across replays of one prefix.
+    pub id: u64,
+    /// Model time at which the event completes.
+    pub time: Time,
+    /// The processor whose callback the event runs.
+    pub proc: u32,
+}
+
+/// Two events commute unless they run callbacks on the same processor
+/// with overlapping busy windows (completion times less than one unit
+/// apart). Same-processor events a full unit apart are ordered by the
+/// readiness rule in every interleaving, so treating them as
+/// independent never loses a trace.
+pub(crate) fn independent(a: &EventInfo, b: &EventInfo) -> bool {
+    if a.proc != b.proc {
+        return true;
+    }
+    let gap = if a.time >= b.time {
+        a.time - b.time
+    } else {
+        b.time - a.time
+    };
+    gap >= Time::ONE
+}
+
+/// The buffered callback context: collects sends and wakes, which the
+/// engine applies after the program returns (mirrors `postal-sim`'s
+/// two-phase callback handling).
+struct McCtx<P> {
+    me: ProcId,
+    n: usize,
+    now: Time,
+    outbox: Vec<(ProcId, P)>,
+    wakes: Vec<Time>,
+}
+
+impl<P> McCtx<P> {
+    fn new(me: ProcId, n: usize, now: Time) -> McCtx<P> {
+        McCtx {
+            me,
+            n,
+            now,
+            outbox: Vec::new(),
+            wakes: Vec::new(),
+        }
+    }
+}
+
+impl<P> Context<P> for McCtx<P> {
+    fn me(&self) -> ProcId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn send(&mut self, dst: ProcId, payload: P) {
+        assert!(dst.index() < self.n, "send out of range");
+        assert!(dst != self.me, "the postal model has no self-sends");
+        self.outbox.push((dst, payload));
+    }
+
+    fn wake_at(&mut self, t: Time) {
+        self.wakes.push(t.max(self.now));
+    }
+}
+
+/// The controlled engine: program states, port clocks, the pending
+/// event set, and the observability log of everything executed so far.
+pub(crate) struct McEngine<P> {
+    n: usize,
+    lam: Time,
+    programs: Vec<Box<dyn Program<P>>>,
+    out_free: Vec<Time>,
+    recv_count: Vec<u64>,
+    pending: BTreeMap<u64, Pending<P>>,
+    next_id: u64,
+    next_seq: u64,
+    log: Vec<ObsEvent>,
+    mutation: Option<Mutation>,
+}
+
+impl<P: Clone> McEngine<P> {
+    pub fn new(
+        n: u32,
+        lam: Time,
+        programs: Vec<Box<dyn Program<P>>>,
+        mutation: Option<Mutation>,
+    ) -> McEngine<P> {
+        assert_eq!(programs.len(), n as usize, "one program per processor");
+        McEngine {
+            n: n as usize,
+            lam,
+            programs,
+            out_free: vec![Time::ZERO; n as usize],
+            recv_count: vec![0; n as usize],
+            pending: BTreeMap::new(),
+            next_id: 0,
+            next_seq: 0,
+            log: Vec::new(),
+            mutation,
+        }
+    }
+
+    /// Runs every processor's `on_start` at time 0, in index order.
+    /// Start order is not a choice point: `on_start` callbacks cannot
+    /// observe each other (no message can land at time 0), so all
+    /// orders yield the same state.
+    pub fn start(&mut self) {
+        for i in 0..self.n {
+            let mut ctx = McCtx::new(ProcId(i as u32), self.n, Time::ZERO);
+            self.programs[i].on_start(&mut ctx);
+            self.apply(i, Time::ZERO, ctx);
+        }
+    }
+
+    /// Whether a `StallPort` mutation keeps this event from ever firing.
+    fn stalled(&self, p: &Pending<P>) -> bool {
+        match (&self.mutation, p) {
+            (
+                Some(Mutation::StallPort { proc, after }),
+                Pending::Deliver {
+                    dst, recv_finish, ..
+                },
+            ) => dst == proc && *recv_finish > *after,
+            _ => false,
+        }
+    }
+
+    /// The schedulable events, canonically ordered by `(time, id)`.
+    ///
+    /// An event is schedulable when its completion time lies within one
+    /// unit of the earliest live event — exactly the pairs whose busy
+    /// windows a jittery substrate could resolve either way. Events
+    /// beyond that horizon are deferred: executing them now would model
+    /// a reordering no admissible execution exhibits.
+    pub fn enabled(&self) -> Vec<EventInfo> {
+        let live: Vec<EventInfo> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| !self.stalled(p))
+            .map(|(&id, p)| EventInfo {
+                id,
+                time: p.time(),
+                proc: p.proc(),
+            })
+            .collect();
+        let Some(t_min) = live.iter().map(|e| e.time).min() else {
+            return Vec::new();
+        };
+        let mut ready: Vec<EventInfo> = live
+            .into_iter()
+            .filter(|e| e.time < t_min + Time::ONE)
+            .collect();
+        ready.sort_by_key(|e| (e.time, e.id));
+        ready
+    }
+
+    /// Executes one pending event by id. Returns `false` if the id is
+    /// unknown (a replay diverged — a bug, not a user error).
+    pub fn execute(&mut self, id: u64) -> bool {
+        let Some(p) = self.pending.remove(&id) else {
+            return false;
+        };
+        match p {
+            Pending::Deliver {
+                seq,
+                src,
+                dst,
+                recv_finish,
+                payload,
+            } => {
+                self.log.push(ObsEvent::Recv {
+                    seq,
+                    src,
+                    dst,
+                    arrival: recv_finish - Time::ONE,
+                    start: recv_finish - Time::ONE,
+                    finish: recv_finish,
+                    queued: false,
+                });
+                self.recv_count[dst as usize] += 1;
+                let first = self.recv_count[dst as usize] == 1;
+                let mut ctx = McCtx::new(ProcId(dst), self.n, recv_finish);
+                // Order-sensitive fault injection: on its first
+                // delivery, the mutated receiver forwards a copy iff the
+                // message came from an even-indexed sender — behavior
+                // that depends on which racing message landed first.
+                let inject = first
+                    && src % 2 == 0
+                    && matches!(
+                        self.mutation,
+                        Some(Mutation::OrderSensitiveReceiver { proc }) if proc == dst
+                    );
+                let copy = inject.then(|| payload.clone());
+                self.programs[dst as usize].on_receive(&mut ctx, ProcId(src), payload);
+                if let Some(pl) = copy {
+                    let fwd = ProcId((dst + 1) % self.n as u32);
+                    if fwd.0 != dst {
+                        ctx.outbox.push((fwd, pl));
+                    }
+                }
+                self.apply(dst as usize, recv_finish, ctx);
+            }
+            Pending::Wake { proc, at } => {
+                self.log.push(ObsEvent::Wake { proc, at });
+                let mut ctx = McCtx::new(ProcId(proc), self.n, at);
+                self.programs[proc as usize].on_wake(&mut ctx);
+                self.apply(proc as usize, at, ctx);
+            }
+        }
+        true
+    }
+
+    /// Applies a callback's buffered sends and wakes: output-port
+    /// serialization, sequence numbering, mutation hooks, event
+    /// creation.
+    fn apply(&mut self, src: usize, now: Time, ctx: McCtx<P>) {
+        for (dst, payload) in ctx.outbox {
+            let send_start = now.max(self.out_free[src]);
+            self.out_free[src] = send_start + Time::ONE;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.log.push(ObsEvent::Send {
+                seq,
+                src: src as u32,
+                dst: dst.0,
+                start: send_start,
+                finish: send_start + Time::ONE,
+            });
+            let mut recv_finish = send_start + self.lam;
+            match self.mutation {
+                Some(Mutation::DropDelivery { seq: s }) if s == seq => {
+                    self.log.push(ObsEvent::Drop {
+                        seq,
+                        src: src as u32,
+                        dst: dst.0,
+                        at: recv_finish,
+                    });
+                    continue;
+                }
+                Some(Mutation::ShiftDeliveryEarlier { seq: s, by }) if s == seq => {
+                    recv_finish -= by;
+                }
+                _ => {}
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            self.pending.insert(
+                id,
+                Pending::Deliver {
+                    seq,
+                    src: src as u32,
+                    dst: dst.0,
+                    recv_finish,
+                    payload,
+                },
+            );
+        }
+        for t in ctx.wakes {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.pending.insert(
+                id,
+                Pending::Wake {
+                    proc: src as u32,
+                    at: t,
+                },
+            );
+        }
+    }
+
+    /// `(proc, time)` of every event stuck in the pending set, in time
+    /// order — the evidence attached to a deadlock diagnostic.
+    pub fn stuck(&self) -> Vec<(u32, Time)> {
+        let mut v: Vec<(u32, Time)> = self
+            .pending
+            .values()
+            .map(|p| (p.proc(), p.time()))
+            .collect();
+        v.sort_by_key(|&(p, t)| (t, p));
+        v
+    }
+
+    /// The observability events executed so far, in execution order.
+    pub fn into_log(self) -> Vec<ObsEvent> {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_algos::bcast_programs;
+    use postal_model::Latency;
+
+    #[test]
+    fn canonical_run_matches_reference_simulator() {
+        let (n, lam) = (8u32, Latency::from_ratio(5, 2));
+        let mut eng = McEngine::new(n, lam.as_time(), bcast_programs(n as usize, lam), None);
+        eng.start();
+        // Always take the canonical (first) choice: this is the
+        // reference interleaving.
+        loop {
+            let enabled = eng.enabled();
+            let Some(e) = enabled.first() else { break };
+            assert!(eng.execute(e.id));
+        }
+        assert!(eng.stuck().is_empty());
+        let log = eng.into_log();
+        let completion = log
+            .iter()
+            .filter_map(|e| match *e {
+                ObsEvent::Recv { finish, .. } => Some(finish),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(
+            completion,
+            postal_model::runtimes::bcast_time(n as u128, lam)
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_are_both_enabled() {
+        // p1 and p2 both fire at p0 on start: the two deliveries
+        // complete simultaneously, so both must be schedulable.
+        struct Fire;
+        impl Program<u32> for Fire {
+            fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+                if ctx.me() != ProcId::ROOT {
+                    ctx.send(ProcId::ROOT, ctx.me().0);
+                }
+            }
+            fn on_receive(&mut self, _: &mut dyn Context<u32>, _: ProcId, _: u32) {}
+        }
+        let lam = Latency::from_int(2);
+        let programs: Vec<Box<dyn Program<u32>>> =
+            vec![Box::new(Fire), Box::new(Fire), Box::new(Fire)];
+        let mut eng = McEngine::new(3, lam.as_time(), programs, None);
+        eng.start();
+        let enabled = eng.enabled();
+        assert_eq!(enabled.len(), 2);
+        assert_eq!(enabled[0].time, enabled[1].time);
+        assert!(!independent(&enabled[0], &enabled[1]));
+    }
+
+    #[test]
+    fn distant_events_are_deferred() {
+        // p0 sends to p1 at t = 0 and to p2 at t = 1 (port serialized):
+        // completions λ and λ+1 are a full unit apart, so only the
+        // earlier is schedulable.
+        struct Root;
+        impl Program<u32> for Root {
+            fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+                if ctx.me() == ProcId::ROOT {
+                    ctx.send(ProcId(1), 0);
+                    ctx.send(ProcId(2), 1);
+                }
+            }
+            fn on_receive(&mut self, _: &mut dyn Context<u32>, _: ProcId, _: u32) {}
+        }
+        let lam = Latency::from_int(2);
+        let programs: Vec<Box<dyn Program<u32>>> =
+            vec![Box::new(Root), Box::new(Root), Box::new(Root)];
+        let mut eng = McEngine::new(3, lam.as_time(), programs, None);
+        eng.start();
+        let enabled = eng.enabled();
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0].proc, 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Interleaving exploration: sleep sets, persistent-set pruning, and a
+//! bounded-preemption fallback.
+//!
+//! The explorer enumerates Mazurkiewicz-distinct executions of the
+//! controlled engine by depth-first search over choice prefixes, with
+//! two reductions in the dynamic partial-order family:
+//!
+//! * **Persistent sets.** At each state, if the earliest schedulable
+//!   event conflicts with no other schedulable event (no same-processor
+//!   window overlap — see [`crate::engine::independent`]), then `{e}`
+//!   is a persistent set and the step is forced: any event created
+//!   later in any execution completes at least λ ≥ 1 units after `e`,
+//!   so nothing that could conflict with `e` is still to come. For the
+//!   paper's conflict-free algorithms every step is forced and exactly
+//!   one execution is explored, however many events are concurrently
+//!   schedulable.
+//! * **Sleep sets** (Godefroid). When a state genuinely branches, each
+//!   later sibling inherits the earlier siblings it is independent of
+//!   as its sleep set; a path all of whose schedulable events are
+//!   asleep is a re-ordering of an already-explored trace and is
+//!   pruned without reaching a leaf.
+//!
+//! Exploration is replay-based: a state is reached by re-running the
+//! engine from scratch along a prefix of event ids (identifiers are
+//! creation-ordered, so identical prefixes allocate identical ids).
+//! This trades CPU for memory and keeps the engine free of any
+//! snapshot/undo machinery.
+//!
+//! When a state branches beyond the configured preemption bound, the
+//! siblings are not pushed: exploration stays sound (every explored
+//! trace is admissible) but is no longer exhaustive, and the stats mark
+//! the run `bounded` — the loom-style fallback for state spaces too
+//! large to exhaust.
+
+use crate::engine::{independent, EventInfo, McEngine};
+use crate::mutation::Mutation;
+use postal_model::Latency;
+use postal_model::Time;
+use postal_obs::ObsEvent;
+use postal_sim::Program;
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Stop after this many leaves (complete or deadlocked executions);
+    /// the stats then carry `truncated = true`.
+    pub max_interleavings: u64,
+    /// Maximum number of non-canonical choices along one prefix.
+    /// `None` = auto: exhaustive for n ≤ 10, bound 2 beyond (the
+    /// bounded-preemption fallback for large systems).
+    pub preemption_bound: Option<u32>,
+    /// Per-execution step cap: a safety net against runaway programs.
+    pub max_steps: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> McConfig {
+        McConfig {
+            max_interleavings: 4096,
+            preemption_bound: None,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl McConfig {
+    /// The effective preemption bound for an `n`-processor system.
+    pub fn effective_bound(&self, n: u32) -> u32 {
+        match self.preemption_bound {
+            Some(b) => b,
+            None if n <= 10 => u32::MAX,
+            None => 2,
+        }
+    }
+}
+
+/// One explored execution, handed to the leaf callback.
+pub(crate) struct Execution {
+    /// The observability events, in execution order.
+    pub log: Vec<ObsEvent>,
+    /// Pending `(proc, time)` pairs at the leaf; empty means the
+    /// execution ran to completion, non-empty means it deadlocked.
+    pub stuck: Vec<(u32, Time)>,
+}
+
+/// Aggregate exploration statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// Leaves reached (complete executions + deadlocks).
+    pub executions: u64,
+    /// Leaves that deadlocked.
+    pub deadlocks: u64,
+    /// Paths pruned by sleep sets before reaching a leaf.
+    pub pruned: u64,
+    /// States at which more than one event had to be explored.
+    pub branch_points: u64,
+    /// Naive interleaving estimate: the product of schedulable-set
+    /// sizes along the canonical execution (what enumeration without
+    /// partial-order reduction would face).
+    pub naive_interleavings: f64,
+    /// True when `max_interleavings` stopped exploration early.
+    pub truncated: bool,
+    /// True when the preemption bound suppressed at least one branch.
+    pub bounded: bool,
+}
+
+impl ExploreStats {
+    /// Explored executions over the naive estimate (≤ 1; smaller is
+    /// better reduction).
+    pub fn reduction_ratio(&self) -> f64 {
+        self.executions as f64 / self.naive_interleavings.max(1.0)
+    }
+}
+
+/// A DFS stack entry: the choice prefix reaching the state, the sleep
+/// set holding there, and how many preemptions the prefix spent.
+struct Node {
+    prefix: Vec<u64>,
+    sleep: Vec<EventInfo>,
+    preemptions: u32,
+}
+
+/// Explores every Mazurkiewicz-distinct execution of `factory`'s
+/// programs under latency `lam`, invoking `on_leaf` per execution.
+pub(crate) fn explore<P, F>(
+    n: u32,
+    lam: Latency,
+    factory: &F,
+    mutation: Option<Mutation>,
+    cfg: &McConfig,
+    mut on_leaf: impl FnMut(Execution),
+) -> ExploreStats
+where
+    P: Clone,
+    F: Fn() -> Vec<Box<dyn Program<P>>>,
+{
+    let bound = cfg.effective_bound(n);
+    let mut stats = ExploreStats::default();
+    let mut stack = vec![Node {
+        prefix: Vec::new(),
+        sleep: Vec::new(),
+        preemptions: 0,
+    }];
+    let mut first_run = true;
+
+    while let Some(node) = stack.pop() {
+        if stats.executions >= cfg.max_interleavings {
+            stats.truncated = true;
+            break;
+        }
+        let mut eng = McEngine::new(n, lam.as_time(), factory(), mutation);
+        eng.start();
+        for &id in &node.prefix {
+            let ok = eng.execute(id);
+            debug_assert!(ok, "replay diverged at event {id}");
+        }
+        let mut sleep = node.sleep;
+        let preemptions = node.preemptions;
+        let mut prefix = node.prefix;
+        let canonical = first_run;
+        first_run = false;
+        let mut naive = 1.0f64;
+        let mut steps = 0u64;
+
+        loop {
+            let enabled = eng.enabled();
+            if enabled.is_empty() {
+                stats.executions += 1;
+                let stuck = eng.stuck();
+                if !stuck.is_empty() {
+                    stats.deadlocks += 1;
+                }
+                if canonical {
+                    stats.naive_interleavings = naive;
+                }
+                on_leaf(Execution {
+                    log: eng.into_log(),
+                    stuck,
+                });
+                break;
+            }
+            steps += 1;
+            if steps > cfg.max_steps {
+                // Runaway program: count the partial run as a truncated
+                // leaf so callers still see its log.
+                stats.executions += 1;
+                stats.truncated = true;
+                let stuck = eng.stuck();
+                on_leaf(Execution {
+                    log: eng.into_log(),
+                    stuck,
+                });
+                break;
+            }
+            if canonical {
+                naive *= enabled.len() as f64;
+            }
+
+            // Persistent-set shortcut: a conflict-free earliest event is
+            // a forced step.
+            let e0 = enabled[0];
+            let persistent: Vec<EventInfo> = if enabled[1..].iter().any(|e| !independent(&e0, e)) {
+                enabled
+            } else {
+                vec![e0]
+            };
+
+            let candidates: Vec<EventInfo> = persistent
+                .iter()
+                .filter(|e| !sleep.iter().any(|s| s.id == e.id))
+                .copied()
+                .collect();
+            let Some(&chosen) = candidates.first() else {
+                // Everything schedulable is asleep: this path permutes
+                // an explored trace.
+                stats.pruned += 1;
+                break;
+            };
+
+            if candidates.len() > 1 {
+                if preemptions < bound {
+                    stats.branch_points += 1;
+                    let mut done: Vec<EventInfo> = vec![chosen];
+                    for &sib in &candidates[1..] {
+                        let sib_sleep: Vec<EventInfo> = sleep
+                            .iter()
+                            .chain(done.iter())
+                            .filter(|u| independent(u, &sib))
+                            .copied()
+                            .collect();
+                        let mut sib_prefix = prefix.clone();
+                        sib_prefix.push(sib.id);
+                        stack.push(Node {
+                            prefix: sib_prefix,
+                            sleep: sib_sleep,
+                            preemptions: preemptions + 1,
+                        });
+                        done.push(sib);
+                    }
+                } else {
+                    stats.bounded = true;
+                }
+            }
+            // `preemptions` counts non-canonical choices; continuing
+            // with the canonical head costs none.
+            sleep.retain(|u| independent(u, &chosen));
+            eng.execute(chosen.id);
+            prefix.push(chosen.id);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_algos::bcast_programs;
+    use postal_sim::{Context, ProcId};
+
+    #[test]
+    fn conflict_free_broadcast_explores_one_execution() {
+        let (n, lam) = (8u32, Latency::from_ratio(5, 2));
+        let mut leaves = 0;
+        let stats = explore(
+            n,
+            lam,
+            &|| bcast_programs(n as usize, lam),
+            None,
+            &McConfig::default(),
+            |ex| {
+                assert!(ex.stuck.is_empty());
+                leaves += 1;
+            },
+        );
+        assert_eq!(stats.executions, 1);
+        assert_eq!(leaves, 1);
+        assert_eq!(stats.deadlocks, 0);
+        assert!(!stats.truncated && !stats.bounded);
+        // Concurrent deliveries exist, so naive enumeration would have
+        // faced more than one interleaving.
+        assert!(stats.naive_interleavings > 1.0);
+        assert!(stats.reduction_ratio() < 1.0);
+    }
+
+    #[test]
+    fn racing_senders_explore_both_orders() {
+        // p1 and p2 fire at p0 simultaneously: two Mazurkiewicz classes.
+        struct Fire;
+        impl Program<u32> for Fire {
+            fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+                if ctx.me() != ProcId::ROOT {
+                    ctx.send(ProcId::ROOT, ctx.me().0);
+                }
+            }
+            fn on_receive(&mut self, _: &mut dyn Context<u32>, _: ProcId, _: u32) {}
+        }
+        let lam = Latency::from_int(2);
+        let factory = || {
+            (0..3)
+                .map(|_| Box::new(Fire) as Box<dyn Program<u32>>)
+                .collect()
+        };
+        let stats = explore(3, lam, &factory, None, &McConfig::default(), |_| {});
+        assert_eq!(stats.executions, 2);
+        assert_eq!(stats.branch_points, 1);
+    }
+
+    #[test]
+    fn preemption_bound_zero_explores_only_canonical() {
+        struct Fire;
+        impl Program<u32> for Fire {
+            fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+                if ctx.me() != ProcId::ROOT {
+                    ctx.send(ProcId::ROOT, ctx.me().0);
+                }
+            }
+            fn on_receive(&mut self, _: &mut dyn Context<u32>, _: ProcId, _: u32) {}
+        }
+        let lam = Latency::from_int(2);
+        let factory = || {
+            (0..3)
+                .map(|_| Box::new(Fire) as Box<dyn Program<u32>>)
+                .collect()
+        };
+        let cfg = McConfig {
+            preemption_bound: Some(0),
+            ..McConfig::default()
+        };
+        let stats = explore(3, lam, &factory, None, &cfg, |_| {});
+        assert_eq!(stats.executions, 1);
+        assert!(stats.bounded);
+    }
+}

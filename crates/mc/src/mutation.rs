@@ -1,0 +1,73 @@
+//! Fault injections the checker must catch.
+//!
+//! Each mutation perturbs the controlled engine in a way that violates
+//! one of the checker's four whole-state-space properties, and maps to
+//! the stable lint code that property carries. The mutation tests in
+//! `tests/mutations.rs` assert the mapping is exact: injecting a
+//! mutation makes its [`expected_code`](Mutation::expected_code) appear
+//! in the report.
+
+use postal_model::lint::LintCode;
+use postal_model::Time;
+
+/// One deterministic perturbation of the controlled engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Message `seq` vanishes in flight: its send happens, its delivery
+    /// never fires. Caught as `P0009` (lost flight) — and, where the
+    /// message was informing a subtree, as the schedule-level `P0005`.
+    DropDelivery {
+        /// Global sequence number of the send to drop.
+        seq: u64,
+    },
+    /// `proc`'s input port stops serving after model time `after`:
+    /// deliveries due later stay pending forever. The system drains
+    /// everywhere else and the checker reports `P0008` (deadlock) with
+    /// the stuck processor.
+    StallPort {
+        /// The processor whose input port dies.
+        proc: u32,
+        /// Deliveries completing strictly after this time never fire.
+        after: Time,
+    },
+    /// Message `seq`'s receive completes `by` units early —
+    /// `recv_finish < send_start + λ`, which no postal channel can do.
+    /// Caught as `P0011` (λ-window violation).
+    ShiftDeliveryEarlier {
+        /// Global sequence number of the send to accelerate.
+        seq: u64,
+        /// How much earlier the receive completes.
+        by: Time,
+    },
+    /// `proc`'s program becomes order-sensitive: on its first delivery
+    /// it forwards a copy iff the message came from an even-indexed
+    /// sender. When two messages race to `proc`, different
+    /// interleavings now produce different completion times — caught as
+    /// `P0010` (nondeterministic completion).
+    OrderSensitiveReceiver {
+        /// The processor whose receive behavior becomes order-dependent.
+        proc: u32,
+    },
+}
+
+impl Mutation {
+    /// The lint code this mutation class is caught by.
+    pub fn expected_code(&self) -> LintCode {
+        match self {
+            Mutation::DropDelivery { .. } => LintCode::LostFlight,
+            Mutation::StallPort { .. } => LintCode::Deadlock,
+            Mutation::ShiftDeliveryEarlier { .. } => LintCode::LatencyWindowViolation,
+            Mutation::OrderSensitiveReceiver { .. } => LintCode::NondeterministicCompletion,
+        }
+    }
+
+    /// Short display tag for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::DropDelivery { .. } => "drop-delivery",
+            Mutation::StallPort { .. } => "stall-port",
+            Mutation::ShiftDeliveryEarlier { .. } => "shift-delivery-earlier",
+            Mutation::OrderSensitiveReceiver { .. } => "order-sensitive-receiver",
+        }
+    }
+}

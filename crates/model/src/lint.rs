@@ -2,10 +2,8 @@
 //! states about postal-model schedules, as machine-checked diagnostics
 //! with stable codes.
 //!
-//! Where [`crate::schedule::Schedule::validate_ports`] historically
-//! returned only the *first* violation, the lint engine reports **all**
-//! findings, each tagged with a stable code (`P0001`–`P0007`), a
-//! severity, the offending [`TimedSend`]s, and the paper rule it
+//! The engine reports **all** findings, each tagged with a stable code,
+//! a severity, the offending [`TimedSend`]s, and the paper rule it
 //! violates:
 //!
 //! | code | severity | rule |
@@ -17,11 +15,22 @@
 //! | `P0005` | error | uninformed processor (broadcast never reaches it) |
 //! | `P0006` | warn  | idle-port waste (an informed port idles while someone is uninformed) |
 //! | `P0007` | warn/info | optimality gap against `f_λ(n)` / the Lemma 8 bound |
+//! | `P0008` | error | deadlock (an execution ends with messages still in flight) |
+//! | `P0009` | error | lost flight (a send with no matching receive) |
+//! | `P0010` | error | nondeterministic completion (interleaving-dependent running time) |
+//! | `P0011` | error | λ-window violation (a receive lands outside `[s+λ−1, s+λ]`) |
+//!
+//! `P0001`–`P0007` are produced by [`lint_schedule`] over a static
+//! schedule. `P0008`–`P0011` are whole-state-space properties — they
+//! quantify over *every* admissible interleaving, not one observed
+//! schedule — and are produced by the `postal-mc` model checker, which
+//! reuses this module's stable codes, [`Diagnostic`] shape, and the
+//! `postal-verify` renderer.
 //!
 //! The engine is the single source of truth for schedule validity: the
-//! legacy `validate_*` methods are deprecated thin wrappers over it, and
-//! the `postal-verify` crate layers trace analysis, race detection, and
-//! rendering on top.
+//! `postal-verify` crate layers trace analysis, race detection, and
+//! rendering on top, and `postal-mc` layers interleaving exploration on
+//! top of both.
 
 use crate::fib::GenFib;
 use crate::runtimes;
@@ -56,6 +65,25 @@ pub enum LintCode {
     /// `(m−1) + f_λ(n)` (multiple messages) — or *below* it, which is
     /// impossible for a valid schedule and reported as an error.
     OptimalityGap,
+    /// `P0008` — deadlock: an admissible execution reaches a state where
+    /// messages remain in flight but no event can ever fire (e.g. a
+    /// stalled input port, or a worker thread that exits early on the
+    /// threaded substrate). Emitted by the `postal-mc` model checker.
+    Deadlock,
+    /// `P0009` — lost flight: an execution contains a send event with no
+    /// matching receive — the postal model loses no messages, so the
+    /// run under analysis dropped one. Emitted by `postal-mc`.
+    LostFlight,
+    /// `P0010` — nondeterministic completion: the running time differs
+    /// across admissible interleavings (or from the reference
+    /// discrete-event run), so the algorithm's timing depends on how
+    /// concurrent receives land within their λ-windows. Emitted by
+    /// `postal-mc`.
+    NondeterministicCompletion,
+    /// `P0011` — λ-window violation: a receive completes before
+    /// `send + λ` or starts before its arrival instant `send + λ − 1`,
+    /// breaking the fixed-latency discipline. Emitted by `postal-mc`.
+    LatencyWindowViolation,
 }
 
 impl LintCode {
@@ -69,6 +97,10 @@ impl LintCode {
             LintCode::UninformedProcessor => "P0005",
             LintCode::IdlePortWaste => "P0006",
             LintCode::OptimalityGap => "P0007",
+            LintCode::Deadlock => "P0008",
+            LintCode::LostFlight => "P0009",
+            LintCode::NondeterministicCompletion => "P0010",
+            LintCode::LatencyWindowViolation => "P0011",
         }
     }
 
@@ -82,6 +114,10 @@ impl LintCode {
             "P0005" => LintCode::UninformedProcessor,
             "P0006" => LintCode::IdlePortWaste,
             "P0007" => LintCode::OptimalityGap,
+            "P0008" => LintCode::Deadlock,
+            "P0009" => LintCode::LostFlight,
+            "P0010" => LintCode::NondeterministicCompletion,
+            "P0011" => LintCode::LatencyWindowViolation,
             _ => return None,
         })
     }
@@ -121,6 +157,28 @@ impl LintCode {
                 "broadcasting a single message takes exactly f_lambda(n) time \
                  (Theorem 6); broadcasting m messages takes at least \
                  (m-1) + f_lambda(n) time (Lemma 8)"
+            }
+            LintCode::Deadlock => {
+                "an event-driven algorithm acts when it starts and whenever a \
+                 message arrives; every admissible execution of MPS(n, lambda) \
+                 must reach quiescence with no message still in flight \
+                 (model definition, Section 2)"
+            }
+            LintCode::LostFlight => {
+                "a message sent through an output port is fully received at its \
+                 destination's input port lambda units after the send started; \
+                 the postal model loses no messages (model definition, Section 2)"
+            }
+            LintCode::NondeterministicCompletion => {
+                "the running time of a broadcasting algorithm is when the last \
+                 processor finishes receiving; for BCAST this is exactly \
+                 f_lambda(n) in every admissible interleaving (Theorem 6)"
+            }
+            LintCode::LatencyWindowViolation => {
+                "a message sent at time t occupies its receiver's input port \
+                 exactly during [t+lambda-1, t+lambda]; no receive may start \
+                 before t+lambda-1 or complete before t+lambda \
+                 (model definition, Section 2)"
             }
         }
     }
@@ -723,6 +781,10 @@ mod tests {
             LintCode::UninformedProcessor,
             LintCode::IdlePortWaste,
             LintCode::OptimalityGap,
+            LintCode::Deadlock,
+            LintCode::LostFlight,
+            LintCode::NondeterministicCompletion,
+            LintCode::LatencyWindowViolation,
         ] {
             assert_eq!(LintCode::parse(code.as_str()), Some(code));
             assert!(!code.paper_rule().is_empty());

@@ -1,11 +1,10 @@
-//! Explicit postal-model schedules and their validator.
+//! Explicit postal-model schedules.
 //!
 //! A *schedule* is the static counterpart of an event-driven execution:
 //! a list of timed sends `(src, dst, send_start)`. The paper reasons
 //! about algorithms through their schedules (Figure 1 is one), and its
-//! correctness arguments hinge on three validity rules, which
-//! [`Schedule::validate_ports`] and [`Schedule::validate_broadcast`]
-//! check mechanically:
+//! correctness arguments hinge on three validity rules, which the
+//! [`crate::lint`] engine checks mechanically:
 //!
 //! 1. **Output ports** — no processor starts two sends less than 1 unit
 //!    apart (it sends "to a new processor every unit of time", never
@@ -16,18 +15,12 @@
 //!    the originator sends only at or after the time it has fully
 //!    received the message.
 //!
-//! The validator lets the crates above prove properties of *arbitrary*
-//! schedules (including hand-written or adversarial ones), independent
-//! of the event-driven engine.
-//!
-//! Since the introduction of the [`crate::lint`] engine, the two
-//! `validate_*` methods are thin (deprecated) wrappers that run the
-//! relevant lints and translate the first error back into the legacy
-//! [`ScheduleError`]. New code should call [`crate::lint::lint_schedule`]
-//! directly and get *all* findings with stable codes.
+//! Run [`crate::lint::lint_schedule`] over a schedule to get *all*
+//! findings with stable codes (P0001–P0007); this lets the crates above
+//! prove properties of *arbitrary* schedules (including hand-written or
+//! adversarial ones), independent of the event-driven engine.
 
 use crate::latency::Latency;
-use crate::lint::{lint_schedule, Diagnostic, LintCode, LintOptions, Severity};
 use crate::time::Time;
 
 pub use crate::lint::{
@@ -76,48 +69,6 @@ pub struct Schedule {
     sends: Vec<TimedSend>,
 }
 
-/// A validity violation found by schedule validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ScheduleError {
-    /// A send references a processor index ≥ n, or a self-send.
-    BadEndpoints {
-        /// The offending send.
-        send: TimedSend,
-    },
-    /// Two sends from one processor start less than 1 unit apart.
-    OutputPortOverlap {
-        /// The processor.
-        proc: u32,
-        /// Start of the earlier send.
-        first: Time,
-        /// Start of the later (conflicting) send.
-        second: Time,
-    },
-    /// Two receives at one processor overlap.
-    InputPortOverlap {
-        /// The processor.
-        proc: u32,
-        /// Finish of the earlier receive.
-        first_finish: Time,
-        /// Finish of the later (conflicting) receive.
-        second_finish: Time,
-    },
-    /// A non-originator sends before it has received the message.
-    SendsBeforeKnowing {
-        /// The processor.
-        proc: u32,
-        /// When it sends.
-        sends_at: Time,
-        /// When it first knows the message (`None` = never receives).
-        knows_at: Option<Time>,
-    },
-    /// A send starts at negative time.
-    NegativeTime {
-        /// The offending send.
-        send: TimedSend,
-    },
-}
-
 impl Schedule {
     /// Creates a schedule; sends may be in any order.
     pub fn new(n: u32, latency: Latency, mut sends: Vec<TimedSend>) -> Schedule {
@@ -149,87 +100,6 @@ impl Schedule {
             .unwrap_or(Time::ZERO)
     }
 
-    /// Validates port constraints (rules 1–2 of the module docs).
-    ///
-    /// Thin wrapper over [`crate::lint::lint_schedule`] with
-    /// [`LintOptions::ports_only`]; prefer the lint engine in new code —
-    /// it reports *all* violations with stable codes, not just the first.
-    ///
-    /// # Errors
-    /// Returns the first violation in deterministic order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use postal_model::lint::lint_schedule with LintOptions::ports_only()"
-    )]
-    pub fn validate_ports(&self) -> Result<(), ScheduleError> {
-        self.first_legacy_error(&lint_schedule(self, &LintOptions::ports_only()))
-    }
-
-    /// Validates the schedule as a *broadcast* schedule from `p_0`
-    /// (rules 1–3): ports plus causality — every sender other than the
-    /// originator must have received the message before its first send,
-    /// and every processor must receive it (for `n ≥ 2`, all of
-    /// `1..n`).
-    ///
-    /// Thin wrapper over [`crate::lint::lint_schedule`]; prefer the lint
-    /// engine in new code — it reports *all* violations with stable
-    /// codes, not just the first, plus quality warnings.
-    ///
-    /// # Errors
-    /// Returns the first violation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use postal_model::lint::lint_schedule with LintOptions::default()"
-    )]
-    pub fn validate_broadcast(&self) -> Result<(), ScheduleError> {
-        self.first_legacy_error(&lint_schedule(self, &LintOptions::default()))
-    }
-
-    /// Translates the first error-severity diagnostic into the legacy
-    /// [`ScheduleError`] shape.
-    fn first_legacy_error(&self, diags: &[Diagnostic]) -> Result<(), ScheduleError> {
-        for d in diags {
-            if d.severity < Severity::Error {
-                continue;
-            }
-            return Err(match d.code {
-                LintCode::MalformedSend => {
-                    let send = d.sends[0];
-                    if send.src >= self.n || send.dst >= self.n || send.src == send.dst {
-                        ScheduleError::BadEndpoints { send }
-                    } else {
-                        ScheduleError::NegativeTime { send }
-                    }
-                }
-                LintCode::OutputPortOverlap => ScheduleError::OutputPortOverlap {
-                    proc: d.proc.unwrap_or(0),
-                    first: d.sends[0].send_start,
-                    second: d.sends[1].send_start,
-                },
-                LintCode::InputWindowOverlap => ScheduleError::InputPortOverlap {
-                    proc: d.proc.unwrap_or(0),
-                    first_finish: d.sends[0].recv_finish(self.latency),
-                    second_finish: d.sends[1].recv_finish(self.latency),
-                },
-                LintCode::CausalityViolation => ScheduleError::SendsBeforeKnowing {
-                    proc: d.proc.unwrap_or(0),
-                    sends_at: d.sends[0].send_start,
-                    knows_at: d.related_time,
-                },
-                LintCode::UninformedProcessor => ScheduleError::SendsBeforeKnowing {
-                    proc: d.proc.unwrap_or(0),
-                    sends_at: Time::ZERO,
-                    knows_at: None,
-                },
-                // Quality codes have no legacy representation; they are
-                // never emitted at error severity for a schedule that is
-                // clean of the codes above (the paper's lower bound).
-                LintCode::IdlePortWaste | LintCode::OptimalityGap => continue,
-            });
-        }
-        Ok(())
-    }
-
     /// Number of sends.
     pub fn len(&self) -> usize {
         self.sends.len()
@@ -242,9 +112,9 @@ impl Schedule {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy wrappers are exactly what is under test
 mod tests {
     use super::*;
+    use crate::lint::{is_clean, lint_schedule, LintCode, LintOptions, Severity};
 
     fn send(src: u32, dst: u32, num: i128, den: i128) -> TimedSend {
         TimedSend {
@@ -258,11 +128,23 @@ mod tests {
         Latency::from_ratio(5, 2)
     }
 
+    /// Error-severity codes reported for a schedule under `opts`.
+    fn error_codes(s: &Schedule, opts: &LintOptions) -> Vec<LintCode> {
+        lint_schedule(s, opts)
+            .into_iter()
+            .filter(|d| d.severity >= Severity::Error)
+            .map(|d| d.code)
+            .collect()
+    }
+
     #[test]
     fn valid_two_hop_broadcast() {
         // p0 → p1 at 0; p1 → p2 at λ.
         let s = Schedule::new(3, lam52(), vec![send(0, 1, 0, 1), send(1, 2, 5, 2)]);
-        s.validate_broadcast().unwrap();
+        assert!(is_clean(
+            &lint_schedule(&s, &LintOptions::default()),
+            Severity::Error
+        ));
         assert_eq!(s.completion(), Time::from_int(5));
         assert_eq!(s.len(), 2);
     }
@@ -274,74 +156,77 @@ mod tests {
             lam52(),
             vec![send(0, 1, 0, 1), send(0, 2, 1, 2)], // second at 0.5 < 1
         );
-        assert!(matches!(
-            s.validate_ports(),
-            Err(ScheduleError::OutputPortOverlap { proc: 0, .. })
-        ));
+        let codes = error_codes(&s, &LintOptions::ports_only());
+        assert_eq!(codes, vec![LintCode::OutputPortOverlap]);
+        let diags = lint_schedule(&s, &LintOptions::ports_only());
+        assert_eq!(diags[0].proc, Some(0));
     }
 
     #[test]
     fn input_port_overlap_detected() {
         // Both arrive at p2 with receive finishes 5/2 and 3: gap 1/2 < 1.
         let s = Schedule::new(3, lam52(), vec![send(0, 2, 0, 1), send(1, 2, 1, 2)]);
-        assert!(matches!(
-            s.validate_ports(),
-            Err(ScheduleError::InputPortOverlap { proc: 2, .. })
-        ));
+        let diags = lint_schedule(&s, &LintOptions::ports_only());
+        let overlap: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::InputWindowOverlap)
+            .collect();
+        assert_eq!(overlap.len(), 1);
+        assert_eq!(overlap[0].proc, Some(2));
     }
 
     #[test]
     fn causality_violation_detected() {
         // p1 forwards at t = 1 but only knows the message at λ = 5/2.
         let s = Schedule::new(3, lam52(), vec![send(0, 1, 0, 1), send(1, 2, 1, 1)]);
-        assert!(matches!(
-            s.validate_broadcast(),
-            Err(ScheduleError::SendsBeforeKnowing { proc: 1, .. })
-        ));
-        // Port-only validation passes (ports don't know about causality).
-        s.validate_ports().unwrap();
+        let codes = error_codes(&s, &LintOptions::default());
+        assert!(codes.contains(&LintCode::CausalityViolation));
+        // Port-only linting passes (ports don't know about causality).
+        assert!(error_codes(&s, &LintOptions::ports_only()).is_empty());
     }
 
     #[test]
     fn uncovered_processor_detected() {
         let s = Schedule::new(3, lam52(), vec![send(0, 1, 0, 1)]);
-        assert!(matches!(
-            s.validate_broadcast(),
-            Err(ScheduleError::SendsBeforeKnowing {
-                proc: 2,
-                knows_at: None,
-                ..
-            })
-        ));
+        let diags = lint_schedule(&s, &LintOptions::default());
+        let uninformed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::UninformedProcessor)
+            .collect();
+        assert_eq!(uninformed.len(), 1);
+        assert_eq!(uninformed[0].proc, Some(2));
     }
 
     #[test]
     fn bad_endpoints_detected() {
         let s = Schedule::new(2, lam52(), vec![send(0, 5, 0, 1)]);
-        assert!(matches!(
-            s.validate_ports(),
-            Err(ScheduleError::BadEndpoints { .. })
-        ));
+        assert_eq!(
+            error_codes(&s, &LintOptions::ports_only()),
+            vec![LintCode::MalformedSend]
+        );
         let s = Schedule::new(2, lam52(), vec![send(1, 1, 0, 1)]);
-        assert!(matches!(
-            s.validate_ports(),
-            Err(ScheduleError::BadEndpoints { .. })
-        ));
+        assert_eq!(
+            error_codes(&s, &LintOptions::ports_only()),
+            vec![LintCode::MalformedSend]
+        );
     }
 
     #[test]
     fn negative_time_detected() {
         let s = Schedule::new(2, lam52(), vec![send(0, 1, -1, 1)]);
-        assert!(matches!(
-            s.validate_ports(),
-            Err(ScheduleError::NegativeTime { .. })
-        ));
+        assert_eq!(
+            error_codes(&s, &LintOptions::ports_only()),
+            vec![LintCode::MalformedSend]
+        );
     }
 
     #[test]
     fn empty_schedule_is_trivially_valid() {
         let s = Schedule::new(1, lam52(), vec![]);
-        s.validate_broadcast().unwrap();
+        assert!(is_clean(
+            &lint_schedule(&s, &LintOptions::default()),
+            Severity::Error
+        ));
         assert!(s.is_empty());
         assert_eq!(s.completion(), Time::ZERO);
     }
@@ -355,6 +240,9 @@ mod tests {
             Latency::from_int(2),
             vec![send(0, 1, 0, 1), send(0, 2, 1, 1), send(0, 3, 2, 1)],
         );
-        s.validate_broadcast().unwrap();
+        assert!(is_clean(
+            &lint_schedule(&s, &LintOptions::default()),
+            Severity::Error
+        ));
     }
 }

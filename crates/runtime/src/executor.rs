@@ -30,10 +30,50 @@ use postal_model::{Latency, Time};
 use postal_obs::{ObsEvent, Recorder};
 use postal_sim::{Context, ProcId, Program};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A failure of the threaded substrate itself (as opposed to a timing
+/// anomaly, which the reports expose as data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A worker thread exited before global quiescence — in practice, a
+    /// program callback panicked, so the run can never drain its
+    /// outstanding-work counter. The model checker classifies this as a
+    /// deadlock of the remaining processors (lint code `P0008`).
+    WorkerExited {
+        /// The processor whose thread died first (lowest index if
+        /// several).
+        proc: u32,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::WorkerExited { proc } => {
+                write!(f, "processor thread p{proc} exited before quiescence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Sets the shared abort flag if its thread unwinds, so sibling
+/// processor threads stop waiting for an outstanding-work count that can
+/// no longer reach zero.
+struct AbortGuard(Arc<AtomicBool>);
+
+impl Drop for AbortGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
 
 /// A message in flight between threads.
 struct TimedMsg<P> {
@@ -169,6 +209,32 @@ pub fn run_threaded<P>(
 where
     P: Clone + Send + 'static,
 {
+    match try_run_threaded(latency, config, programs) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_threaded`]: a worker thread dying early (a panicking
+/// program callback) is reported as [`RuntimeError::WorkerExited`]
+/// instead of aborting the caller, and the surviving threads are
+/// signalled to stop rather than spinning on an outstanding-work count
+/// that can no longer drain.
+///
+/// # Errors
+/// [`RuntimeError::WorkerExited`] if any processor or port thread
+/// panicked.
+///
+/// # Panics
+/// Panics if `programs` is empty.
+pub fn try_run_threaded<P>(
+    latency: Latency,
+    config: RuntimeConfig,
+    programs: Vec<Box<dyn Program<P> + Send>>,
+) -> Result<ThreadedReport<P>, RuntimeError>
+where
+    P: Clone + Send + 'static,
+{
     run_threaded_inner(latency, config, programs, None)
 }
 
@@ -188,6 +254,29 @@ pub fn run_threaded_observed<P>(
 where
     P: Clone + Send + 'static,
 {
+    match try_run_threaded_observed(latency, config, programs, recorder) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_threaded_observed`]; see [`try_run_threaded`].
+///
+/// # Errors
+/// [`RuntimeError::WorkerExited`] if any processor or port thread
+/// panicked.
+///
+/// # Panics
+/// Panics if `programs` is empty.
+pub fn try_run_threaded_observed<P>(
+    latency: Latency,
+    config: RuntimeConfig,
+    programs: Vec<Box<dyn Program<P> + Send>>,
+    recorder: Arc<dyn Recorder>,
+) -> Result<ThreadedReport<P>, RuntimeError>
+where
+    P: Clone + Send + 'static,
+{
     run_threaded_inner(latency, config, programs, Some(recorder))
 }
 
@@ -196,7 +285,7 @@ fn run_threaded_inner<P>(
     config: RuntimeConfig,
     programs: Vec<Box<dyn Program<P> + Send>>,
     recorder: Option<Arc<dyn Recorder>>,
-) -> ThreadedReport<P>
+) -> Result<ThreadedReport<P>, RuntimeError>
 where
     P: Clone + Send + 'static,
 {
@@ -217,6 +306,9 @@ where
 
     // One startup token per processor, released after its on_start.
     let outstanding = Arc::new(AtomicI64::new(n as i64));
+    // Set when any worker unwinds: survivors must stop waiting for a
+    // count that can no longer reach zero.
+    let aborted = Arc::new(AtomicBool::new(false));
     // Global send sequence numbers, claimed by port threads at send start.
     let send_seq = Arc::new(AtomicU64::new(0));
 
@@ -270,7 +362,9 @@ where
 
         let proc_clock = clock;
         let proc_recorder = recorder.clone();
+        let proc_aborted = Arc::clone(&aborted);
         proc_handles.push(std::thread::spawn(move || {
+            let _guard = AbortGuard(Arc::clone(&proc_aborted));
             let mut deliveries: Vec<Delivery<P>> = Vec::new();
             let mut wakes: BinaryHeap<std::cmp::Reverse<OrderedF64>> = BinaryHeap::new();
             let mut in_port_free = 0.0f64;
@@ -361,6 +455,9 @@ where
                         outstanding.fetch_sub(1, Ordering::SeqCst);
                     }
                     Err(RecvTimeoutError::Timeout) => {
+                        if proc_aborted.load(Ordering::SeqCst) {
+                            break;
+                        }
                         if wakes.is_empty() && outstanding.load(Ordering::SeqCst) == 0 {
                             break;
                         }
@@ -375,19 +472,32 @@ where
     drop(inbox_tx);
 
     let mut deliveries: Vec<Delivery<P>> = Vec::new();
-    for h in proc_handles {
-        deliveries.extend(h.join().expect("processor thread panicked"));
+    let mut first_dead: Option<u32> = None;
+    for (i, h) in proc_handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(d) => deliveries.extend(d),
+            Err(_) => {
+                if first_dead.is_none() {
+                    first_dead = Some(i as u32);
+                }
+            }
+        }
     }
-    for h in port_handles {
-        h.join().expect("output port thread panicked");
+    for (i, h) in port_handles.into_iter().enumerate() {
+        if h.join().is_err() && first_dead.is_none() {
+            first_dead = Some(i as u32);
+        }
+    }
+    if let Some(proc) = first_dead {
+        return Err(RuntimeError::WorkerExited { proc });
     }
     deliveries.sort_by(|a, b| a.at_units.total_cmp(&b.at_units));
     let elapsed_units = deliveries.last().map(|d| d.at_units).unwrap_or(0.0);
-    ThreadedReport {
+    Ok(ThreadedReport {
         deliveries,
         elapsed_units,
         completion: units_to_time(elapsed_units),
-    }
+    })
 }
 
 /// Builds one boxed `Send` program per processor from a closure.
@@ -636,6 +746,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn panicking_program_reports_worker_exited() {
+        // p1 dies in its receive callback. The run must neither abort the
+        // caller nor hang the surviving threads on the outstanding-work
+        // counter; it reports which processor died.
+        struct Fragile;
+        impl Program<BcastPayload> for Fragile {
+            fn on_start(&mut self, ctx: &mut dyn Context<BcastPayload>) {
+                if ctx.me() == ProcId::ROOT {
+                    ctx.send(ProcId(1), BcastPayload { range_size: 1 });
+                    ctx.send(ProcId(2), BcastPayload { range_size: 1 });
+                }
+            }
+            fn on_receive(
+                &mut self,
+                ctx: &mut dyn Context<BcastPayload>,
+                _: ProcId,
+                _: BcastPayload,
+            ) {
+                assert!(ctx.me() != ProcId(1), "injected fault");
+            }
+        }
+        use postal_sim::Context;
+        let programs: Vec<Box<dyn Program<BcastPayload> + Send>> = send_programs_from(3, |_| {
+            Box::new(Fragile) as Box<dyn Program<BcastPayload> + Send>
+        });
+        let result = try_run_threaded(Latency::from_int(2), RuntimeConfig::default(), programs);
+        assert_eq!(result.unwrap_err(), RuntimeError::WorkerExited { proc: 1 });
     }
 
     #[test]

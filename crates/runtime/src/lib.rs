@@ -35,6 +35,6 @@ pub mod executor;
 
 pub use clock::{units_to_time, UnitClock};
 pub use executor::{
-    run_threaded, run_threaded_observed, send_programs_from, Delivery, RuntimeConfig,
-    ThreadedReport,
+    run_threaded, run_threaded_observed, send_programs_from, try_run_threaded,
+    try_run_threaded_observed, Delivery, RuntimeConfig, RuntimeError, ThreadedReport,
 };

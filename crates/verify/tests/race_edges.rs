@@ -1,0 +1,126 @@
+//! Edge cases for the happens-before race detector: simultaneous
+//! rational timestamps, the λ = 1 telephone chain (causal forcing
+//! through equal-instant relay), and two-processor ping-pong under
+//! latency jitter.
+
+use postal_verify::{detect_races, Flight};
+
+fn fl(src: u32, dst: u32, send_at: f64, recv_at: f64, label: &str) -> Flight {
+    Flight {
+        src,
+        dst,
+        send_at,
+        recv_at,
+        label: label.to_string(),
+    }
+}
+
+#[test]
+fn simultaneous_rational_timestamps_race_even_when_causally_related() {
+    // Both deliveries complete at exactly t = 7/2, written as different
+    // float expressions that must compare equal. Simultaneity wins over
+    // any other forcing: the tie cannot be resolved by the model.
+    let t = 7.0 / 2.0;
+    let flights = vec![
+        fl(0, 2, 1.0, t, "a"),
+        fl(1, 2, 1.5, 3.5, "b"), // same instant, different channel
+    ];
+    let races = detect_races(3, &flights);
+    assert_eq!(races.len(), 1);
+    assert_eq!(races[0].dst, 2);
+    assert!(races[0].message.contains("simultaneously"), "{}", races[0]);
+
+    // Even same-channel (FIFO) sends are racy if the trace shows both
+    // receives completing in the same instant.
+    let fifo = vec![fl(0, 1, 0.0, 2.5, "m0"), fl(0, 1, 1.0, 2.5, "m1")];
+    let races = detect_races(2, &fifo);
+    assert_eq!(races.len(), 1);
+    assert!(races[0].message.contains("simultaneously"), "{}", races[0]);
+}
+
+#[test]
+fn lambda_one_telephone_chain_is_causally_forced() {
+    // λ = 1 telephone: p0 → p1 → p2 → p1, each hop relayed the instant
+    // the previous receive completes. p1's two deliveries ("a" from p0,
+    // "c" from p2) use different channels, so FIFO cannot force them —
+    // only the happens-before chain through the relay does.
+    let flights = vec![
+        fl(0, 1, 0.0, 1.0, "a"), // p1 learns at t = 1
+        fl(1, 2, 1.0, 2.0, "b"), // relayed the instant the receive ends
+        fl(2, 1, 2.0, 3.0, "c"), // p2's send happens-after p1's receipt of "a"
+    ];
+    assert!(
+        detect_races(3, &flights).is_empty(),
+        "the λ = 1 relay chain is forced: {:?}",
+        detect_races(3, &flights)
+    );
+}
+
+#[test]
+fn lambda_one_chain_with_equal_instant_relay_still_forces() {
+    // The relay send shares its timestamp with the receive that
+    // justifies it (legal in the postal model: the output port is free).
+    // The detector must order receives before sends at equal instants,
+    // or the causal edge is lost and this flags a phantom race.
+    let flights = vec![
+        fl(0, 1, 0.0, 1.0, "a"),
+        fl(1, 0, 1.0, 2.0, "b"), // sent at exactly t = 1, p1's receive instant
+        fl(0, 1, 2.0, 3.0, "c"), // sent at exactly t = 2, p0's receive instant
+    ];
+    assert!(detect_races(2, &flights).is_empty());
+}
+
+#[test]
+fn ping_pong_with_jitter_is_forced_by_causality() {
+    // Two processors bounce a ball; wall-clock latencies jitter around
+    // λ = 1 (0.97–1.06). Every send strictly follows the previous
+    // receipt, so no adjacent delivery pair is reorderable — jitter
+    // alone must not produce races.
+    let flights = vec![
+        fl(0, 1, 0.0, 1.03, "ping0"),
+        fl(1, 0, 1.10, 2.07, "pong0"),
+        fl(0, 1, 2.12, 3.18, "ping1"),
+        fl(1, 0, 3.20, 4.17, "pong1"),
+        fl(0, 1, 4.25, 5.22, "ping2"),
+    ];
+    assert!(detect_races(2, &flights).is_empty());
+}
+
+#[test]
+fn jitter_that_overtakes_a_channel_is_a_race() {
+    // Same ping-pong, but p0 double-fires without waiting and jitter
+    // makes the second ball land first: the observed order at p1 is not
+    // forced by FIFO (order inverted) nor causality.
+    let flights = vec![
+        fl(0, 1, 0.0, 1.08, "slow"),
+        fl(0, 1, 0.5, 1.02, "fast"), // overtakes on the same channel
+    ];
+    let races = detect_races(2, &flights);
+    assert_eq!(races.len(), 1);
+    assert_eq!(races[0].first.label, "fast");
+    assert_eq!(races[0].second.label, "slow");
+}
+
+#[test]
+fn third_party_interjection_during_ping_pong_races() {
+    // A healthy ping-pong with a bystander p2 firing into p1's input
+    // mid-rally: p2's send is not ordered against the rally, so exactly
+    // the adjacent pair involving it races.
+    let flights = vec![
+        fl(0, 1, 0.0, 1.0, "ping0"),
+        fl(1, 0, 1.0, 2.0, "pong0"),
+        fl(2, 1, 1.6, 2.6, "interject"), // unordered vs the rally
+        fl(0, 1, 2.0, 3.0, "ping1"),
+    ];
+    let races = detect_races(3, &flights);
+    // "ping0" < "interject" is unforced (p2 heard nothing), and
+    // "interject" < "ping1" is likewise unforced.
+    assert_eq!(races.len(), 2);
+    assert!(races.iter().all(|r| r.dst == 1));
+    assert!(races
+        .iter()
+        .any(|r| r.first.label == "ping0" && r.second.label == "interject"));
+    assert!(races
+        .iter()
+        .any(|r| r.first.label == "interject" && r.second.label == "ping1"));
+}

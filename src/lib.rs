@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the postal workspace.
 pub use postal_algos as algos;
+pub use postal_mc as mc;
 pub use postal_model as model;
 pub use postal_runtime as runtime;
 pub use postal_sim as sim;
