@@ -1,0 +1,650 @@
+//! λ-range analysis: adaptive subdivision, soundness bracketing, and
+//! synthesis of the symbolic lint codes `P0012`–`P0016`.
+//!
+//! [`analyze`] runs the abstract engine at both endpoints of the λ-range
+//! and compares [`Signature`](crate::engine::Signature)s. Where the
+//! endpoint runs executed the
+//! same communication structure, every event time is a monotone
+//! nondecreasing function of λ (clocks are built from constants and
+//! nonnegative multiples of λ through `+` and `max`), so the two
+//! endpoint completions bracket the completion for every λ in between
+//! *exactly*. Where the structures differ — BCAST's optimal split,
+//! PIPELINE's regime choice, and DTREE's latency-matched degree all
+//! switch at rational thresholds — the range is bisected up to
+//! [`AbsConfig::max_depth`]; a leaf that still disagrees is *widened*
+//! (hulled) and flagged inexact. Widened leaves are sound under the same
+//! monotone-completion assumption, which every paper family satisfies;
+//! the soundness test suite cross-checks the bracket against the
+//! concrete simulator and the model checker on the acceptance grid.
+
+use crate::engine::{AbsEngine, AbsRun};
+use crate::mutation::AbsMutation;
+use postal_model::lint::{Diagnostic, LintCode, Severity};
+use postal_model::schedule::TimedSend;
+use postal_model::{runtimes, Interval, Latency, Ratio, Time};
+use postal_sim::Program;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Knobs for the subdivision and the event budget.
+#[derive(Debug, Clone, Copy)]
+pub struct AbsConfig {
+    /// Maximum bisection depth before a disagreeing leaf is widened.
+    pub max_depth: u32,
+    /// Event budget per abstract run (a runaway-program backstop).
+    pub max_events: usize,
+}
+
+impl Default for AbsConfig {
+    fn default() -> AbsConfig {
+        AbsConfig {
+            max_depth: 6,
+            max_events: 200_000,
+        }
+    }
+}
+
+/// The tree-family contract for `P0015`: the declared degree and the
+/// Lemma 18 envelope, both as functions of λ (the latency-matched
+/// DTREE picks its degree from λ).
+pub struct TreeSpec<'a> {
+    /// Declared fan-out bound `d` at a given λ.
+    pub degree: &'a dyn Fn(Latency) -> u64,
+    /// Lemma 18's `d(m−1) + (d−1+λ)⌈log_d n⌉` at a given λ.
+    pub bound: &'a dyn Fn(Latency) -> Time,
+}
+
+/// A workload under abstract analysis: how to build the programs at a
+/// witness λ, and which proven envelopes to hold them to.
+pub struct Workload<'a, P> {
+    /// Workload tag (algorithm name).
+    pub name: &'a str,
+    /// Processor count.
+    pub n: u32,
+    /// Effective message count for the Lemma 8 lower bound.
+    pub m: u64,
+    /// Builds one program per processor, specialized to a witness λ.
+    #[allow(clippy::type_complexity)]
+    pub factory: &'a dyn Fn(Latency) -> Vec<Box<dyn Program<P>>>,
+    /// The family's closed-form upper envelope (`P0014` when exceeded);
+    /// `None` for the tree family, whose envelope belongs to `P0015`.
+    pub envelope: Option<&'a dyn Fn(Latency) -> Time>,
+    /// Tree-family contract, when the workload is a DTREE shape.
+    pub tree: Option<TreeSpec<'a>>,
+    /// Seeded defect, if any.
+    pub mutation: Option<AbsMutation>,
+}
+
+/// One analyzed λ sub-interval.
+#[derive(Debug, Clone, Copy)]
+pub struct SubReport {
+    /// The sub-interval of λ.
+    pub lambda: Interval,
+    /// Abstract completion bracket over this sub-interval.
+    pub completion: Interval,
+    /// `true` when the endpoint structures agreed (the bracket is exact).
+    pub exact: bool,
+    /// Sends recorded at the low-endpoint witness.
+    pub sends: usize,
+    /// Peak in-flight messages across the endpoint witnesses.
+    pub peak_in_flight: usize,
+}
+
+/// The result of analyzing one workload over a λ-range.
+#[derive(Debug)]
+pub struct AbsReport {
+    /// Workload tag.
+    pub name: String,
+    /// Processor count.
+    pub n: u32,
+    /// Effective message count.
+    pub m: u64,
+    /// The analyzed λ-range.
+    pub lambda: Interval,
+    /// The sub-intervals, in λ order.
+    pub subintervals: Vec<SubReport>,
+    /// Hull of every sub-interval's completion bracket.
+    pub completion: Interval,
+    /// The Lemma 8 lower bound `(m−1) + f_λ(n)` at the range endpoints.
+    pub lower_bound: Interval,
+    /// Gap between completion and the Lemma 8 bound at the endpoints
+    /// (report data, not a diagnostic — the bound is not always
+    /// attainable).
+    pub gap: Interval,
+    /// `true` if any leaf had to be widened (endpoint structures still
+    /// disagreed at maximum depth).
+    pub widened: bool,
+    /// `true` if any run exhausted its event budget.
+    pub truncated: bool,
+    /// The `P0012`–`P0016` findings, in code order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AbsReport {
+    /// True when no symbolic property was violated.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Multi-line human-readable analysis summary (without the
+    /// diagnostics, which callers render separately).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "abstract analysis: {} n = {} m = {} lambda in {}\n",
+            self.name, self.n, self.m, self.lambda
+        ));
+        let widened = self.subintervals.iter().filter(|s| !s.exact).count();
+        out.push_str(&format!(
+            "  sub-intervals         {}{}\n",
+            self.subintervals.len(),
+            if widened > 0 {
+                format!(" ({widened} widened)")
+            } else {
+                String::new()
+            }
+        ));
+        out.push_str(&format!("  completion            {}\n", self.completion));
+        out.push_str(&format!("  lemma 8 lower bound   {}\n", self.lower_bound));
+        out.push_str(&format!("  gap to lower bound    {}\n", self.gap));
+        let sends = self.subintervals.iter().map(|s| s.sends).max().unwrap_or(0);
+        let peak = self
+            .subintervals
+            .iter()
+            .map(|s| s.peak_in_flight)
+            .max()
+            .unwrap_or(0);
+        out.push_str(&format!("  sends (witness)       {sends}\n"));
+        out.push_str(&format!("  peak in flight        {peak}\n"));
+        if self.truncated {
+            out.push_str("  event budget exhausted: results are partial\n");
+        }
+        out
+    }
+}
+
+struct Leaf {
+    lambda: Interval,
+    lo: AbsRun,
+    hi: AbsRun,
+    exact: bool,
+}
+
+fn latency_at(x: Ratio) -> Latency {
+    Latency::new(x).expect("λ-range endpoints must satisfy λ ≥ 1")
+}
+
+/// Analyzes `w` over the λ-range `lambda`.
+///
+/// # Panics
+/// Panics when `lambda.lo() < 1` (the postal model requires λ ≥ 1).
+pub fn analyze<P>(w: &Workload<'_, P>, lambda: Interval, cfg: &AbsConfig) -> AbsReport {
+    let mut leaves = Vec::new();
+    subdivide(w, lambda, 0, cfg, &mut leaves);
+
+    let mut subintervals = Vec::with_capacity(leaves.len());
+    let mut completion: Option<Interval> = None;
+    for leaf in &leaves {
+        let bracket = leaf_completion(leaf);
+        subintervals.push(SubReport {
+            lambda: leaf.lambda,
+            completion: bracket,
+            exact: leaf.exact,
+            sends: leaf.lo.sends.len(),
+            peak_in_flight: leaf.lo.peak_in_flight.max(leaf.hi.peak_in_flight),
+        });
+        completion = Some(match completion {
+            None => bracket,
+            Some(c) => c.widen(bracket),
+        });
+    }
+    let completion = completion.unwrap_or(Interval::ZERO);
+
+    let (a, b) = (latency_at(lambda.lo()), latency_at(lambda.hi()));
+    let nn = w.n as u128;
+    let (lb_lo, lb_hi) = if w.n >= 2 {
+        (
+            runtimes::multi_lower_bound(nn, w.m, a),
+            runtimes::multi_lower_bound(nn, w.m, b),
+        )
+    } else {
+        (Time::ZERO, Time::ZERO)
+    };
+    let lower_bound = Interval::new(
+        lb_lo.as_ratio().min(lb_hi.as_ratio()),
+        lb_lo.as_ratio().max(lb_hi.as_ratio()),
+    );
+    let gap_lo = completion.lo() - lower_bound.lo();
+    let gap_hi = completion.hi() - lower_bound.hi();
+    let gap = Interval::new(gap_lo.min(gap_hi), gap_lo.max(gap_hi));
+
+    let diagnostics = synthesize(w, &leaves, cfg);
+
+    AbsReport {
+        name: w.name.to_string(),
+        n: w.n,
+        m: w.m,
+        lambda,
+        subintervals,
+        completion,
+        lower_bound,
+        gap,
+        widened: leaves.iter().any(|l| !l.exact),
+        truncated: leaves.iter().any(|l| l.lo.truncated || l.hi.truncated),
+        diagnostics,
+    }
+}
+
+fn subdivide<P>(
+    w: &Workload<'_, P>,
+    lambda: Interval,
+    depth: u32,
+    cfg: &AbsConfig,
+    out: &mut Vec<Leaf>,
+) {
+    let run = |wit: Latency| {
+        AbsEngine::new(
+            w.n,
+            lambda,
+            wit,
+            (w.factory)(wit),
+            w.mutation,
+            cfg.max_events,
+        )
+        .run()
+    };
+    let lo = run(latency_at(lambda.lo()));
+    if lambda.is_point() {
+        let hi = run(latency_at(lambda.hi()));
+        out.push(Leaf {
+            lambda,
+            lo,
+            hi,
+            exact: true,
+        });
+        return;
+    }
+    let hi = run(latency_at(lambda.hi()));
+    let agree = lo.signature == hi.signature;
+    if agree || depth >= cfg.max_depth {
+        out.push(Leaf {
+            lambda,
+            lo,
+            hi,
+            exact: agree,
+        });
+    } else {
+        let mid = lambda.midpoint();
+        subdivide(w, Interval::new(lambda.lo(), mid), depth + 1, cfg, out);
+        subdivide(w, Interval::new(mid, lambda.hi()), depth + 1, cfg, out);
+    }
+}
+
+/// The completion bracket of one leaf: the endpoint-witness completions
+/// bracket every λ in between when the structures agree (monotonicity);
+/// a widened leaf additionally hulls in the interval-arithmetic
+/// completions of both runs, which bound each run's own structure over
+/// the whole sub-interval.
+fn leaf_completion(leaf: &Leaf) -> Interval {
+    let (ca, cb) = (
+        leaf.lo.completion_w.as_ratio(),
+        leaf.hi.completion_w.as_ratio(),
+    );
+    let bracket = Interval::new(ca.min(cb), ca.max(cb));
+    if leaf.exact {
+        bracket
+    } else {
+        bracket.widen(leaf.lo.completion).widen(leaf.hi.completion)
+    }
+}
+
+fn send_evidence(s: &crate::engine::AbsSend) -> TimedSend {
+    TimedSend {
+        src: s.src,
+        dst: s.dst,
+        send_start: s.start_w,
+    }
+}
+
+/// Synthesizes `P0012`–`P0016` from the leaves, with root-cause
+/// suppression mirroring `model::lint`: dead sends (`P0012`) explain
+/// cascading unreachability and unmatched waits, so they suppress
+/// `P0013`/`P0016`; any structural error suppresses the quality codes
+/// `P0014`/`P0015`'s envelope checks.
+fn synthesize<P>(w: &Workload<'_, P>, leaves: &[Leaf], _cfg: &AbsConfig) -> Vec<Diagnostic> {
+    let mut merged: BTreeMap<(LintCode, Option<u32>), Diagnostic> = BTreeMap::new();
+    let mut push = |d: Diagnostic| {
+        let key = (d.code, d.proc);
+        match merged.get_mut(&key) {
+            Some(existing) => {
+                existing.witness = match (existing.witness, d.witness) {
+                    (Some(a), Some(b)) => Some(a.widen(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            None => {
+                merged.insert(key, d);
+            }
+        }
+    };
+
+    let truncated = leaves.iter().any(|l| l.lo.truncated || l.hi.truncated);
+    let mut any_dead = false;
+    let mut any_unreachable = false;
+
+    // P0012 — dead sends.
+    for leaf in leaves {
+        for run in [&leaf.lo, &leaf.hi] {
+            let dead: Vec<&crate::engine::AbsSend> =
+                run.sends.iter().filter(|s| !s.delivered).collect();
+            if let Some(first) = dead.first() {
+                any_dead = true;
+                push(Diagnostic {
+                    code: LintCode::DeadSend,
+                    severity: Severity::Error,
+                    proc: Some(first.src),
+                    sends: vec![send_evidence(first)],
+                    related_time: None,
+                    witness: Some(leaf.lambda),
+                    message: format!(
+                        "p{} sends to p{} at t = {} but the message is never \
+                         received ({} dead send{} in total)",
+                        first.src,
+                        first.dst,
+                        first.start_w,
+                        dead.len(),
+                        if dead.len() == 1 { "" } else { "s" },
+                    ),
+                });
+            }
+        }
+    }
+
+    // P0013 — unreachable processors: zero arrivals and no path in the
+    // recorded-send graph (dead sends count as edges: their
+    // unreachability is already explained by P0012).
+    if !any_dead {
+        for leaf in leaves {
+            for run in [&leaf.lo, &leaf.hi] {
+                let unreached = unreachable_procs(w.n, run);
+                if let Some(&first) = unreached.first() {
+                    any_unreachable = true;
+                    push(Diagnostic {
+                        code: LintCode::UnreachableProcessor,
+                        severity: Severity::Error,
+                        proc: Some(first),
+                        sends: Vec::new(),
+                        related_time: None,
+                        witness: Some(leaf.lambda),
+                        message: format!(
+                            "no abstract message path reaches p{first} for any \
+                             lambda in {} ({} unreachable in total)",
+                            leaf.lambda,
+                            unreached.len(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // P0016 — unmatched waits, unless a dead send to the same processor
+    // already explains the silence.
+    let mut any_wait = false;
+    if !any_dead {
+        for leaf in leaves {
+            for run in [&leaf.lo, &leaf.hi] {
+                for &p in &run.unmet_waits {
+                    any_wait = true;
+                    push(Diagnostic {
+                        code: LintCode::UnboundedWait,
+                        severity: Severity::Error,
+                        proc: Some(p),
+                        sends: Vec::new(),
+                        related_time: None,
+                        witness: Some(leaf.lambda),
+                        message: format!(
+                            "p{p} waits for a receive that no abstractly-reachable \
+                             send ever matches, for any lambda in {}",
+                            leaf.lambda,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let structural = any_dead || any_unreachable || any_wait;
+
+    // Quality codes reason about completion; they are only meaningful
+    // for a structurally sound run on a system with someone to inform.
+    if !structural && !truncated && w.n >= 2 {
+        let nn = w.n as u128;
+        for leaf in leaves {
+            let bracket = leaf_completion(leaf);
+            let (a, b) = (latency_at(leaf.lambda.lo()), latency_at(leaf.lambda.hi()));
+
+            // P0014 (error): bracket dips below the Lemma 8 bound — a
+            // sound analysis of a valid broadcast cannot do that. Exact
+            // leaves only: a widened bracket's low end is already
+            // conservative.
+            if leaf.exact {
+                let lb = runtimes::multi_lower_bound(nn, w.m, a);
+                if bracket.lo() < lb.as_ratio() {
+                    push(Diagnostic {
+                        code: LintCode::SymbolicOptimalityGap,
+                        severity: Severity::Error,
+                        proc: None,
+                        sends: Vec::new(),
+                        related_time: Some(lb),
+                        witness: Some(leaf.lambda),
+                        message: format!(
+                            "abstract completion {bracket} falls below the Lemma 8 \
+                             lower bound {lb} at lambda = {} — the program cannot \
+                             be a full {}-message broadcast",
+                            a.value(),
+                            w.m,
+                        ),
+                    });
+                }
+            }
+
+            // P0014 (warn): the family's own proven envelope is exceeded
+            // somewhere in the sub-interval. Exact leaves only: a
+            // widened bracket's high end is conservative by
+            // construction, so comparing it against the envelope would
+            // report the analysis's own imprecision, not the program's.
+            if let Some(env) = w.envelope {
+                let bound = env(b);
+                if leaf.exact && bracket.hi() > bound.as_ratio() {
+                    push(Diagnostic {
+                        code: LintCode::SymbolicOptimalityGap,
+                        severity: Severity::Warn,
+                        proc: None,
+                        sends: Vec::new(),
+                        related_time: Some(bound),
+                        witness: Some(leaf.lambda),
+                        message: format!(
+                            "abstract completion {bracket} exceeds the family \
+                             envelope {bound} at lambda = {} (gap {} units)",
+                            b.value(),
+                            bracket.hi() - bound.as_ratio(),
+                        ),
+                    });
+                }
+            }
+
+            // P0015 — tree family: observed fan-out vs declared degree
+            // (error), and Lemma 18's envelope (warn).
+            if let Some(tree) = &w.tree {
+                for (run, lam) in [(&leaf.lo, a), (&leaf.hi, b)] {
+                    let d = (tree.degree)(lam);
+                    if run.max_fanout > d {
+                        push(Diagnostic {
+                            code: LintCode::DegreeBoundViolation,
+                            severity: Severity::Error,
+                            proc: None,
+                            sends: Vec::new(),
+                            related_time: None,
+                            witness: Some(leaf.lambda),
+                            message: format!(
+                                "observed fan-out {} exceeds the declared DTREE \
+                                 degree d = {d} at lambda = {}",
+                                run.max_fanout,
+                                lam.value(),
+                            ),
+                        });
+                    }
+                }
+                let bound = (tree.bound)(b);
+                if leaf.exact && bracket.hi() > bound.as_ratio() {
+                    push(Diagnostic {
+                        code: LintCode::DegreeBoundViolation,
+                        severity: Severity::Warn,
+                        proc: None,
+                        sends: Vec::new(),
+                        related_time: Some(bound),
+                        witness: Some(leaf.lambda),
+                        message: format!(
+                            "abstract completion {bracket} exceeds the Lemma 18 \
+                             envelope {bound} at lambda = {}",
+                            b.value(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    merged.into_values().collect()
+}
+
+/// Non-originator processors with zero deliveries and no path from the
+/// originator in the recorded-send graph, in index order.
+fn unreachable_procs(n: u32, run: &AbsRun) -> Vec<u32> {
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for s in &run.sends {
+        adj.entry(s.src).or_default().push(s.dst);
+    }
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    seen.insert(0);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(0);
+    while let Some(p) = queue.pop_front() {
+        for &q in adj.get(&p).into_iter().flatten() {
+            if seen.insert(q) {
+                queue.push_back(q);
+            }
+        }
+    }
+    (1..n)
+        .filter(|p| run.arrivals[*p as usize] == 0 && !seen.contains(p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_algos::bcast_programs;
+
+    #[allow(clippy::type_complexity)]
+    fn bcast_workload(
+        n: u32,
+    ) -> (
+        impl Fn(Latency) -> Vec<Box<dyn Program<postal_algos::bcast::BcastPayload>>>,
+        impl Fn(Latency) -> Time,
+    ) {
+        let nu = n as usize;
+        let nn = n as u128;
+        (
+            move |lam: Latency| bcast_programs(nu, lam),
+            move |lam: Latency| runtimes::bcast_time(nn, lam),
+        )
+    }
+
+    #[test]
+    fn bcast_point_range_is_exact_and_clean() {
+        let (factory, env) = bcast_workload(14);
+        let report = analyze(
+            &Workload {
+                name: "bcast",
+                n: 14,
+                m: 1,
+                factory: &factory,
+                envelope: Some(&env),
+                tree: None,
+                mutation: None,
+            },
+            Interval::point(Ratio::new(5, 2)),
+            &AbsConfig::default(),
+        );
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert_eq!(
+            report.completion,
+            Interval::point(runtimes::bcast_time(14, Latency::from_ratio(5, 2)).as_ratio())
+        );
+        assert!(!report.widened);
+    }
+
+    #[test]
+    fn bcast_wide_range_subdivides_and_brackets() {
+        let (factory, env) = bcast_workload(8);
+        let report = analyze(
+            &Workload {
+                name: "bcast",
+                n: 8,
+                m: 1,
+                factory: &factory,
+                envelope: Some(&env),
+                tree: None,
+                mutation: None,
+            },
+            Interval::new(Ratio::ONE, Ratio::from_int(4)),
+            &AbsConfig::default(),
+        );
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(
+            report.subintervals.len() > 1,
+            "BCAST structure varies with λ"
+        );
+        // Every concrete completion on the range lies inside the hull.
+        for lam in [
+            Latency::from_int(1),
+            Latency::from_int(2),
+            Latency::from_ratio(5, 2),
+            Latency::from_int(4),
+        ] {
+            let t = runtimes::bcast_time(8, lam);
+            assert!(
+                report.completion.contains(t.as_ratio()),
+                "completion {} not in {} at λ = {}",
+                t,
+                report.completion,
+                lam
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_start_trips_p0014_only() {
+        let (factory, env) = bcast_workload(8);
+        let report = analyze(
+            &Workload {
+                name: "bcast",
+                n: 8,
+                m: 1,
+                factory: &factory,
+                envelope: Some(&env),
+                tree: None,
+                mutation: Some(AbsMutation::StallStart {
+                    proc: 0,
+                    by: Time::from_int(10),
+                }),
+            },
+            Interval::new(Ratio::ONE, Ratio::from_int(2)),
+            &AbsConfig::default(),
+        );
+        let codes: Vec<LintCode> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![LintCode::SymbolicOptimalityGap], "{codes:?}");
+        assert!(report.diagnostics[0].witness.is_some());
+    }
+}

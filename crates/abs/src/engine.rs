@@ -1,0 +1,470 @@
+//! The interval-domain abstract engine.
+//!
+//! One abstract run drives the same event-driven [`Program`]s the
+//! simulator and the model checker run, but every clock in the engine is
+//! an [`Interval`] over the λ-range under analysis: a send issued with
+//! abstract start `S` finishes receiving in `S + [λ_lo, λ_hi]`, output
+//! ports serialize interval-wise (`start = max(now, free)` endpoint by
+//! endpoint), and the completion time comes out as an interval that
+//! bounds the concrete completion for *every* λ in the range — provided
+//! the program makes the same decisions at every λ in the range.
+//!
+//! That proviso is the crux. Programs are opaque code, so the engine
+//! drives their callbacks at one concrete *witness* λ (an endpoint of
+//! the range) and records a structure signature — the `(src, dst)` send
+//! sequence, per-processor arrival counts, and wake counts. The analysis
+//! layer ([`mod@crate::analyze`]) runs the engine at both endpoints of each
+//! λ sub-interval and only trusts the interval arithmetic where the two
+//! signatures agree; where they disagree it bisects, because a program
+//! whose structure is constant on a sub-interval has event times that
+//! are monotone nondecreasing functions of λ (every clock is built from
+//! constants and nonnegative multiples of λ through `+` and `max`), so
+//! endpoint evaluation brackets the whole sub-interval exactly.
+//!
+//! Wake-ups requested via [`postal_sim::Context::wake_at`] are the one
+//! place a program can feed a λ-dependent value back into the engine as
+//! an opaque scalar; the engine abstracts the requested time as
+//! `now + (t − now_witness)`, i.e. it treats the *offset* from the
+//! callback instant as λ-independent. A λ-dependent offset shows up as
+//! a signature or completion mismatch between the endpoint runs and is
+//! handled by subdivision, never silently.
+
+use crate::mutation::AbsMutation;
+use postal_model::{Interval, Latency, Time};
+use postal_sim::{Context, ProcId, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One recorded send, with abstract and witness clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsSend {
+    /// Creation-order sequence number.
+    pub seq: u64,
+    /// Sender.
+    pub src: u32,
+    /// Receiver.
+    pub dst: u32,
+    /// Abstract send-start interval (output port busy in `start + [0, 1]`).
+    pub start: Interval,
+    /// Abstract receive-finish interval (input port busy in `finish − [0, 1]`).
+    pub finish: Interval,
+    /// Concrete send start at the witness λ.
+    pub start_w: Time,
+    /// Whether the delivery ever fires. `false` only under a
+    /// [`AbsMutation::DeadSend`] seeding.
+    pub delivered: bool,
+}
+
+/// The structure signature of one abstract run: everything the program's
+/// decisions determine, none of the clocks. Two runs with equal
+/// signatures executed the same communication structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// `(src, dst)` of every recorded send, in sequence order.
+    pub sends: Vec<(u32, u32)>,
+    /// Deliveries per processor.
+    pub arrivals: Vec<u64>,
+    /// Wake-ups per processor.
+    pub wakes: Vec<u64>,
+}
+
+/// The result of one abstract run at a fixed witness λ.
+#[derive(Debug)]
+pub struct AbsRun {
+    /// The witness λ that drove program decisions.
+    pub witness: Latency,
+    /// Every recorded send.
+    pub sends: Vec<AbsSend>,
+    /// Deliveries per processor.
+    pub arrivals: Vec<u64>,
+    /// Abstract first-arrival interval per processor, when it got one.
+    pub first_arrival: Vec<Option<Interval>>,
+    /// Abstract hull of each processor's port occupancy (sending or
+    /// receiving), when it was ever busy.
+    pub busy: Vec<Option<Interval>>,
+    /// Completion at the witness λ: the latest concrete receive finish.
+    pub completion_w: Time,
+    /// Abstract completion: hull of every receive-finish interval.
+    pub completion: Interval,
+    /// Peak number of simultaneously in-flight messages (witness order).
+    pub peak_in_flight: usize,
+    /// Largest number of distinct receivers any one sender addressed.
+    pub max_fanout: u64,
+    /// Processors left with an unmatched phantom receive expectation
+    /// (seeded by [`AbsMutation::OrphanReceive`]).
+    pub unmet_waits: Vec<u32>,
+    /// The run's structure signature.
+    pub signature: Signature,
+    /// `true` if the event budget was exhausted before quiescence.
+    pub truncated: bool,
+}
+
+enum Ev<P> {
+    Start {
+        proc: u32,
+        at: Interval,
+    },
+    Deliver {
+        dst: u32,
+        finish: Interval,
+        src: u32,
+        payload: P,
+    },
+    Wake {
+        proc: u32,
+        at: Interval,
+    },
+}
+
+struct AbsCtx<P> {
+    me: ProcId,
+    n: usize,
+    now: Time,
+    outbox: Vec<(ProcId, P)>,
+    wakes: Vec<Time>,
+}
+
+impl<P> Context<P> for AbsCtx<P> {
+    fn me(&self) -> ProcId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn send(&mut self, dst: ProcId, payload: P) {
+        assert!(dst.index() < self.n, "send out of range");
+        assert!(dst != self.me, "the postal model has no self-sends");
+        self.outbox.push((dst, payload));
+    }
+
+    fn wake_at(&mut self, t: Time) {
+        self.wakes.push(t.max(self.now));
+    }
+}
+
+/// The abstract engine: interval clocks driven at a concrete witness λ.
+pub struct AbsEngine<P> {
+    n: usize,
+    lam_w: Time,
+    lam: Interval,
+    witness: Latency,
+    programs: Vec<Box<dyn Program<P>>>,
+    out_free_w: Vec<Time>,
+    out_free: Vec<Interval>,
+    events: BTreeMap<(Time, u64), Ev<P>>,
+    next_id: u64,
+    next_seq: u64,
+    sends: Vec<AbsSend>,
+    arrivals: Vec<u64>,
+    wake_counts: Vec<u64>,
+    first_arrival: Vec<Option<Interval>>,
+    busy: Vec<Option<Interval>>,
+    fanout: Vec<BTreeSet<u32>>,
+    completion_w: Time,
+    completion: Option<Interval>,
+    in_flight: usize,
+    peak_in_flight: usize,
+    max_events: usize,
+    executed: usize,
+    truncated: bool,
+    mutation: Option<AbsMutation>,
+}
+
+impl<P> AbsEngine<P> {
+    /// Builds an engine over `lam` with decisions driven at `witness`
+    /// (which must lie inside `lam`).
+    pub fn new(
+        n: u32,
+        lam: Interval,
+        witness: Latency,
+        programs: Vec<Box<dyn Program<P>>>,
+        mutation: Option<AbsMutation>,
+        max_events: usize,
+    ) -> AbsEngine<P> {
+        assert_eq!(programs.len(), n as usize, "one program per processor");
+        assert!(
+            lam.contains(witness.value()),
+            "witness λ must lie inside the λ-range"
+        );
+        let n = n as usize;
+        AbsEngine {
+            n,
+            lam_w: witness.as_time(),
+            lam,
+            witness,
+            programs,
+            out_free_w: vec![Time::ZERO; n],
+            out_free: vec![Interval::ZERO; n],
+            events: BTreeMap::new(),
+            next_id: 0,
+            next_seq: 0,
+            sends: Vec::new(),
+            arrivals: vec![0; n],
+            wake_counts: vec![0; n],
+            first_arrival: vec![None; n],
+            busy: vec![None; n],
+            fanout: vec![BTreeSet::new(); n],
+            completion_w: Time::ZERO,
+            completion: None,
+            in_flight: 0,
+            peak_in_flight: 0,
+            max_events,
+            executed: 0,
+            truncated: false,
+            mutation,
+        }
+    }
+
+    /// Runs the programs to quiescence (or the event budget) and returns
+    /// the run record.
+    pub fn run(mut self) -> AbsRun {
+        for proc in 0..self.n as u32 {
+            let at = match self.mutation {
+                Some(AbsMutation::StallStart { proc: p, by }) if p == proc => by,
+                _ => Time::ZERO,
+            };
+            let id = self.next_id;
+            self.next_id += 1;
+            self.events.insert(
+                (at, id),
+                Ev::Start {
+                    proc,
+                    at: Interval::point(at.as_ratio()),
+                },
+            );
+        }
+        while let Some(((now_w, _), ev)) = self.events.pop_first() {
+            if self.executed >= self.max_events {
+                self.truncated = true;
+                break;
+            }
+            self.executed += 1;
+            match ev {
+                Ev::Start { proc, at } => {
+                    let mut ctx = self.ctx(proc, now_w);
+                    self.programs[proc as usize].on_start(&mut ctx);
+                    self.apply(proc, now_w, at, ctx);
+                }
+                Ev::Deliver {
+                    dst,
+                    finish,
+                    src,
+                    payload,
+                } => {
+                    self.in_flight -= 1;
+                    self.arrivals[dst as usize] += 1;
+                    let window = Interval::new(finish.lo() - postal_model::Ratio::ONE, finish.hi());
+                    self.touch(dst, window);
+                    let fa = &mut self.first_arrival[dst as usize];
+                    if fa.is_none() {
+                        *fa = Some(finish);
+                    }
+                    self.completion_w = self.completion_w.max(now_w);
+                    // Elementwise max: completion is the latest receive
+                    // finish at every λ, not the hull of all finishes.
+                    self.completion = Some(match self.completion {
+                        None => finish,
+                        Some(c) => c.max(finish),
+                    });
+                    let mut ctx = self.ctx(dst, now_w);
+                    self.programs[dst as usize].on_receive(&mut ctx, ProcId(src), payload);
+                    self.apply(dst, now_w, finish, ctx);
+                }
+                Ev::Wake { proc, at } => {
+                    let mut ctx = self.ctx(proc, now_w);
+                    self.programs[proc as usize].on_wake(&mut ctx);
+                    self.apply(proc, now_w, at, ctx);
+                }
+            }
+        }
+        let unmet_waits = match self.mutation {
+            Some(AbsMutation::OrphanReceive { proc }) => vec![proc],
+            _ => Vec::new(),
+        };
+        let signature = Signature {
+            sends: self.sends.iter().map(|s| (s.src, s.dst)).collect(),
+            arrivals: self.arrivals.clone(),
+            wakes: self.wake_counts.clone(),
+        };
+        AbsRun {
+            witness: self.witness,
+            sends: self.sends,
+            arrivals: self.arrivals,
+            first_arrival: self.first_arrival,
+            busy: self.busy,
+            completion_w: self.completion_w,
+            completion: self.completion.unwrap_or(Interval::ZERO),
+            peak_in_flight: self.peak_in_flight,
+            max_fanout: self
+                .fanout
+                .iter()
+                .map(|d| d.len() as u64)
+                .max()
+                .unwrap_or(0),
+            unmet_waits,
+            signature,
+            truncated: self.truncated,
+        }
+    }
+
+    fn ctx(&self, proc: u32, now: Time) -> AbsCtx<P> {
+        AbsCtx {
+            me: ProcId(proc),
+            n: self.n,
+            now,
+            outbox: Vec::new(),
+            wakes: Vec::new(),
+        }
+    }
+
+    fn touch(&mut self, proc: u32, window: Interval) {
+        let b = &mut self.busy[proc as usize];
+        *b = Some(match *b {
+            None => window,
+            Some(cur) => cur.widen(window),
+        });
+    }
+
+    /// Applies a callback's buffered sends and wakes with interval port
+    /// serialization (mirrors the checker's `McEngine::apply`).
+    fn apply(&mut self, src: u32, now_w: Time, now: Interval, ctx: AbsCtx<P>) {
+        let one = Interval::point(postal_model::Ratio::ONE);
+        for (dst, payload) in ctx.outbox {
+            if matches!(
+                self.mutation,
+                Some(AbsMutation::DetachSubtree { proc }) if proc == dst.0
+            ) {
+                continue;
+            }
+            let s = src as usize;
+            let start_w = now_w.max(self.out_free_w[s]);
+            let start = now.max(self.out_free[s]);
+            self.out_free_w[s] = start_w + Time::ONE;
+            self.out_free[s] = start + one;
+            self.touch(
+                src,
+                start + Interval::new(postal_model::Ratio::ZERO, postal_model::Ratio::ONE),
+            );
+            let finish_w = start_w + self.lam_w;
+            let finish = start + self.lam;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.fanout[s].insert(dst.0);
+            let dead = matches!(
+                self.mutation,
+                Some(AbsMutation::DeadSend { seq: dseq }) if dseq == seq
+            );
+            self.sends.push(AbsSend {
+                seq,
+                src,
+                dst: dst.0,
+                start,
+                finish,
+                start_w,
+                delivered: !dead,
+            });
+            if dead {
+                continue;
+            }
+            self.in_flight += 1;
+            self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.events.insert(
+                (finish_w, id),
+                Ev::Deliver {
+                    dst: dst.0,
+                    finish,
+                    src,
+                    payload,
+                },
+            );
+        }
+        for t in ctx.wakes {
+            self.wake_counts[src as usize] += 1;
+            let offset = t - now_w;
+            let at = now + Interval::point(offset.as_ratio());
+            let id = self.next_id;
+            self.next_id += 1;
+            self.events.insert((t, id), Ev::Wake { proc: src, at });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_algos::bcast_programs;
+    use postal_model::{runtimes, Ratio};
+
+    fn run_bcast(n: u32, witness: Latency, lam: Interval) -> AbsRun {
+        AbsEngine::new(
+            n,
+            lam,
+            witness,
+            bcast_programs(n as usize, witness),
+            None,
+            100_000,
+        )
+        .run()
+    }
+
+    #[test]
+    fn point_interval_matches_closed_form() {
+        let lam = Latency::from_ratio(5, 2);
+        let run = run_bcast(14, lam, Interval::point(lam.value()));
+        let expect = runtimes::bcast_time(14, lam);
+        assert_eq!(run.completion_w, expect);
+        assert_eq!(run.completion, Interval::point(expect.as_ratio()));
+        assert!(run.sends.iter().all(|s| s.delivered));
+        assert_eq!(run.arrivals.iter().filter(|&&a| a > 0).count(), 13);
+    }
+
+    #[test]
+    fn wide_interval_brackets_the_witness_completion() {
+        let witness = Latency::from_int(2);
+        let run = run_bcast(8, witness, Interval::new(Ratio::ONE, Ratio::from_int(2)));
+        assert!(run
+            .completion
+            .contains(runtimes::bcast_time(8, witness).as_ratio()));
+        assert!(run.completion.width() > Ratio::ZERO);
+    }
+
+    #[test]
+    fn dead_send_is_recorded_but_not_delivered() {
+        let lam = Latency::from_int(2);
+        let run = AbsEngine::new(
+            4,
+            Interval::point(lam.value()),
+            lam,
+            bcast_programs(4, lam),
+            Some(AbsMutation::DeadSend { seq: 0 }),
+            100_000,
+        )
+        .run();
+        let dead: Vec<&AbsSend> = run.sends.iter().filter(|s| !s.delivered).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].seq, 0);
+    }
+
+    #[test]
+    fn detach_suppresses_the_send_record() {
+        let lam = Latency::from_int(2);
+        let run = AbsEngine::new(
+            4,
+            Interval::point(lam.value()),
+            lam,
+            bcast_programs(4, lam),
+            Some(AbsMutation::DetachSubtree { proc: 3 }),
+            100_000,
+        )
+        .run();
+        assert!(run.sends.iter().all(|s| s.dst != 3));
+        assert_eq!(run.arrivals[3], 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fault injection for the abstract interpreter.
+//!
+//! Each variant is designed to trip exactly one of the symbolic lint
+//! codes `P0012`–`P0016`, so the soundness tests can assert that every
+//! code fires on its designated defect and on nothing else. The
+//! inflated-degree defect for `P0015` lives at the workload level (build
+//! a `DTREE(d+1)` but declare `d`), not here, because it changes the
+//! program under analysis rather than the engine's behavior.
+
+use postal_model::Time;
+
+/// A seeded defect applied inside the abstract engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsMutation {
+    /// The send with this sequence number is issued (recorded, port
+    /// occupied) but its delivery never happens — the receiver provably
+    /// never reads it. Trips `P0012`.
+    DeadSend {
+        /// Sequence number of the doomed send.
+        seq: u64,
+    },
+    /// The processor registers one phantom expected receive that no
+    /// send ever matches. Trips `P0016`.
+    OrphanReceive {
+        /// The waiting processor.
+        proc: u32,
+    },
+    /// Every send *to* this processor is silently suppressed — not
+    /// recorded, not delivered — so the processor (and anything only it
+    /// would have informed) drops out of the reachability graph.
+    /// Trips `P0013`.
+    DetachSubtree {
+        /// The detached processor.
+        proc: u32,
+    },
+    /// The processor's `on_start` callback runs at time `by` instead of
+    /// time 0, delaying everything downstream of it. Applied to the
+    /// originator of a clean algorithm this inflates the completion
+    /// past the family envelope without breaking any structural rule.
+    /// Trips `P0014`.
+    StallStart {
+        /// The delayed processor.
+        proc: u32,
+        /// The start delay.
+        by: Time,
+    },
+}

@@ -1,0 +1,201 @@
+//! Analysis entry points for the nine paper workloads.
+//!
+//! Mirrors `postal_mc::workload`: the same [`Algo`] grid, the same
+//! program factories, but analyzed abstractly over a λ-range instead of
+//! model-checked at a point. Each family is held to its own proven
+//! envelope — BCAST to Theorem 6's `f_λ(n)`, REPEAT/PACK/PIPELINE to
+//! Lemmas 10–16, and the DTREE shapes to Lemma 18 — and every workload
+//! to the Lemma 8 lower bound `(m−1) + f_λ(n)`.
+
+use crate::analyze::{analyze, AbsConfig, AbsReport, TreeSpec, Workload};
+use crate::mutation::AbsMutation;
+use postal_algos::dtree::dtree_programs;
+use postal_algos::pack::pack_programs;
+use postal_algos::pipeline::pipeline_programs;
+use postal_algos::repeat::repeat_programs;
+use postal_algos::{bcast_programs, Pacing};
+use postal_mc::Algo;
+use postal_model::{runtimes, Interval, Latency, Time};
+
+/// Abstractly analyzes one paper algorithm over the λ-range `lambda`.
+///
+/// `Bcast` ignores `m` (it is the single-message algorithm); the tree
+/// shapes pick their degree from the variant exactly as
+/// [`postal_mc::check_algo`] does, so the two analyses always see the
+/// same programs at any witness λ.
+pub fn analyze_algo(
+    algo: Algo,
+    n: u32,
+    m: u32,
+    lambda: Interval,
+    mutation: Option<AbsMutation>,
+    cfg: &AbsConfig,
+) -> AbsReport {
+    let nu = n as usize;
+    let nn = n as u128;
+    let m = m.max(1);
+    let eff_m = if algo == Algo::Bcast { 1 } else { m as u64 };
+    let clamp = move |d: u64| d.clamp(1, (n as u64).saturating_sub(1).max(1));
+
+    let general = GeneralSpec {
+        name: algo.name(),
+        n,
+        m: eff_m,
+        lambda,
+        mutation,
+    };
+
+    match algo {
+        Algo::Bcast => general.analyze(cfg, &|lam| bcast_programs(nu, lam), &|lam| {
+            runtimes::bcast_time(nn, lam)
+        }),
+        Algo::Repeat => general.analyze(
+            cfg,
+            &|lam| repeat_programs(nu, m, lam, Pacing::PaperExact),
+            &|lam| runtimes::repeat_time(nn, m as u64, lam),
+        ),
+        Algo::RepeatGreedy => general.analyze(
+            cfg,
+            &|lam| repeat_programs(nu, m, lam, Pacing::Greedy),
+            &|lam| runtimes::repeat_time(nn, m as u64, lam),
+        ),
+        Algo::Pack => general.analyze(cfg, &|lam| pack_programs(nu, m, lam), &|lam| {
+            runtimes::pack_time(nn, m as u64, lam)
+        }),
+        Algo::Pipeline => general.analyze(cfg, &|lam| pipeline_programs(nu, m, lam), &|lam| {
+            runtimes::pipeline_time(nn, m as u64, lam)
+        }),
+        Algo::Line => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |_| clamp(1)),
+        Algo::Binary => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |_| clamp(2)),
+        Algo::Star => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |_| clamp(n as u64)),
+        Algo::Dtree => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |lam| {
+            clamp(runtimes::latency_matched_degree(nn, lam) as u64)
+        }),
+    }
+}
+
+/// Shared parameters of the non-tree workloads, with a generic analyze
+/// step (closures cannot be generic over the payload type).
+struct GeneralSpec<'a> {
+    name: &'a str,
+    n: u32,
+    m: u64,
+    lambda: Interval,
+    mutation: Option<AbsMutation>,
+}
+
+impl GeneralSpec<'_> {
+    fn analyze<P>(
+        &self,
+        cfg: &AbsConfig,
+        factory: &dyn Fn(Latency) -> Vec<Box<dyn postal_sim::Program<P>>>,
+        envelope: &dyn Fn(Latency) -> Time,
+    ) -> AbsReport {
+        analyze(
+            &Workload {
+                name: self.name,
+                n: self.n,
+                m: self.m,
+                factory,
+                envelope: Some(envelope),
+                tree: None,
+                mutation: self.mutation,
+            },
+            self.lambda,
+            cfg,
+        )
+    }
+}
+
+fn analyze_tree(
+    algo: Algo,
+    n: u32,
+    m: u32,
+    lambda: Interval,
+    mutation: Option<AbsMutation>,
+    cfg: &AbsConfig,
+    degree: &dyn Fn(Latency) -> u64,
+) -> AbsReport {
+    let nu = n as usize;
+    let nn = n as u128;
+    let factory = |lam: Latency| dtree_programs(nu, m, degree(lam));
+    let bound = |lam: Latency| runtimes::dtree_time_bound(nn, m as u64, lam, degree(lam) as u128);
+    analyze(
+        &Workload {
+            name: algo.name(),
+            n,
+            m: m as u64,
+            factory: &factory,
+            envelope: None,
+            tree: Some(TreeSpec {
+                degree,
+                bound: &bound,
+            }),
+            mutation,
+        },
+        lambda,
+        cfg,
+    )
+}
+
+/// The workload-level `P0015` defect: builds a binary tree (`d = 2`)
+/// while declaring a line (`d = 1`), so the observed fan-out exceeds
+/// the declared degree bound at every λ.
+pub fn analyze_dtree_inflated(n: u32, m: u32, lambda: Interval, cfg: &AbsConfig) -> AbsReport {
+    assert!(
+        n >= 3,
+        "an inflated-degree tree needs at least 3 processors"
+    );
+    let nu = n as usize;
+    let nn = n as u128;
+    let factory = |lam: Latency| {
+        let _ = lam;
+        dtree_programs(nu, m, 2)
+    };
+    let degree = |_: Latency| 1u64;
+    let bound = |lam: Latency| runtimes::dtree_time_bound(nn, m.max(1) as u64, lam, 1);
+    analyze(
+        &Workload {
+            name: "dtree-inflated",
+            n,
+            m: m.max(1) as u64,
+            factory: &factory,
+            envelope: None,
+            tree: Some(TreeSpec {
+                degree: &degree,
+                bound: &bound,
+            }),
+            mutation: None,
+        },
+        lambda,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::lint::LintCode;
+    use postal_model::Ratio;
+
+    #[test]
+    fn all_algorithms_analyze_clean_over_the_paper_range() {
+        let lambda = Interval::new(Ratio::ONE, Ratio::from_int(4));
+        for algo in Algo::all() {
+            let report = analyze_algo(algo, 8, 2, lambda, None, &AbsConfig::default());
+            assert!(report.is_clean(), "{algo}: {:?}", report.diagnostics);
+        }
+    }
+
+    #[test]
+    fn inflated_degree_trips_p0015_only() {
+        let report = analyze_dtree_inflated(
+            8,
+            2,
+            Interval::new(Ratio::ONE, Ratio::from_int(2)),
+            &AbsConfig::default(),
+        );
+        let codes: Vec<LintCode> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![LintCode::DegreeBoundViolation], "{codes:?}");
+    }
+}

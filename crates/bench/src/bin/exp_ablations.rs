@@ -9,5 +9,5 @@ fn main() {
     println!("{ports}");
     let mut report = BenchReport::new("ablations");
     report.table(&blind).table(&ports);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

@@ -104,5 +104,5 @@ fn main() {
         eprintln!("error: {gap_violations} Theorem-6 gap violations");
         std::process::exit(1);
     }
-    println!("wrote {}", sink.report.write().display());
+    postal_bench::report::emit_json(&sink.report);
 }

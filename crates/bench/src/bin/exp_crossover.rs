@@ -23,5 +23,5 @@ fn main() {
             }
         }
     }
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

@@ -16,5 +16,5 @@ fn main() {
     let constants = postal_bench::experiments::dtree_exp::constant_factor_table();
     println!("{constants}");
     report.table(&constants);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

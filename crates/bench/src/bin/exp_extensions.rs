@@ -14,5 +14,5 @@ fn main() {
         .table(&adaptive)
         .table(&hierarchy)
         .table(&collectives);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

@@ -12,5 +12,5 @@ fn main() {
         .int("processors", 14)
         .int("tree_sim_mismatches", mismatches as i128)
         .table(&table);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

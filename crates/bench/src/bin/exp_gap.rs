@@ -7,5 +7,5 @@ fn main() {
     println!("{table}");
     let mut report = BenchReport::new("gap");
     report.table(&table);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

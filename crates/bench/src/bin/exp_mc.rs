@@ -72,5 +72,5 @@ fn main() {
         )
         .int("dirty", dirty)
         .text("config", "exhaustive (no preemption bound), n <= 12");
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

@@ -9,5 +9,5 @@ fn main() {
     println!("{pacing}");
     let mut report = BenchReport::new("multi");
     report.table(&closed).table(&pacing);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

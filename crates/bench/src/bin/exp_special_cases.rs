@@ -14,5 +14,5 @@ fn main() {
         .int("fibonacci_mismatches", fibo_mismatches as i128)
         .table(&pow2)
         .table(&fibo);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

@@ -3,7 +3,8 @@
 //! Besides the text table, writes `BENCH_theorem6.json` (gap-violation
 //! count CI asserts is zero) and the observability artifacts for the
 //! paper's flagship instance BCAST(14, 5/2): a Chrome trace and a
-//! Prometheus exposition, both in `$BENCH_OUT_DIR` (default `.`).
+//! Prometheus exposition, both in the standard bench output directory
+//! (`$BENCH_OUT_DIR`, default: the workspace root).
 
 use postal_bench::report::BenchReport;
 use postal_model::Latency;
@@ -17,9 +18,7 @@ fn main() {
     let lam = Latency::from_ratio(5, 2);
     let run = postal_algos::run_bcast(14, lam);
     let log = log_from_report(&run, "event", 14, Some(lam), Some(1));
-    let dir = std::env::var_os("BENCH_OUT_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let dir = postal_bench::report::out_dir();
     std::fs::write(
         dir.join("TRACE_theorem6.json"),
         postal_obs::to_chrome_trace(&log),
@@ -37,8 +36,7 @@ fn main() {
         .int("gap_violations", gap_violations as i128)
         .text("flagship_completion", &run.completion.to_string())
         .table(&table);
-    let path = report.write();
-    println!("wrote {}", path.display());
+    postal_bench::report::emit_json(&report);
     if gap_violations > 0 {
         std::process::exit(1);
     }

@@ -11,5 +11,5 @@ fn main() {
     println!("{asym}");
     let mut report = BenchReport::new("theorem7");
     report.table(&fib).table(&index).table(&asym);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

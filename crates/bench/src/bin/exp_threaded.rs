@@ -87,5 +87,5 @@ fn main() {
     report
         .int("workloads", workloads)
         .num("max_overhead_pct", max_overhead);
-    println!("wrote {}", report.write().display());
+    postal_bench::report::emit_json(&report);
 }

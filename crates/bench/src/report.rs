@@ -3,12 +3,14 @@
 //! Every `exp_*` binary writes a `BENCH_<id>.json` file alongside its
 //! stdout report so CI and downstream tooling can assert on experiment
 //! outcomes (row counts, violation counts, overheads) without scraping
-//! text tables. Files land in `$BENCH_OUT_DIR` when set, else the
-//! current directory.
+//! text tables. Files land in `$BENCH_OUT_DIR` when set, else at the
+//! workspace root (see [`out_dir`]); every binary funnels through
+//! [`emit_json`] so the destination and the trailing `wrote <path>`
+//! line stay uniform.
 
 use crate::table::Table;
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 #[derive(Debug, Clone)]
 enum Value {
@@ -129,17 +131,45 @@ impl BenchReport {
         path
     }
 
-    /// Writes the summary to `$BENCH_OUT_DIR` (or the current directory)
-    /// and returns the path.
+    /// Writes the summary to [`out_dir`] and returns the path.
     ///
     /// # Panics
     /// Panics when the file cannot be written.
     pub fn write(&self) -> PathBuf {
-        let dir = std::env::var_os("BENCH_OUT_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."));
-        self.write_to(&dir)
+        self.write_to(&out_dir())
     }
+}
+
+/// The standardized destination for every `exp_*` artifact:
+/// `$BENCH_OUT_DIR` when set, else the workspace root — so running a
+/// binary from any subdirectory lands `BENCH_<id>.json` in the one
+/// place CI looks — falling back to the current directory if the
+/// compile-time workspace path no longer exists (e.g. an installed
+/// binary).
+pub fn out_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("BENCH_OUT_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Some(root) = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .filter(|p| p.is_dir())
+    {
+        return root.to_path_buf();
+    }
+    PathBuf::from(".")
+}
+
+/// Writes `report` to [`out_dir`] and prints the standard trailing
+/// `wrote <path>` line; the single exit path shared by every `exp_*`
+/// binary. Returns the written path.
+///
+/// # Panics
+/// Panics when the file cannot be written.
+pub fn emit_json(report: &BenchReport) -> PathBuf {
+    let path = report.write();
+    println!("wrote {}", path.display());
+    path
 }
 
 #[cfg(test)]
@@ -173,6 +203,18 @@ mod tests {
     fn empty_tables_array_stays_valid() {
         let json = BenchReport::new("x").to_json();
         assert!(json.contains("\"tables\": []"), "{json}");
+    }
+
+    #[test]
+    fn out_dir_defaults_to_the_workspace_root() {
+        // Under `cargo test` BENCH_OUT_DIR is normally unset; when a
+        // caller exports it the override must win, so only assert the
+        // default shape in the clean case.
+        if std::env::var_os("BENCH_OUT_DIR").is_none() {
+            let dir = out_dir();
+            assert!(dir.join("Cargo.toml").is_file(), "{}", dir.display());
+            assert!(dir.join("crates").is_dir(), "{}", dir.display());
+        }
     }
 
     #[test]

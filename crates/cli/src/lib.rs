@@ -64,6 +64,11 @@ USAGE:
                                              codes P0008-P0011 over the whole state
                                              space, plus a re-lint of each execution
            [--m N] [--max-interleavings N] [--format text|json] [--deny warn|error]
+    postal analyze --algo <name|all> --n N --lambda-range A..B
+                                             abstract interpretation over the whole
+                                             λ-range: codes P0012-P0016, each with a
+                                             witness λ sub-interval
+           [--m N] [--max-depth N] [--format text|json] [--deny warn|error]
 
 <lambda> accepts integers, fractions and decimals: 3, 5/2, 2.5";
 
@@ -182,6 +187,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("lint") => lint(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         _ => Err(usage()),
     }
 }
@@ -457,6 +463,199 @@ fn check(args: &[String]) -> Result<String, CliError> {
     } else {
         Ok(out)
     }
+}
+
+/// The `analyze` subcommand: abstract interpretation over a λ-range.
+fn analyze(args: &[String]) -> Result<String, CliError> {
+    use postal_abs::{analyze_algo, AbsConfig};
+    use postal_mc::Algo;
+    use postal_verify::{render, Severity};
+    let mut algo_arg: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut range: Option<postal_model::Interval> = None;
+    let mut m: u32 = 1;
+    let mut cfg = AbsConfig::default();
+    let mut as_json = false;
+    let mut deny = Severity::Error;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: usize| {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Invalid(format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--algo" => {
+                algo_arg = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
+            "--n" => {
+                n = Some(parse_n(flag_value(i)?)?);
+                i += 2;
+            }
+            "--lambda-range" => {
+                range = Some(parse_lambda_range(flag_value(i)?)?);
+                i += 2;
+            }
+            "--m" => {
+                let v: u32 = flag_value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Invalid("--m must be a positive integer".into()))?;
+                if v == 0 || v > 64 {
+                    return Err(CliError::Invalid("--m must be in 1..=64".into()));
+                }
+                m = v;
+                i += 2;
+            }
+            "--max-depth" => {
+                cfg.max_depth = flag_value(i)?
+                    .parse()
+                    .map_err(|_| CliError::Invalid("--max-depth must be an integer".into()))?;
+                if cfg.max_depth > 16 {
+                    return Err(CliError::Invalid(
+                        "--max-depth is capped at 16 (2^16 endpoint runs)".into(),
+                    ));
+                }
+                i += 2;
+            }
+            "--format" => {
+                as_json = match flag_value(i)? {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--format must be 'text' or 'json', got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--deny" => {
+                deny = match flag_value(i)? {
+                    "warn" => Severity::Warn,
+                    "error" => Severity::Error,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--deny must be 'warn' or 'error', got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            s => {
+                return Err(CliError::Invalid(format!("unknown analyze flag {s:?}")));
+            }
+        }
+    }
+    let usage = || CliError::Usage(USAGE.to_string());
+    let algo_arg = algo_arg.ok_or_else(usage)?;
+    let n = n.ok_or_else(usage)?;
+    let range = range.ok_or_else(usage)?;
+    // Each endpoint run simulates the full program set; the adaptive
+    // subdivision multiplies that by up to 2^depth.
+    if n > 4096 {
+        return Err(CliError::Invalid(
+            "abstract analysis runs endpoint witnesses; use n ≤ 4096".into(),
+        ));
+    }
+    let algos: Vec<Algo> = if algo_arg == "all" {
+        Algo::all().to_vec()
+    } else {
+        vec![Algo::parse(&algo_arg).ok_or_else(|| {
+            CliError::Invalid(format!(
+                "unknown algorithm {algo_arg:?} (bcast|repeat|repeat-greedy|pack|\
+                 pipeline|line|binary|star|dtree|all)"
+            ))
+        })?]
+    };
+
+    let iv = |x: postal_model::Interval| format!("[\"{}\", \"{}\"]", x.lo(), x.hi());
+    let mut out = String::new();
+    let mut failed = false;
+    if as_json {
+        out.push_str("[\n");
+    }
+    for (idx, algo) in algos.iter().enumerate() {
+        let rep = analyze_algo(*algo, n as u32, m, range, None, &cfg);
+        failed |= rep.diagnostics.iter().any(|d| d.severity >= deny);
+        if as_json {
+            if idx > 0 {
+                out.push_str(",\n");
+            }
+            let _ = writeln!(out, "{{");
+            let _ = writeln!(out, "  \"algo\": \"{}\",", rep.name);
+            let _ = writeln!(out, "  \"n\": {},", rep.n);
+            let _ = writeln!(out, "  \"m\": {},", rep.m);
+            let _ = writeln!(out, "  \"lambda_range\": {},", iv(rep.lambda));
+            let _ = writeln!(out, "  \"completion\": {},", iv(rep.completion));
+            let _ = writeln!(out, "  \"lower_bound\": {},", iv(rep.lower_bound));
+            let _ = writeln!(out, "  \"gap\": {},", iv(rep.gap));
+            let _ = writeln!(out, "  \"widened\": {},", rep.widened);
+            let _ = writeln!(out, "  \"truncated\": {},", rep.truncated);
+            let subs: Vec<String> = rep
+                .subintervals
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"lambda\": {}, \"completion\": {}, \"exact\": {}, \
+                         \"sends\": {}, \"peak_in_flight\": {}}}",
+                        iv(s.lambda),
+                        iv(s.completion),
+                        s.exact,
+                        s.sends,
+                        s.peak_in_flight
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "  \"subintervals\": [{}],", subs.join(", "));
+            let _ = writeln!(
+                out,
+                "  \"diagnostics\": {}",
+                postal_verify::json::diagnostics_to_json(&rep.diagnostics).trim_end()
+            );
+            out.push('}');
+        } else {
+            out.push_str(&rep.summary());
+            if rep.is_clean() {
+                out.push_str("  verdict               clean\n");
+            } else {
+                out.push('\n');
+                out.push_str(&render::render_report(&rep.diagnostics, &rep.name));
+            }
+            if idx + 1 < algos.len() {
+                out.push('\n');
+            }
+        }
+    }
+    if as_json {
+        out.push_str("\n]");
+    }
+    if failed {
+        Err(CliError::LintFailed(out))
+    } else {
+        Ok(out)
+    }
+}
+
+/// Parses `A..B` (or a single `A`, meaning the degenerate range
+/// `[A, A]`) into a λ-interval; each endpoint accepts the same
+/// integer/fraction/decimal forms as `--lambda`.
+fn parse_lambda_range(s: &str) -> Result<postal_model::Interval, CliError> {
+    let (a, b) = match s.split_once("..") {
+        Some((a, b)) => (parse_lambda(a)?, parse_lambda(b)?),
+        None => {
+            let x = parse_lambda(s)?;
+            (x, x)
+        }
+    };
+    if a.value() > b.value() {
+        return Err(CliError::Invalid(format!(
+            "empty lambda range {s:?}: {} > {}",
+            a.value(),
+            b.value()
+        )));
+    }
+    Ok(postal_model::Interval::new(a.value(), b.value()))
 }
 
 fn parse_lambda(s: &str) -> Result<Latency, CliError> {
@@ -1220,6 +1419,170 @@ mod tests {
         ));
         assert!(matches!(
             call(&["check", "--algo", "bcast", "--n", "8", "--lambda", "2", "--m", "0"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_bcast_point_range_is_clean() {
+        let out = call(&[
+            "analyze",
+            "--algo",
+            "bcast",
+            "--n",
+            "8",
+            "--lambda-range",
+            "5/2..5/2",
+        ])
+        .unwrap();
+        assert!(out.contains("abstract analysis: bcast"), "{out}");
+        assert!(out.contains("verdict               clean"), "{out}");
+        let expected = runtimes::bcast_time(8, Latency::from_ratio(5, 2));
+        assert!(
+            out.contains(&format!("completion            [{expected}, {expected}]")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn analyze_all_covers_every_algorithm_over_a_range() {
+        let out = call(&[
+            "analyze",
+            "--algo",
+            "all",
+            "--n",
+            "6",
+            "--lambda-range",
+            "1..3",
+            "--m",
+            "2",
+            "--deny",
+            "warn",
+        ])
+        .unwrap();
+        for name in [
+            "bcast",
+            "repeat",
+            "repeat-greedy",
+            "pack",
+            "pipeline",
+            "line",
+            "binary",
+            "star",
+            "dtree",
+        ] {
+            assert!(
+                out.contains(&format!("abstract analysis: {name} ")),
+                "{out}"
+            );
+        }
+        assert_eq!(out.matches("verdict               clean").count(), 9);
+    }
+
+    #[test]
+    fn analyze_json_format() {
+        let out = call(&[
+            "analyze",
+            "--algo",
+            "bcast",
+            "--n",
+            "8",
+            "--lambda-range",
+            "1..4",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(out.starts_with('[') && out.ends_with(']'), "{out}");
+        assert!(out.contains("\"lambda_range\": [\"1\", \"4\"]"), "{out}");
+        assert!(out.contains("\"subintervals\": ["), "{out}");
+        assert!(out.contains("\"exact\": true"), "{out}");
+        assert!(out.contains("\"diagnostics\": ["), "{out}");
+    }
+
+    #[test]
+    fn analyze_accepts_a_single_lambda_as_a_point_range() {
+        let a = call(&[
+            "analyze",
+            "--algo",
+            "line",
+            "--n",
+            "5",
+            "--lambda-range",
+            "2",
+        ])
+        .unwrap();
+        let b = call(&[
+            "analyze",
+            "--algo",
+            "line",
+            "--n",
+            "5",
+            "--lambda-range",
+            "2..2",
+        ])
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn analyze_rejects_bad_usage() {
+        assert!(matches!(
+            call(&["analyze", "--n", "8", "--lambda-range", "1..2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call(&["analyze", "--algo", "bcast", "--n", "8"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call(&[
+                "analyze",
+                "--algo",
+                "warp",
+                "--n",
+                "8",
+                "--lambda-range",
+                "1..2"
+            ]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&[
+                "analyze",
+                "--algo",
+                "bcast",
+                "--n",
+                "8",
+                "--lambda-range",
+                "3..2"
+            ]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&[
+                "analyze",
+                "--algo",
+                "bcast",
+                "--n",
+                "8",
+                "--lambda-range",
+                "1/2..2"
+            ]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&[
+                "analyze",
+                "--algo",
+                "bcast",
+                "--n",
+                "8",
+                "--lambda-range",
+                "1..2",
+                "--max-depth",
+                "99"
+            ]),
             Err(CliError::Invalid(_))
         ));
     }

@@ -26,7 +26,7 @@
 //! makes prefix-based replay in [`crate::explore`] sound.
 
 use crate::mutation::Mutation;
-use postal_model::Time;
+use postal_model::{Ratio, Time};
 use postal_obs::ObsEvent;
 use postal_sim::{Context, ProcId, Program};
 use std::collections::BTreeMap;
@@ -80,15 +80,7 @@ pub(crate) struct EventInfo {
 /// readiness rule in every interleaving, so treating them as
 /// independent never loses a trace.
 pub(crate) fn independent(a: &EventInfo, b: &EventInfo) -> bool {
-    if a.proc != b.proc {
-        return true;
-    }
-    let gap = if a.time >= b.time {
-        a.time - b.time
-    } else {
-        b.time - a.time
-    };
-    gap >= Time::ONE
+    a.proc != b.proc || a.time.as_ratio().abs_diff(b.time.as_ratio()) >= Ratio::ONE
 }
 
 /// The buffered callback context: collects sends and wakes, which the

@@ -7,7 +7,7 @@
 //!
 //! * **Persistent sets.** At each state, if the earliest schedulable
 //!   event conflicts with no other schedulable event (no same-processor
-//!   window overlap — see [`crate::engine::independent`]), then `{e}`
+//!   window overlap — see `engine::independent`), then `{e}`
 //!   is a persistent set and the step is forced: any event created
 //!   later in any execution completes at least λ ≥ 1 units after `e`,
 //!   so nothing that could conflict with `e` is still to come. For the

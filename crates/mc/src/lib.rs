@@ -260,6 +260,7 @@ where
         diagnostics.push(Diagnostic {
             code: LintCode::Deadlock,
             severity: Severity::Error,
+            witness: None,
             proc: Some(proc),
             sends: vec![],
             related_time: Some(at),
@@ -274,6 +275,7 @@ where
         diagnostics.push(Diagnostic {
             code: LintCode::LostFlight,
             severity: Severity::Error,
+            witness: None,
             proc: Some(dst),
             sends: vec![TimedSend {
                 src,
@@ -294,6 +296,7 @@ where
         diagnostics.push(Diagnostic {
             code: LintCode::NondeterministicCompletion,
             severity: Severity::Error,
+            witness: None,
             proc: None,
             sends: vec![],
             related_time: completions.iter().next_back().copied(),
@@ -314,6 +317,7 @@ where
             diagnostics.push(Diagnostic {
                 code: LintCode::NondeterministicCompletion,
                 severity: Severity::Error,
+                witness: None,
                 proc: None,
                 sends: vec![],
                 related_time: Some(c),
@@ -328,6 +332,7 @@ where
         diagnostics.push(Diagnostic {
             code: LintCode::LatencyWindowViolation,
             severity: Severity::Error,
+            witness: None,
             proc: Some(dst),
             sends: vec![TimedSend {
                 src,

@@ -83,8 +83,10 @@ pub fn index_upper_bound(n: u128, latency: Latency) -> f64 {
 /// Lemmas 25/26 hold only "for sufficiently large λ" (they rest on the
 /// unproven-for-small-λ Claims 23/24, and near λ + 1 = e the denominator of
 /// α vanishes). We gate at λ ≥ 16, below which `None` is returned; the
-/// bound tests in this module verify the gate empirically.
-const ALPHA_MIN_LAMBDA: f64 = 16.0;
+/// bound tests in this module verify the gate empirically. The comparison
+/// is exact on the latency's rational value, so λ = 16 − 1/10⁶ is still
+/// rejected.
+const ALPHA_MIN_LAMBDA: Ratio = Ratio::from_int(16);
 
 /// The α of Lemma 25:
 /// `α = 1 + (ln ln(λ+1) + 1)/(ln(λ+1) − (ln ln(λ+1) + 1))`.
@@ -92,10 +94,10 @@ const ALPHA_MIN_LAMBDA: f64 = 16.0;
 /// Returns `None` when λ is below the asymptotic regime (λ < 16) or the
 /// denominator is nonpositive.
 pub fn lemma25_alpha(latency: Latency) -> Option<f64> {
-    let lam = latency.to_f64();
-    if lam < ALPHA_MIN_LAMBDA {
+    if latency.value() < ALPHA_MIN_LAMBDA {
         return None;
     }
+    let lam = latency.to_f64();
     let inner = (lam + 1.0).ln().ln() + 1.0;
     let denom = (lam + 1.0).ln() - inner;
     if denom <= 0.0 {

@@ -74,5 +74,5 @@ pub mod time;
 
 pub use fib::GenFib;
 pub use latency::Latency;
-pub use ratio::Ratio;
+pub use ratio::{Interval, Ratio};
 pub use time::Time;

@@ -19,13 +19,21 @@
 //! | `P0009` | error | lost flight (a send with no matching receive) |
 //! | `P0010` | error | nondeterministic completion (interleaving-dependent running time) |
 //! | `P0011` | error | λ-window violation (a receive lands outside `[s+λ−1, s+λ]`) |
+//! | `P0012` | error | dead send (a send whose receiver provably never reads it) |
+//! | `P0013` | error | unreachable processor (no abstract path from the originator) |
+//! | `P0014` | warn/error | symbolic optimality gap over a λ-range (vs the family envelope / Lemma 8) |
+//! | `P0015` | error | DTREE degree-bound violation (fan-out or the Lemma 18 envelope) |
+//! | `P0016` | error | unbounded wait (a receive with no abstractly-reachable matching send) |
 //!
 //! `P0001`–`P0007` are produced by [`lint_schedule`] over a static
 //! schedule. `P0008`–`P0011` are whole-state-space properties — they
 //! quantify over *every* admissible interleaving, not one observed
 //! schedule — and are produced by the `postal-mc` model checker, which
 //! reuses this module's stable codes, [`Diagnostic`] shape, and the
-//! `postal-verify` renderer.
+//! `postal-verify` renderer. `P0012`–`P0016` are *symbolic* properties
+//! over a whole λ-interval, produced by the `postal-abs` abstract
+//! interpreter without running a simulation; each carries a witness
+//! λ sub-interval in [`Diagnostic::witness`].
 //!
 //! The engine is the single source of truth for schedule validity: the
 //! `postal-verify` crate layers trace analysis, race detection, and
@@ -33,6 +41,7 @@
 //! top of both.
 
 use crate::fib::GenFib;
+use crate::ratio::Interval;
 use crate::runtimes;
 use crate::schedule::{Schedule, TimedSend};
 use crate::time::Time;
@@ -84,6 +93,32 @@ pub enum LintCode {
     /// `send + λ` or starts before its arrival instant `send + λ − 1`,
     /// breaking the fixed-latency discipline. Emitted by `postal-mc`.
     LatencyWindowViolation,
+    /// `P0012` — dead send: the abstract interpretation proves a send is
+    /// issued but its receiver never reads it anywhere in the λ-range
+    /// under analysis. Emitted by the `postal-abs` abstract interpreter.
+    DeadSend,
+    /// `P0013` — unreachable processor: no abstract message path from
+    /// the originator reaches the processor for any λ in the range, so
+    /// it can never participate in the broadcast. Emitted by
+    /// `postal-abs`.
+    UnreachableProcessor,
+    /// `P0014` — symbolic optimality gap: the abstract completion
+    /// interval exceeds the algorithm family's proven envelope somewhere
+    /// in the λ-range (warn), or falls *below* the Lemma 8 lower bound
+    /// `(m−1) + f_λ(n)` — impossible for a sound analysis of a valid
+    /// broadcast, reported as an error. Generalizes the concrete
+    /// single-point `P0007`. Emitted by `postal-abs`.
+    SymbolicOptimalityGap,
+    /// `P0015` — DTREE degree-bound violation: a tree-family workload's
+    /// observed fan-out exceeds its declared degree `d`, or its abstract
+    /// completion exceeds Lemma 18's envelope
+    /// `d(m−1) + (d−1+λ)·⌈log_d n⌉` somewhere in the λ-range. Emitted by
+    /// `postal-abs`.
+    DegreeBoundViolation,
+    /// `P0016` — unbounded wait: a processor registers a receive that no
+    /// abstractly-reachable send can ever match, so it would wait
+    /// forever for any λ in the range. Emitted by `postal-abs`.
+    UnboundedWait,
 }
 
 impl LintCode {
@@ -101,6 +136,11 @@ impl LintCode {
             LintCode::LostFlight => "P0009",
             LintCode::NondeterministicCompletion => "P0010",
             LintCode::LatencyWindowViolation => "P0011",
+            LintCode::DeadSend => "P0012",
+            LintCode::UnreachableProcessor => "P0013",
+            LintCode::SymbolicOptimalityGap => "P0014",
+            LintCode::DegreeBoundViolation => "P0015",
+            LintCode::UnboundedWait => "P0016",
         }
     }
 
@@ -118,6 +158,11 @@ impl LintCode {
             "P0009" => LintCode::LostFlight,
             "P0010" => LintCode::NondeterministicCompletion,
             "P0011" => LintCode::LatencyWindowViolation,
+            "P0012" => LintCode::DeadSend,
+            "P0013" => LintCode::UnreachableProcessor,
+            "P0014" => LintCode::SymbolicOptimalityGap,
+            "P0015" => LintCode::DegreeBoundViolation,
+            "P0016" => LintCode::UnboundedWait,
             _ => return None,
         })
     }
@@ -180,6 +225,36 @@ impl LintCode {
                  before t+lambda-1 or complete before t+lambda \
                  (model definition, Section 2)"
             }
+            LintCode::DeadSend => {
+                "a message sent through an output port is fully received \
+                 lambda units later; a send whose receiver provably never \
+                 reads it does useless work for every lambda in the range \
+                 (model definition, Section 2)"
+            }
+            LintCode::UnreachableProcessor => {
+                "a broadcast must deliver the originator's message to all n-1 \
+                 other processors; a processor no abstract message path \
+                 reaches stays uninformed for every lambda in the range \
+                 (problem statement, Section 1)"
+            }
+            LintCode::SymbolicOptimalityGap => {
+                "broadcasting m messages takes at least (m-1) + f_lambda(n) \
+                 time (Lemma 8), and each paper algorithm family has a proven \
+                 closed-form envelope (Theorem 6, Lemmas 10-18); the abstract \
+                 completion interval must respect both across the whole \
+                 lambda range"
+            }
+            LintCode::DegreeBoundViolation => {
+                "DTREE(d) broadcasts m messages within \
+                 d(m-1) + (d-1+lambda)*ceil(log_d n) time with every node \
+                 sending to at most d children (Lemma 18, Section 4.3)"
+            }
+            LintCode::UnboundedWait => {
+                "an event-driven algorithm acts when it starts and whenever a \
+                 message arrives; a receive no abstractly-reachable send can \
+                 match waits forever, for every lambda in the range \
+                 (model definition, Section 2)"
+            }
         }
     }
 }
@@ -228,6 +303,10 @@ pub struct Diagnostic {
     pub related_time: Option<Time>,
     /// Human-readable one-line explanation with exact numbers.
     pub message: String,
+    /// For the symbolic codes `P0012`–`P0016`: the λ sub-interval over
+    /// which the finding holds. `None` for the concrete codes
+    /// `P0001`–`P0011`, which are tied to a single λ.
+    pub witness: Option<Interval>,
 }
 
 impl Diagnostic {
@@ -310,6 +389,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
             diags.push(Diagnostic {
                 code: LintCode::MalformedSend,
                 severity: Severity::Error,
+                witness: None,
                 proc: Some(s.src),
                 sends: vec![*s],
                 related_time: None,
@@ -337,6 +417,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
                 diags.push(Diagnostic {
                     code: LintCode::OutputPortOverlap,
                     severity: Severity::Error,
+                    witness: None,
                     proc: Some(*src),
                     sends: vec![pair[0], pair[1]],
                     related_time: None,
@@ -367,6 +448,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
                 diags.push(Diagnostic {
                     code: LintCode::InputWindowOverlap,
                     severity: Severity::Error,
+                    witness: None,
                     proc: Some(*dst),
                     sends: vec![pair[0], pair[1]],
                     related_time: None,
@@ -409,6 +491,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
                 diags.push(Diagnostic {
                     code: LintCode::CausalityViolation,
                     severity: Severity::Error,
+                    witness: None,
                     proc: Some(s.src),
                     sends: vec![*s],
                     related_time: knows_at,
@@ -433,6 +516,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
             diags.push(Diagnostic {
                 code: LintCode::UninformedProcessor,
                 severity: Severity::Error,
+                witness: None,
                 proc: Some(p),
                 sends: Vec::new(),
                 related_time: None,
@@ -505,6 +589,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
                 diags.push(Diagnostic {
                     code: LintCode::IdlePortWaste,
                     severity: Severity::Warn,
+                    witness: None,
                     proc: Some(src),
                     sends: Vec::new(),
                     related_time: Some(g),
@@ -533,6 +618,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
             diags.push(Diagnostic {
                 code: LintCode::OptimalityGap,
                 severity: Severity::Error,
+                witness: None,
                 proc: None,
                 sends: Vec::new(),
                 related_time: Some(optimal),
@@ -556,6 +642,7 @@ pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic>
             diags.push(Diagnostic {
                 code: LintCode::OptimalityGap,
                 severity,
+                witness: None,
                 proc: None,
                 sends: Vec::new(),
                 related_time: Some(optimal),
@@ -785,6 +872,11 @@ mod tests {
             LintCode::LostFlight,
             LintCode::NondeterministicCompletion,
             LintCode::LatencyWindowViolation,
+            LintCode::DeadSend,
+            LintCode::UnreachableProcessor,
+            LintCode::SymbolicOptimalityGap,
+            LintCode::DegreeBoundViolation,
+            LintCode::UnboundedWait,
         ] {
             assert_eq!(LintCode::parse(code.as_str()), Some(code));
             assert!(!code.paper_rule().is_empty());

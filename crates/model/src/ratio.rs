@@ -204,6 +204,147 @@ impl Ratio {
             other
         }
     }
+
+    /// Absolute difference `|self − other|`, the symmetric gap between
+    /// two rationals. Replaces the ad-hoc two-branch comparisons that
+    /// used to be duplicated wherever a gap was needed.
+    pub fn abs_diff(self, other: Ratio) -> Ratio {
+        (self - other).abs()
+    }
+
+    /// Clamps `self` into `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn clamp(self, lo: Ratio, hi: Ratio) -> Ratio {
+        assert!(lo <= hi, "Ratio::clamp requires lo <= hi");
+        self.max(lo).min(hi)
+    }
+}
+
+/// A closed interval `[lo, hi]` of exact rationals.
+///
+/// The workhorse of the `postal-abs` abstract interpreter: every
+/// event time there is a monotone function of λ, so propagating the
+/// two endpoints through `add`/`max` interval arithmetic yields the
+/// exact range of the concrete value over a λ-interval. Construction
+/// checks `lo ≤ hi`, so an `Interval` is never empty or inverted.
+///
+/// ```
+/// use postal_model::ratio::{ratio, Interval, Ratio};
+///
+/// let lam = Interval::new(Ratio::ONE, ratio(5, 2));
+/// let shifted = lam + Interval::point(Ratio::ONE);
+/// assert_eq!(shifted, Interval::new(ratio(2, 1), ratio(7, 2)));
+/// assert!(shifted.contains(ratio(3, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: Ratio,
+    hi: Ratio,
+}
+
+impl Interval {
+    /// The degenerate interval `[0, 0]`.
+    pub const ZERO: Interval = Interval {
+        lo: Ratio::ZERO,
+        hi: Ratio::ZERO,
+    };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Ratio, hi: Ratio) -> Interval {
+        assert!(lo <= hi, "Interval requires lo <= hi, got [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: Ratio) -> Interval {
+        Interval { lo: x, hi: x }
+    }
+
+    /// The lower endpoint.
+    pub const fn lo(self) -> Ratio {
+        self.lo
+    }
+
+    /// The upper endpoint.
+    pub const fn hi(self) -> Ratio {
+        self.hi
+    }
+
+    /// True when both endpoints coincide.
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The interval's width `hi − lo`.
+    pub fn width(self) -> Ratio {
+        self.hi - self.lo
+    }
+
+    /// True when `x ∈ [lo, hi]`.
+    pub fn contains(self, x: Ratio) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// True when `other ⊆ self`.
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Elementwise minimum: the range of `min(f, g)` for monotone `f, g`.
+    pub fn min(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Elementwise maximum: the range of `max(f, g)` for monotone `f, g`.
+    pub fn max(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The convex hull `[min(lo), max(hi)]` — the widening operator:
+    /// sound but no longer exact, used where two branches of an
+    /// analysis must be merged.
+    pub fn widen(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The midpoint `(lo + hi) / 2` (exact — rationals are closed
+    /// under halving), used to bisect a λ-range.
+    pub fn midpoint(self) -> Ratio {
+        (self.lo + self.hi) / Ratio::from_int(2)
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    /// Elementwise sum: `[a, b] + [c, d] = [a+c, b+d]`. Exact for sums
+    /// of monotone functions.
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
 }
 
 impl Default for Ratio {
@@ -544,5 +685,67 @@ mod tests {
         assert_eq!(gcd(-12, 18), 6);
         assert_eq!(gcd(0, 5), 5);
         assert_eq!(gcd(0, 0), 0);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric_and_nonnegative() {
+        assert_eq!(ratio(5, 2).abs_diff(Ratio::ONE), ratio(3, 2));
+        assert_eq!(Ratio::ONE.abs_diff(ratio(5, 2)), ratio(3, 2));
+        assert_eq!(ratio(-1, 2).abs_diff(ratio(1, 2)), Ratio::ONE);
+        assert_eq!(ratio(7, 3).abs_diff(ratio(7, 3)), Ratio::ZERO);
+    }
+
+    #[test]
+    fn clamp_pins_to_the_range() {
+        let (lo, hi) = (Ratio::ONE, ratio(5, 2));
+        assert_eq!(ratio(1, 2).clamp(lo, hi), lo);
+        assert_eq!(ratio(7, 2).clamp(lo, hi), hi);
+        assert_eq!(ratio(3, 2).clamp(lo, hi), ratio(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn clamp_rejects_inverted_range() {
+        let _ = Ratio::ONE.clamp(ratio(5, 2), Ratio::ONE);
+    }
+
+    #[test]
+    fn interval_construction_and_accessors() {
+        let i = Interval::new(Ratio::ONE, ratio(5, 2));
+        assert_eq!(i.lo(), Ratio::ONE);
+        assert_eq!(i.hi(), ratio(5, 2));
+        assert_eq!(i.width(), ratio(3, 2));
+        assert!(!i.is_point());
+        assert!(Interval::point(ratio(2, 1)).is_point());
+        assert_eq!(Interval::ZERO, Interval::point(Ratio::ZERO));
+        assert_eq!(i.to_string(), "[1, 5/2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(ratio(5, 2), Ratio::ONE);
+    }
+
+    #[test]
+    fn interval_arithmetic_is_elementwise() {
+        let a = Interval::new(Ratio::ONE, ratio(2, 1));
+        let b = Interval::new(ratio(1, 2), ratio(5, 2));
+        assert_eq!(a + b, Interval::new(ratio(3, 2), ratio(9, 2)));
+        assert_eq!(a.max(b), Interval::new(Ratio::ONE, ratio(5, 2)));
+        assert_eq!(a.min(b), Interval::new(ratio(1, 2), ratio(2, 1)));
+    }
+
+    #[test]
+    fn interval_containment_and_widening() {
+        let a = Interval::new(Ratio::ONE, ratio(2, 1));
+        let b = Interval::new(ratio(3, 1), ratio(4, 1));
+        assert!(a.contains(ratio(3, 2)));
+        assert!(!a.contains(ratio(5, 2)));
+        let hull = a.widen(b);
+        assert_eq!(hull, Interval::new(Ratio::ONE, ratio(4, 1)));
+        assert!(hull.contains_interval(a) && hull.contains_interval(b));
+        assert!(!a.contains_interval(hull));
+        assert_eq!(a.midpoint(), ratio(3, 2));
     }
 }

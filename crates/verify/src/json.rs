@@ -397,9 +397,14 @@ pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
                 Some(t) => format!("\"{t}\""),
                 None => "null".to_string(),
             };
+            let witness = match d.witness {
+                Some(w) => format!("[\"{}\", \"{}\"]", w.lo(), w.hi()),
+                None => "null".to_string(),
+            };
             format!(
                 "  {{ \"code\": \"{}\", \"severity\": \"{}\", \"proc\": {proc}, \
-                 \"message\": \"{}\", \"related_time\": {related}, \"sends\": [{}] }}",
+                 \"message\": \"{}\", \"related_time\": {related}, \
+                 \"lambda_witness\": {witness}, \"sends\": [{}] }}",
                 d.code,
                 d.severity,
                 esc(&d.message),

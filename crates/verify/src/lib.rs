@@ -9,7 +9,7 @@
 //!   rendered reports (for use in algorithm test suites);
 //! * **Trace analysis** — [`flight::schedule_from_trace`] converts an
 //!   event-engine [`postal_sim::Trace`] back into a static
-//!   [`Schedule`](postal_model::schedule::Schedule) so executions are
+//!   [`Schedule`] so executions are
 //!   linted by the same rules as hand-written schedules
 //!   ([`lint_trace`]);
 //! * **Race detection** — [`race::detect_races`] replays a trace's

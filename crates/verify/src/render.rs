@@ -29,6 +29,9 @@ pub fn render_diagnostic(d: &Diagnostic, source: &str) -> String {
     if let Some(t) = d.related_time {
         out.push_str(&format!("   = at: t = {t}\n"));
     }
+    if let Some(w) = d.witness {
+        out.push_str(&format!("   = witness: lambda in {w}\n"));
+    }
     out.push_str(&format!("   = rule: {}\n", wrap(d.rule(), 72, "     ")));
     out
 }

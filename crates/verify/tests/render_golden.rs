@@ -1,0 +1,110 @@
+//! Golden tests for the rustc-style renderer: one lint from each code
+//! band is pinned to its exact byte-for-byte output — spans, code,
+//! evidence lines, witness λ-interval, wrapped rule text, and summary.
+//!
+//! * `P0001` (concrete schedule band, produced by `lint_schedule`);
+//! * `P0008` (model-checking band; hand-built literal, since `verify`
+//!   sits below `mc` in the dependency order);
+//! * `P0012` (abstract-interpretation band; likewise hand-built).
+//!
+//! If one of these fails after an intentional renderer change, update
+//! the expected string — the point is that such changes are loud.
+
+use postal_model::lint::{lint_schedule, Diagnostic, LintCode, LintOptions, Severity};
+use postal_model::schedule::{Schedule, TimedSend};
+use postal_model::{Interval, Latency, Ratio, Time};
+use postal_verify::render::render_report;
+
+#[test]
+fn p0001_band_schedule_lint_renders_exactly() {
+    // p0 starts two sends 1/2 unit apart: an output-port overlap.
+    let s = Schedule::new(
+        3,
+        Latency::from_ratio(5, 2),
+        vec![
+            TimedSend {
+                src: 0,
+                dst: 1,
+                send_start: Time::ZERO,
+            },
+            TimedSend {
+                src: 0,
+                dst: 2,
+                send_start: Time::new(1, 2),
+            },
+        ],
+    );
+    let diags = lint_schedule(&s, &LintOptions::ports_only());
+    let text = render_report(&diags, "golden.json");
+    let expected = "\
+error[P0001]: p0 starts sends at t = 0 and t = 1/2 (1/2 < 1 unit apart)
+  --> golden.json: p0
+   = send: p0 -> p1 at t = 0
+   = send: p0 -> p2 at t = 1/2
+   = rule: a processor \"can send a new message to a new processor every unit of
+     time\", never faster: consecutive send starts at one output port must be
+     >= 1 unit apart (model definition, Section 2)
+
+golden.json: 1 error
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn p0008_band_model_check_diagnostic_renders_exactly() {
+    let d = Diagnostic {
+        code: LintCode::Deadlock,
+        severity: Severity::Error,
+        proc: Some(3),
+        sends: vec![],
+        related_time: Some(Time::new(7, 2)),
+        witness: None,
+        message: "2 of 5 explored executions deadlock: p3 still has a pending \
+                  event at t = 7/2 that can never fire"
+            .into(),
+    };
+    let text = render_report(&[d], "bcast");
+    let expected = "\
+error[P0008]: 2 of 5 explored executions deadlock: p3 still has a pending event at t = 7/2 that can never fire
+  --> bcast: p3
+   = at: t = 7/2
+   = rule: an event-driven algorithm acts when it starts and whenever a message
+     arrives; every admissible execution of MPS(n, lambda) must reach
+     quiescence with no message still in flight (model definition, Section 2)
+
+bcast: 1 error
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn p0012_band_abstract_diagnostic_renders_exactly_with_witness() {
+    let d = Diagnostic {
+        code: LintCode::DeadSend,
+        severity: Severity::Error,
+        proc: Some(4),
+        sends: vec![TimedSend {
+            src: 4,
+            dst: 5,
+            send_start: Time::from_int(2),
+        }],
+        related_time: None,
+        witness: Some(Interval::new(Ratio::ONE, Ratio::new(5, 2))),
+        message: "p4 sends to p5 at t = 2 but the message is never received \
+                  (1 dead send in total)"
+            .into(),
+    };
+    let text = render_report(&[d], "bcast");
+    let expected = "\
+error[P0012]: p4 sends to p5 at t = 2 but the message is never received (1 dead send in total)
+  --> bcast: p4
+   = send: p4 -> p5 at t = 2
+   = witness: lambda in [1, 5/2]
+   = rule: a message sent through an output port is fully received lambda units
+     later; a send whose receiver provably never reads it does useless work
+     for every lambda in the range (model definition, Section 2)
+
+bcast: 1 error
+";
+    assert_eq!(text, expected);
+}
