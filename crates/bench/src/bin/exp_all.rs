@@ -49,10 +49,14 @@ fn main() {
     sink.emit(&table);
 
     println!("=== T6: Theorem 6 ===");
-    let (t6, gap_violations) = exp::single::theorem6_checked();
+    let sweep_start = std::time::Instant::now();
+    let (t6, gap_violations, events) = exp::single::theorem6_checked();
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
     sink.emit(&t6);
     sink.report
-        .int("theorem6_gap_violations", gap_violations as i128);
+        .int("theorem6_gap_violations", gap_violations as i128)
+        .int("theorem6_events", events as i128)
+        .num("theorem6_events_per_sec", events as f64 / sweep_secs);
 
     println!("=== T7: Theorem 7 ===");
     sink.emit(&exp::bounds_exp::fib_bounds());

@@ -11,7 +11,9 @@ use postal_model::Latency;
 use postal_sim::log_from_report;
 
 fn main() {
-    let (table, gap_violations) = postal_bench::experiments::single::theorem6_checked();
+    let sweep_start = std::time::Instant::now();
+    let (table, gap_violations, events) = postal_bench::experiments::single::theorem6_checked();
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
     println!("{table}");
 
     // Observability artifacts for the Figure-1 instance.
@@ -34,6 +36,8 @@ fn main() {
     report
         .int("cases", table.len() as i128)
         .int("gap_violations", gap_violations as i128)
+        .int("events", events as i128)
+        .num("events_per_sec", events as f64 / sweep_secs)
         .text("flagship_completion", &run.completion.to_string())
         .table(&table);
     postal_bench::report::emit_json(&report);

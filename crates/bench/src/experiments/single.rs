@@ -52,20 +52,23 @@ pub fn figure1() -> (String, Table) {
     (art, table)
 }
 
-/// Experiment T6 with an explicit defect count: returns the table plus
-/// the number of (n, λ) cells where the simulated completion differed
-/// from `f_λ(n)` — the "gap violations" CI asserts are zero via
-/// `BENCH_theorem6.json`.
-pub fn theorem6_checked() -> (Table, u64) {
+/// Experiment T6 with an explicit defect count: returns the table, the
+/// number of (n, λ) cells where the simulated completion differed from
+/// `f_λ(n)` — the "gap violations" CI asserts are zero via
+/// `BENCH_theorem6.json` — and the total number of trace events the
+/// sweep simulated (so callers can report an events/sec throughput).
+pub fn theorem6_checked() -> (Table, u64, u64) {
     let mut table = Table::new(
         "T6: Algorithm BCAST vs Theorem 6 (simulated completion = f_λ(n))",
         &["n", "λ", "simulated", "f_λ(n)", "Thm7 lower", "Thm7 upper"],
     );
     let mut gap_violations = 0u64;
+    let mut events = 0u64;
     for lam in lambda_sweep() {
         for n in [2usize, 5, 14, 32, 100, 512, 1000] {
             let report = run_bcast(n, lam);
             report.assert_model_clean();
+            events += report.trace.len() as u64;
             let f = runtimes::bcast_time(n as u128, lam);
             gap_violations += u64::from(report.completion != f);
             table.row(vec![
@@ -84,7 +87,7 @@ pub fn theorem6_checked() -> (Table, u64) {
             ]);
         }
     }
-    (table, gap_violations)
+    (table, gap_violations, events)
 }
 
 /// Experiment T6: simulated BCAST time equals `f_λ(n)` for every (n, λ),
@@ -93,7 +96,7 @@ pub fn theorem6_checked() -> (Table, u64) {
 /// # Panics
 /// Panics if any cell violates the Theorem 6 equality.
 pub fn theorem6() -> Table {
-    let (table, gap_violations) = theorem6_checked();
+    let (table, gap_violations, _events) = theorem6_checked();
     assert_eq!(gap_violations, 0, "Theorem 6 equality must hold");
     table
 }

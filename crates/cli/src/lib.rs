@@ -255,23 +255,28 @@ fn lint(args: &[String]) -> Result<String, CliError> {
         }
     }
     let path = file.ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
-    let text = std::fs::read_to_string(path)
+    // Stream the file instead of reading it into memory: million-send
+    // schedules lint without ever materializing the trace text. The
+    // first line is read eagerly to sniff the format — an observability
+    // JSONL log announces itself with a run header; a schedule file is
+    // a single JSON object. Both reduce to a Schedule.
+    use std::io::{BufRead as _, BufReader, Cursor, Read as _};
+    let handle = std::fs::File::open(path)
         .map_err(|e| CliError::Invalid(format!("cannot read {path}: {e}")))?;
-    // An observability JSONL log announces itself with a run header; a
-    // schedule file is a single JSON object. Both reduce to a Schedule.
+    let mut reader = BufReader::new(handle);
+    let mut first_line = String::new();
+    reader
+        .read_line(&mut first_line)
+        .map_err(|e| CliError::Invalid(format!("cannot read {path}: {e}")))?;
     let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(format!("{path}: {e}"));
-    let (schedule, file_messages) = if text
-        .lines()
-        .next()
-        .is_some_and(|l| l.contains("\"type\":\"run\""))
-    {
-        let log = postal_obs::from_jsonl(&text).map_err(|e| invalid(&e))?;
-        let messages = log.meta().messages;
-        (log.to_schedule().map_err(|e| invalid(&e))?, messages)
+    let parsed = if first_line.contains("\"type\":\"run\"") {
+        postal_verify::jsonl_to_schedule_file(Cursor::new(first_line).chain(reader))
+            .map_err(|e| invalid(&e))?
     } else {
-        let parsed = json::parse_schedule(&text).map_err(|e| invalid(&e))?;
-        (parsed.schedule, parsed.messages)
+        json::parse_schedule_reader(Cursor::new(first_line).chain(reader))
+            .map_err(|e| invalid(&e))?
     };
+    let (schedule, file_messages) = (parsed.schedule, parsed.messages);
     let messages = m_override.or(file_messages).unwrap_or(1);
     let diags = lint_schedule(&schedule, &LintOptions::broadcast_of(messages));
     let report = if as_json {

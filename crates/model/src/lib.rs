@@ -75,4 +75,4 @@ pub mod time;
 pub use fib::GenFib;
 pub use latency::Latency;
 pub use ratio::{Interval, Ratio};
-pub use time::Time;
+pub use time::{FastTime, Time};

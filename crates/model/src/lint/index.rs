@@ -1,0 +1,328 @@
+//! The shared send index every lint pass sweeps over.
+//!
+//! [`ScheduleIndex::build`] buckets a schedule's sends **once** into a
+//! CSR (compressed-sparse-row) layout: a single arena of well-formed
+//! sends in schedule order, plus per-src and per-dst index slices into
+//! it. [`Schedule::new`] already sorts sends by
+//! `(send_start, src, dst)`, so every CSR bucket comes out in exactly
+//! the order the checks need — per-src buckets ascend by send start
+//! (the `P0001` window order), and per-dst buckets ascend by
+//! `(recv_finish, src)` (the `P0002` window order; `recv_finish` is
+//! `send_start + λ`, a constant shift, so the orders coincide). The
+//! seed engine's per-destination clone-and-sort was therefore a no-op,
+//! and the index simply drops it.
+//!
+//! When λ and every send start lie on the half-integer lattice (all
+//! integer and half-integer λ, i.e. every grid the paper uses), the
+//! index also carries an `i64` **fast lane** — send starts in
+//! half-units — so the hot window and causality comparisons run on
+//! machine integers instead of reduced 128-bit rationals. The lane is
+//! all-or-nothing: one off-lattice or out-of-range value and every
+//! comparison transparently falls back to exact [`Time`] arithmetic.
+//! Agreement of the two paths is property-tested in
+//! `crates/model/tests/fast_time_props.rs`.
+
+use crate::latency::Latency;
+use crate::schedule::{Schedule, TimedSend};
+use crate::time::Time;
+
+/// Sentinel for "never receives" in the fast lane's first-receipt
+/// array. Larger than any in-range half-unit value.
+const NEVER: i64 = i64::MAX;
+
+/// The `i64` half-unit mirror of the arena, present only when every
+/// time in the schedule fits the fixed-point domain.
+pub(crate) struct FastLane {
+    /// Send starts in half-units, aligned with the arena.
+    pub(crate) start: Vec<i64>,
+    /// Per-processor first receipt in half-units ([`NEVER`] if none).
+    pub(crate) first_receipt: Vec<i64>,
+}
+
+/// One-time CSR bucketing of a schedule's sends, shared by every pass
+/// in a [`PassManager`](super::PassManager) sweep.
+pub struct ScheduleIndex {
+    n: u32,
+    latency: Latency,
+    arena: Vec<TimedSend>,
+    malformed: Vec<TimedSend>,
+    src_start: Vec<u32>,
+    src_idx: Vec<u32>,
+    dst_start: Vec<u32>,
+    dst_idx: Vec<u32>,
+    first_receipt: Vec<Option<Time>>,
+    fast: Option<FastLane>,
+}
+
+impl ScheduleIndex {
+    /// Builds the index: one partition of the sends into well-formed
+    /// arena and malformed remainder, one counting-sort per endpoint
+    /// axis, one first-receipt scan, and (when representable) the
+    /// fixed-point lane. O(E + n) time and memory.
+    pub fn build(schedule: &Schedule) -> ScheduleIndex {
+        let n = schedule.n();
+        let nn = n as usize;
+        let lam = schedule.latency();
+
+        let mut arena: Vec<TimedSend> = Vec::with_capacity(schedule.len());
+        let mut malformed: Vec<TimedSend> = Vec::new();
+        for s in schedule.sends() {
+            if s.src >= n || s.dst >= n || s.src == s.dst || s.send_start < Time::ZERO {
+                malformed.push(*s);
+            } else {
+                arena.push(*s);
+            }
+        }
+        assert!(
+            arena.len() <= u32::MAX as usize,
+            "schedule exceeds the 2^32-send index capacity"
+        );
+
+        // Counting sort into CSR: counts, prefix sums, then scatter.
+        // The scatter preserves arena (= schedule) order within each
+        // bucket, which is exactly the order the window checks need.
+        let mut src_start = vec![0u32; nn + 1];
+        let mut dst_start = vec![0u32; nn + 1];
+        for s in &arena {
+            src_start[s.src as usize + 1] += 1;
+            dst_start[s.dst as usize + 1] += 1;
+        }
+        for p in 0..nn {
+            src_start[p + 1] += src_start[p];
+            dst_start[p + 1] += dst_start[p];
+        }
+        let mut src_idx = vec![0u32; arena.len()];
+        let mut dst_idx = vec![0u32; arena.len()];
+        let mut src_fill: Vec<u32> = src_start[..nn].to_vec();
+        let mut dst_fill: Vec<u32> = dst_start[..nn].to_vec();
+        for (i, s) in arena.iter().enumerate() {
+            let a = &mut src_fill[s.src as usize];
+            src_idx[*a as usize] = i as u32;
+            *a += 1;
+            let b = &mut dst_fill[s.dst as usize];
+            dst_idx[*b as usize] = i as u32;
+            *b += 1;
+        }
+
+        let mut first_receipt: Vec<Option<Time>> = vec![None; nn];
+        for s in &arena {
+            let r = s.recv_finish(lam);
+            let e = &mut first_receipt[s.dst as usize];
+            *e = Some(match *e {
+                Some(t) => t.min(r),
+                None => r,
+            });
+        }
+
+        let fast = Self::build_fast_lane(&arena, lam, nn);
+
+        ScheduleIndex {
+            n,
+            latency: lam,
+            arena,
+            malformed,
+            src_start,
+            src_idx,
+            dst_start,
+            dst_idx,
+            first_receipt,
+            fast,
+        }
+    }
+
+    /// The all-or-nothing fixed-point lane: `Some` only when λ and
+    /// every send start are representable in half-units within the
+    /// overflow-safe range.
+    fn build_fast_lane(arena: &[TimedSend], lam: Latency, nn: usize) -> Option<FastLane> {
+        let lambda = lam.as_time().to_half_units()?;
+        let mut start = Vec::with_capacity(arena.len());
+        for s in arena {
+            start.push(s.send_start.to_half_units()?);
+        }
+        let mut first_receipt = vec![NEVER; nn];
+        for (s, &h) in arena.iter().zip(&start) {
+            let e = &mut first_receipt[s.dst as usize];
+            *e = (*e).min(h + lambda);
+        }
+        Some(FastLane {
+            start,
+            first_receipt,
+        })
+    }
+
+    /// Processor count of the indexed schedule.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// λ of the indexed schedule.
+    pub fn latency(&self) -> Latency {
+        self.latency
+    }
+
+    /// The well-formed sends, in schedule order.
+    pub fn arena(&self) -> &[TimedSend] {
+        &self.arena
+    }
+
+    /// The malformed sends (`P0004` material), in schedule order.
+    pub fn malformed(&self) -> &[TimedSend] {
+        &self.malformed
+    }
+
+    /// Arena indices of `src`'s sends, ascending by send start.
+    pub fn by_src(&self, src: u32) -> &[u32] {
+        let p = src as usize;
+        &self.src_idx[self.src_start[p] as usize..self.src_start[p + 1] as usize]
+    }
+
+    /// Arena indices of `dst`'s receives, ascending by
+    /// `(recv_finish, src)`.
+    pub fn by_dst(&self, dst: u32) -> &[u32] {
+        let p = dst as usize;
+        &self.dst_idx[self.dst_start[p] as usize..self.dst_start[p + 1] as usize]
+    }
+
+    /// When processor `p` first finishes receiving anything, if ever.
+    pub fn first_receipt(&self, p: u32) -> Option<Time> {
+        self.first_receipt[p as usize]
+    }
+
+    /// True when the `i64` fixed-point lane is active (λ and every send
+    /// start on the half-integer lattice).
+    pub fn has_fast_lane(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Whether arena sends `i` and `j` start less than one unit apart
+    /// (`start[j] < start[i] + 1`). This single comparison is both the
+    /// `P0001` output-port condition on per-src neighbors and the
+    /// `P0002` input-window condition on per-dst neighbors (receive
+    /// finishes are starts shifted by the constant λ).
+    pub fn lt_one_apart(&self, i: usize, j: usize) -> bool {
+        match &self.fast {
+            Some(lane) => lane.start[j] < lane.start[i] + 2,
+            None => self.arena[j].send_start < self.arena[i].send_start + Time::ONE,
+        }
+    }
+
+    /// Whether the sender of arena send `i` holds the message by the
+    /// send's start (the `P0003` causality condition). `false` means
+    /// the send is a causality violation.
+    pub fn sender_informed(&self, i: usize) -> bool {
+        let src = self.arena[i].src as usize;
+        match &self.fast {
+            Some(lane) => lane.first_receipt[src] <= lane.start[i],
+            None => match self.first_receipt[src] {
+                Some(t) => t <= self.arena[i].send_start,
+                None => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Latency;
+
+    fn send(src: u32, dst: u32, num: i128, den: i128) -> TimedSend {
+        TimedSend {
+            src,
+            dst,
+            send_start: Time::new(num, den),
+        }
+    }
+
+    #[test]
+    fn buckets_preserve_schedule_order_and_partition_malformed() {
+        let s = Schedule::new(
+            3,
+            Latency::from_ratio(5, 2),
+            vec![
+                send(0, 1, 0, 1),
+                send(0, 2, 1, 1),
+                send(1, 2, 7, 2),
+                send(1, 1, 0, 1),  // self-send: malformed
+                send(0, 9, 0, 1),  // out of range: malformed
+                send(0, 1, -1, 1), // negative: malformed
+            ],
+        );
+        let idx = ScheduleIndex::build(&s);
+        assert_eq!(idx.arena().len(), 3);
+        assert_eq!(idx.malformed().len(), 3);
+        assert_eq!(idx.by_src(0).len(), 2);
+        assert_eq!(idx.by_src(1).len(), 1);
+        assert_eq!(idx.by_src(2).len(), 0);
+        assert_eq!(idx.by_dst(2).len(), 2);
+        // Per-src bucket ascends by send start.
+        let starts: Vec<Time> = idx
+            .by_src(0)
+            .iter()
+            .map(|&i| idx.arena()[i as usize].send_start)
+            .collect();
+        assert_eq!(starts, vec![Time::ZERO, Time::ONE]);
+        // Per-dst bucket ascends by recv finish.
+        let finishes: Vec<Time> = idx
+            .by_dst(2)
+            .iter()
+            .map(|&i| idx.arena()[i as usize].recv_finish(s.latency()))
+            .collect();
+        assert!(finishes.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(idx.first_receipt(1), Some(Time::new(5, 2)));
+        assert_eq!(idx.first_receipt(0), None);
+    }
+
+    #[test]
+    fn fast_lane_engages_on_half_integer_lambda_only() {
+        let half = Schedule::new(2, Latency::from_ratio(5, 2), vec![send(0, 1, 3, 2)]);
+        assert!(ScheduleIndex::build(&half).has_fast_lane());
+
+        let thirds = Schedule::new(2, Latency::from_ratio(4, 3), vec![send(0, 1, 0, 1)]);
+        assert!(!ScheduleIndex::build(&thirds).has_fast_lane());
+
+        let off_lattice_send = Schedule::new(2, Latency::from_int(2), vec![send(0, 1, 1, 3)]);
+        assert!(!ScheduleIndex::build(&off_lattice_send).has_fast_lane());
+    }
+
+    #[test]
+    fn predicates_agree_between_lanes() {
+        // Same schedule through the fixed lane and (via an off-lattice
+        // dummy λ with identical starts scaled) the exact lane.
+        let s = Schedule::new(
+            4,
+            Latency::from_ratio(5, 2),
+            vec![
+                send(0, 1, 0, 1),
+                send(0, 2, 1, 2),
+                send(0, 3, 2, 1),
+                send(1, 3, 7, 2),
+            ],
+        );
+        let fast = ScheduleIndex::build(&s);
+        assert!(fast.has_fast_lane());
+        let exact = {
+            // Rebuild with the lane disabled by an off-lattice λ of the
+            // same value is impossible (λ is exact), so compare against
+            // direct Time arithmetic instead.
+            fast.arena()
+                .iter()
+                .map(|t| t.send_start)
+                .collect::<Vec<_>>()
+        };
+        for i in 0..exact.len() {
+            for j in 0..exact.len() {
+                assert_eq!(
+                    fast.lt_one_apart(i, j),
+                    exact[j] < exact[i] + Time::ONE,
+                    "({i},{j})"
+                );
+            }
+        }
+        // p1 is informed at 5/2, sends at 7/2: causally fine. p0 is the
+        // originator and never receives: its sends read as uninformed
+        // (the pass exempts the originator before asking).
+        assert!(fast.sender_informed(3));
+        assert!(!fast.sender_informed(0));
+    }
+}

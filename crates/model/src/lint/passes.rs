@@ -1,0 +1,593 @@
+//! The single-sweep pass manager driving every `P0001`–`P0007` check.
+//!
+//! A [`PassManager`] builds one [`ScheduleIndex`] and runs each
+//! registered [`LintPass`] over it, in three stages that reproduce the
+//! engine's staged semantics exactly:
+//!
+//! 1. **Shape** (`P0004`, `P0001`, `P0002`) — always run; for
+//!    non-broadcast lints ([`LintOptions::ports_only`]) the sweep stops
+//!    here and returns the findings in emission order (the engine's
+//!    historical contract).
+//! 2. **Broadcast** (`P0003`, `P0005`) — run when
+//!    [`LintOptions::broadcast`] is set. Any error so far suppresses
+//!    the quality stage: a broken schedule's completion time is
+//!    meaningless.
+//! 3. **Quality** (`P0006`, `P0007`) — warnings and notes about
+//!    schedules that are valid but wasteful.
+//!
+//! Passes emit into one shared diagnostic vector; the manager sorts it
+//! once at the end (broadcast mode only, matching the seed engine).
+//! Output is byte-identical to
+//! [`reference::lint_schedule_reference`](super::reference::lint_schedule_reference),
+//! which the differential suite asserts over the full acceptance grid.
+
+use super::index::ScheduleIndex;
+use super::{diag_order, Diagnostic, LintCode, LintOptions, Severity};
+use crate::fib::GenFib;
+use crate::runtimes;
+use crate::schedule::Schedule;
+use crate::time::{FastTime, Time};
+
+/// When in the sweep a pass runs (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassStage {
+    /// Port and shape rules; always run.
+    Shape,
+    /// Broadcast validity rules; run when `opts.broadcast`.
+    Broadcast,
+    /// Quality lints; run only when no error was found.
+    Quality,
+}
+
+/// Everything a pass may look at: the one-time index, the raw schedule
+/// (for `completion`), and the caller's options.
+pub struct PassContext<'a> {
+    /// The shared CSR index over the schedule's sends.
+    pub index: &'a ScheduleIndex,
+    /// The schedule under lint.
+    pub schedule: &'a Schedule,
+    /// What to lint the schedule as.
+    pub opts: &'a LintOptions,
+}
+
+/// One check over the shared [`ScheduleIndex`].
+///
+/// A pass must emit its diagnostics in the engine's canonical
+/// *emission* order (by processor, then bucket order) — the manager
+/// relies on stable sorting to keep equal-key diagnostics in emission
+/// order, which is part of the byte-identical output contract.
+pub trait LintPass {
+    /// Short stable name, e.g. `"output-port"`.
+    fn name(&self) -> &'static str;
+    /// When in the sweep this pass runs.
+    fn stage(&self) -> PassStage;
+    /// Appends this pass's findings to `out`.
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// Drives a configured sequence of [`LintPass`]es in one sweep over a
+/// schedule.
+pub struct PassManager {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl PassManager {
+    /// The full engine: `P0004`, `P0001`, `P0002`, `P0003`, `P0005`,
+    /// `P0006`, `P0007`, in canonical emission order.
+    pub fn standard() -> PassManager {
+        PassManager {
+            passes: vec![
+                Box::new(MalformedSendPass),
+                Box::new(OutputPortPass),
+                Box::new(InputWindowPass),
+                Box::new(CausalityPass),
+                Box::new(CoveragePass),
+                Box::new(IdlePortPass),
+                Box::new(OptimalityPass),
+            ],
+        }
+    }
+
+    /// An empty manager, for assembling a custom pass list.
+    pub fn empty() -> PassManager {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Appends a pass (builder style).
+    #[must_use]
+    pub fn with_pass(mut self, pass: Box<dyn LintPass>) -> PassManager {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The registered passes, in sweep order.
+    pub fn passes(&self) -> &[Box<dyn LintPass>] {
+        &self.passes
+    }
+
+    /// Builds the [`ScheduleIndex`] and runs the sweep.
+    pub fn run(&self, schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic> {
+        let index = ScheduleIndex::build(schedule);
+        self.run_with_index(&index, schedule, opts)
+    }
+
+    /// Runs the sweep over a prebuilt index (lets callers amortize the
+    /// index across several option sets).
+    pub fn run_with_index(
+        &self,
+        index: &ScheduleIndex,
+        schedule: &Schedule,
+        opts: &LintOptions,
+    ) -> Vec<Diagnostic> {
+        let cx = PassContext {
+            index,
+            schedule,
+            opts,
+        };
+        let mut diags = Vec::new();
+        self.run_stage(PassStage::Shape, &cx, &mut diags);
+        if !opts.broadcast {
+            // Historical contract: port-only lints return in emission
+            // order, unsorted.
+            return diags;
+        }
+        self.run_stage(PassStage::Broadcast, &cx, &mut diags);
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            diags.sort_by_key(diag_order);
+            return diags;
+        }
+        self.run_stage(PassStage::Quality, &cx, &mut diags);
+        diags.sort_by_key(diag_order);
+        diags
+    }
+
+    fn run_stage(&self, stage: PassStage, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        for pass in &self.passes {
+            if pass.stage() == stage {
+                pass.run(cx, out);
+            }
+        }
+    }
+}
+
+/// `P0004` — structurally malformed sends, in schedule order.
+pub struct MalformedSendPass;
+
+impl LintPass for MalformedSendPass {
+    fn name(&self) -> &'static str {
+        "malformed-send"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.index.n();
+        let lam = cx.index.latency();
+        for s in cx.index.malformed() {
+            let what = if s.src == s.dst {
+                "self-send"
+            } else if s.src >= n || s.dst >= n {
+                "endpoint out of range"
+            } else {
+                "negative start time"
+            };
+            out.push(Diagnostic {
+                code: LintCode::MalformedSend,
+                severity: Severity::Error,
+                witness: None,
+                proc: Some(s.src),
+                sends: vec![*s],
+                related_time: None,
+                message: format!(
+                    "{what}: p{} -> p{} at t = {} in MPS({n}, {lam})",
+                    s.src, s.dst, s.send_start
+                ),
+            });
+        }
+    }
+}
+
+/// `P0001` — output-port overlap: consecutive sends from one processor
+/// start less than one unit apart.
+pub struct OutputPortPass;
+
+impl LintPass for OutputPortPass {
+    fn name(&self) -> &'static str {
+        "output-port"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let idx = cx.index;
+        let arena = idx.arena();
+        for src in 0..idx.n() {
+            for pair in idx.by_src(src).windows(2) {
+                let (i, j) = (pair[0] as usize, pair[1] as usize);
+                if idx.lt_one_apart(i, j) {
+                    let (a, b) = (arena[i], arena[j]);
+                    out.push(Diagnostic {
+                        code: LintCode::OutputPortOverlap,
+                        severity: Severity::Error,
+                        witness: None,
+                        proc: Some(src),
+                        sends: vec![a, b],
+                        related_time: None,
+                        message: format!(
+                            "p{src} starts sends at t = {} and t = {} ({} < 1 unit apart)",
+                            a.send_start,
+                            b.send_start,
+                            b.send_start - a.send_start,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `P0002` — input-window overlap: two receive windows
+/// `[s+λ−1, s+λ]` at one processor finish less than one unit apart.
+pub struct InputWindowPass;
+
+impl LintPass for InputWindowPass {
+    fn name(&self) -> &'static str {
+        "input-window"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let idx = cx.index;
+        let arena = idx.arena();
+        let lam = idx.latency();
+        for dst in 0..idx.n() {
+            for pair in idx.by_dst(dst).windows(2) {
+                let (i, j) = (pair[0] as usize, pair[1] as usize);
+                // Receive finishes are send starts shifted by the
+                // constant λ, so the window condition is the same
+                // less-than-one-unit-apart comparison.
+                if idx.lt_one_apart(i, j) {
+                    let (a, b) = (arena[i], arena[j]);
+                    let (f0, f1) = (a.recv_finish(lam), b.recv_finish(lam));
+                    out.push(Diagnostic {
+                        code: LintCode::InputWindowOverlap,
+                        severity: Severity::Error,
+                        witness: None,
+                        proc: Some(dst),
+                        sends: vec![a, b],
+                        related_time: None,
+                        message: format!(
+                            "p{dst}'s receive windows [{}, {}] and [{}, {}] overlap",
+                            f0 - Time::ONE,
+                            f0,
+                            f1 - Time::ONE,
+                            f1,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `P0003` — causality: a non-originator must hold the message before
+/// its first send of it.
+pub struct CausalityPass;
+
+impl LintPass for CausalityPass {
+    fn name(&self) -> &'static str {
+        "causality"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Broadcast
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let idx = cx.index;
+        for (i, s) in idx.arena().iter().enumerate() {
+            if s.src == cx.opts.originator || idx.sender_informed(i) {
+                continue;
+            }
+            let knows_at = idx.first_receipt(s.src);
+            out.push(Diagnostic {
+                code: LintCode::CausalityViolation,
+                severity: Severity::Error,
+                witness: None,
+                proc: Some(s.src),
+                sends: vec![*s],
+                related_time: knows_at,
+                message: match knows_at {
+                    Some(t) => format!(
+                        "p{} sends at t = {} but first holds the message at t = {}",
+                        s.src, s.send_start, t
+                    ),
+                    None => format!(
+                        "p{} sends at t = {} but never receives the message",
+                        s.src, s.send_start
+                    ),
+                },
+            });
+        }
+    }
+}
+
+/// `P0005` — coverage: every processor but the originator must receive.
+pub struct CoveragePass;
+
+impl LintPass for CoveragePass {
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Broadcast
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let idx = cx.index;
+        for p in 0..idx.n() {
+            if p != cx.opts.originator && idx.first_receipt(p).is_none() {
+                out.push(Diagnostic {
+                    code: LintCode::UninformedProcessor,
+                    severity: Severity::Error,
+                    witness: None,
+                    proc: Some(p),
+                    sends: Vec::new(),
+                    related_time: None,
+                    message: format!("p{p} never receives the broadcast message"),
+                });
+            }
+        }
+    }
+}
+
+/// `P0006` — idle-port waste: an informed output port idles although a
+/// send in the gap would inform someone strictly earlier.
+///
+/// The cursor arithmetic runs on [`FastTime`] — `i64` fixed-point on
+/// the half-integer lattice, exact-`Ratio` fallback off it — so the
+/// O(E) gap scan stays on machine integers for every grid λ.
+pub struct IdlePortPass;
+
+impl LintPass for IdlePortPass {
+    fn name(&self) -> &'static str {
+        "idle-port"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Quality
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let idx = cx.index;
+        let n = idx.n();
+        let arena = idx.arena();
+        let lam = FastTime::from_time(idx.latency().as_time());
+
+        // The coverage horizon and the two latest first-receipts
+        // (distinct processors): enough to answer "does any processor
+        // other than `src` first receive after time x?" in O(1).
+        let mut completion_of_coverage = FastTime::ZERO;
+        let mut latest: Option<(Time, u32)> = None;
+        let mut second: Option<(Time, u32)> = None;
+        for p in 0..n {
+            let Some(t) = idx.first_receipt(p) else {
+                continue;
+            };
+            completion_of_coverage = completion_of_coverage.max(FastTime::from_time(t));
+            if latest.is_none_or(|(lt, lp)| (t, p) > (lt, lp)) {
+                second = latest;
+                latest = Some((t, p));
+            } else if second.is_none_or(|(st, sp)| (t, p) > (st, sp)) {
+                second = Some((t, p));
+            }
+        }
+        let receipt_after = |x: FastTime, src: u32| -> Option<(Time, u32)> {
+            match latest {
+                Some((t, q)) if q != src && FastTime::from_time(t) > x => Some((t, q)),
+                Some((_, q)) if q == src => second.filter(|&(t, _)| FastTime::from_time(t) > x),
+                _ => None,
+            }
+        };
+
+        'procs: for src in 0..n {
+            let informed_at = if src == cx.opts.originator {
+                Some(FastTime::ZERO)
+            } else {
+                idx.first_receipt(src).map(FastTime::from_time)
+            };
+            let Some(informed_at) = informed_at else {
+                continue;
+            };
+            // Idle gaps: [informed_at, first send), between consecutive
+            // sends, and after the last send (open-ended).
+            let my_sends = idx.by_src(src);
+            let mut gap_starts: Vec<FastTime> = Vec::with_capacity(my_sends.len() + 1);
+            let mut cursor = informed_at;
+            for &i in my_sends {
+                let start = FastTime::from_time(arena[i as usize].send_start);
+                if start > cursor {
+                    gap_starts.push(cursor);
+                }
+                cursor = cursor.max(start + FastTime::ONE);
+            }
+            if cursor < completion_of_coverage {
+                gap_starts.push(cursor);
+            }
+            for g in gap_starts {
+                let hypothetical = g + lam;
+                // An uninformed-at-g processor whose eventual receipt
+                // is strictly later than the hypothetical delivery.
+                if let Some((t, q)) = receipt_after(hypothetical, src) {
+                    out.push(Diagnostic {
+                        code: LintCode::IdlePortWaste,
+                        severity: Severity::Warn,
+                        witness: None,
+                        proc: Some(src),
+                        sends: Vec::new(),
+                        related_time: Some(g.to_time()),
+                        message: format!(
+                            "p{src} is informed and idle from t = {g} although a send then \
+                             would reach p{q} at t = {hypothetical}, earlier than its actual \
+                             receipt at t = {t}"
+                        ),
+                    });
+                    continue 'procs;
+                }
+            }
+        }
+    }
+}
+
+/// `P0007` — optimality gap against `f_λ(n)` (m = 1) or the Lemma 8
+/// lower bound (m > 1).
+pub struct OptimalityPass;
+
+impl LintPass for OptimalityPass {
+    fn name(&self) -> &'static str {
+        "optimality"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Quality
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.index.n();
+        let lam = cx.index.latency();
+        // Only sensible when there is something to broadcast to.
+        if n < 2 {
+            return;
+        }
+        let completion = cx.schedule.completion();
+        let m = cx.opts.messages.max(1);
+        let optimal = if m == 1 {
+            GenFib::new(lam).index(n as u128)
+        } else {
+            runtimes::multi_lower_bound(n as u128, m, lam)
+        };
+        if completion < optimal {
+            out.push(Diagnostic {
+                code: LintCode::OptimalityGap,
+                severity: Severity::Error,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(optimal),
+                message: format!(
+                    "completes at t = {completion}, beating the proven lower bound {optimal} \
+                     for {m} message(s) in MPS({n}, {lam}) — the schedule cannot be a full \
+                     broadcast"
+                ),
+            });
+        } else if completion > optimal {
+            let (severity, bound_name) = if m == 1 {
+                (Severity::Warn, "the optimum f_lambda(n)")
+            } else {
+                // The Lemma 8 bound is not always attainable, so a gap
+                // against it is informational, not a defect.
+                (
+                    Severity::Info,
+                    "the Lemma 8 lower bound (m-1) + f_lambda(n)",
+                )
+            };
+            out.push(Diagnostic {
+                code: LintCode::OptimalityGap,
+                severity,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(optimal),
+                message: format!(
+                    "completes at t = {completion}; {bound_name} is {optimal} \
+                     (gap {} units)",
+                    completion - optimal
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference::lint_schedule_reference;
+    use super::*;
+    use crate::latency::Latency;
+    use crate::schedule::TimedSend;
+
+    fn send(src: u32, dst: u32, num: i128, den: i128) -> TimedSend {
+        TimedSend {
+            src,
+            dst,
+            send_start: Time::new(num, den),
+        }
+    }
+
+    /// A messy schedule exercising every pass at once.
+    fn messy() -> Schedule {
+        Schedule::new(
+            5,
+            Latency::from_ratio(5, 2),
+            vec![
+                send(0, 1, 0, 1),
+                send(0, 2, 1, 2), // P0001 + P0002 pressure
+                send(1, 3, 1, 1), // P0003: p1 not yet informed
+                send(2, 2, 0, 1), // P0004 self-send
+                send(0, 7, 2, 1), // P0004 out of range
+                                  // p4 never informed: P0005
+            ],
+        )
+    }
+
+    #[test]
+    fn manager_matches_reference_on_a_messy_schedule() {
+        for opts in [
+            LintOptions::default(),
+            LintOptions::ports_only(),
+            LintOptions::broadcast_of(3),
+        ] {
+            let fast = PassManager::standard().run(&messy(), &opts);
+            let slow = lint_schedule_reference(&messy(), &opts);
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn manager_matches_reference_off_the_half_integer_lattice() {
+        // λ = 4/3 disables the fast lane; the exact path must agree.
+        let s = Schedule::new(
+            3,
+            Latency::from_ratio(4, 3),
+            vec![send(0, 1, 0, 1), send(0, 2, 1, 3), send(1, 2, 2, 1)],
+        );
+        for opts in [LintOptions::default(), LintOptions::ports_only()] {
+            assert_eq!(
+                PassManager::standard().run(&s, &opts),
+                lint_schedule_reference(&s, &opts)
+            );
+        }
+    }
+
+    #[test]
+    fn custom_manager_runs_a_subset() {
+        let only_ports = PassManager::empty()
+            .with_pass(Box::new(MalformedSendPass))
+            .with_pass(Box::new(OutputPortPass));
+        let diags = only_ports.run(&messy(), &LintOptions::ports_only());
+        assert!(diags.iter().all(|d| matches!(
+            d.code,
+            LintCode::MalformedSend | LintCode::OutputPortOverlap
+        )));
+        assert_eq!(only_ports.passes().len(), 2);
+        assert_eq!(only_ports.passes()[1].name(), "output-port");
+        assert_eq!(only_ports.passes()[1].stage(), PassStage::Shape);
+    }
+}

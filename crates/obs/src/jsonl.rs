@@ -260,18 +260,45 @@ impl Fields<'_> {
     }
 }
 
-/// Parses a JSONL log produced by [`to_jsonl`].
+/// Incremental line-at-a-time parser for the JSONL log format — the
+/// streaming core behind [`from_jsonl`].
 ///
-/// # Errors
-/// [`ObsError`] on syntax errors, a missing or misplaced `"run"` header,
-/// or unknown event types.
-pub fn from_jsonl(text: &str) -> Result<ObsLog, ObsError> {
-    let mut meta: Option<RunMeta> = None;
-    let mut events = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let lineno = i + 1;
+/// Feed every line of the file (blank lines included, so error line
+/// numbers stay correct) to [`JsonlParser::line`] in order; each call
+/// returns the event that line carried, if any. Call
+/// [`JsonlParser::finish`] at end of input to obtain the run header.
+/// Because no event is retained internally, a consumer that folds
+/// events as they arrive (e.g. `postal-verify`'s JSONL-to-schedule
+/// reduction) processes a log in O(1) parser memory regardless of its
+/// length.
+#[derive(Debug, Default)]
+pub struct JsonlParser {
+    meta: Option<RunMeta>,
+    lineno: usize,
+}
+
+impl JsonlParser {
+    /// A parser expecting the `"run"` header on the first non-blank line.
+    pub fn new() -> JsonlParser {
+        JsonlParser::default()
+    }
+
+    /// The run header, once seen.
+    pub fn meta(&self) -> Option<&RunMeta> {
+        self.meta.as_ref()
+    }
+
+    /// Consumes the next line of the log. Returns `Ok(None)` for blank
+    /// lines and the `"run"` header, `Ok(Some(event))` for event lines.
+    ///
+    /// # Errors
+    /// [`ObsError`] on syntax errors, a missing, duplicate or misplaced
+    /// `"run"` header, or unknown event types.
+    pub fn line(&mut self, line: &str) -> Result<Option<ObsEvent>, ObsError> {
+        self.lineno += 1;
+        let lineno = self.lineno;
         if line.trim().is_empty() {
-            continue;
+            return Ok(None);
         }
         let f = Fields {
             fields: parse_flat(line, lineno)?,
@@ -280,7 +307,7 @@ pub fn from_jsonl(text: &str) -> Result<ObsLog, ObsError> {
         };
         let kind = f.str("type")?.to_string();
         if kind == "run" {
-            if meta.is_some() {
+            if self.meta.is_some() {
                 return Err(f.err("duplicate \"run\" header".into()));
             }
             let mut m = RunMeta::new(f.str("engine")?, f.u32("n")?);
@@ -294,10 +321,10 @@ pub fn from_jsonl(text: &str) -> Result<ObsLog, ObsError> {
             if f.get("messages").is_ok() {
                 m.messages = Some(f.u64("messages")?);
             }
-            meta = Some(m);
-            continue;
+            self.meta = Some(m);
+            return Ok(None);
         }
-        if meta.is_none() {
+        if self.meta.is_none() {
             return Err(f.err("first line must be the \"run\" header".into()));
         }
         let event = match kind.as_str() {
@@ -339,10 +366,33 @@ pub fn from_jsonl(text: &str) -> Result<ObsLog, ObsError> {
             },
             other => return Err(f.err(format!("unknown event type {other:?}"))),
         };
-        events.push(event);
+        Ok(Some(event))
     }
-    let meta = meta.ok_or_else(|| ObsError("empty log: no \"run\" header".into()))?;
-    Ok(ObsLog::new(meta, events))
+
+    /// Finishes the stream, yielding the run metadata.
+    ///
+    /// # Errors
+    /// [`ObsError`] when no `"run"` header was ever seen.
+    pub fn finish(self) -> Result<RunMeta, ObsError> {
+        self.meta
+            .ok_or_else(|| ObsError("empty log: no \"run\" header".into()))
+    }
+}
+
+/// Parses a JSONL log produced by [`to_jsonl`].
+///
+/// # Errors
+/// [`ObsError`] on syntax errors, a missing or misplaced `"run"` header,
+/// or unknown event types.
+pub fn from_jsonl(text: &str) -> Result<ObsLog, ObsError> {
+    let mut parser = JsonlParser::new();
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if let Some(event) = parser.line(line)? {
+            events.push(event);
+        }
+    }
+    Ok(ObsLog::new(parser.finish()?, events))
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod recorder;
 
 pub use chrome::to_chrome_trace;
 pub use event::{ObsEvent, PortSide, PortSpan};
-pub use jsonl::{from_jsonl, to_jsonl};
+pub use jsonl::{from_jsonl, to_jsonl, JsonlParser};
 pub use log::{port_busy_times, ObsError, ObsLog, RunMeta};
 pub use metrics::{Histogram, MetricsSummary};
 pub use prometheus::to_prometheus;

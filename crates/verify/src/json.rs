@@ -330,6 +330,410 @@ pub fn parse_schedule(text: &str) -> Result<ScheduleFile, JsonError> {
     })
 }
 
+/// A scalar field value captured during a streaming parse. Numbers and
+/// strings keep their literal text (exact-rational re-parse); anything
+/// else is recorded only by shape so the deferred validation can emit
+/// the same "must be a …" message the tree parser would.
+enum Scalar {
+    Num(String),
+    Str(String),
+    Other,
+}
+
+impl Scalar {
+    fn as_u64(&self, field: &str) -> Result<u64, JsonError> {
+        if let Scalar::Num(t) = self {
+            if let Ok(x) = t.parse::<u64>() {
+                return Ok(x);
+            }
+        }
+        Err(JsonError(format!(
+            "\"{field}\" must be a nonnegative integer"
+        )))
+    }
+
+    fn as_ratio(&self, field: &str) -> Result<Ratio, JsonError> {
+        let text = match self {
+            Scalar::Num(t) => t.as_str(),
+            Scalar::Str(s) => s.as_str(),
+            Scalar::Other => {
+                return Err(JsonError(format!("\"{field}\" must be a number or string")))
+            }
+        };
+        text.parse::<Ratio>()
+            .map_err(|_| JsonError(format!("\"{field}\": cannot parse {text:?} as a rational")))
+    }
+}
+
+/// Incremental JSON lexer over a [`BufRead`]: the streaming counterpart
+/// of the tree-building `Parser`, reading one buffered byte at a time
+/// and tracking the absolute offset for `at byte N` errors.
+struct StreamParser<R: std::io::BufRead> {
+    inner: R,
+    pos: usize,
+}
+
+impl<R: std::io::BufRead> StreamParser<R> {
+    fn new(inner: R) -> StreamParser<R> {
+        StreamParser { inner, pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> JsonError {
+        JsonError(format!("{what} at byte {}", self.pos))
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>, JsonError> {
+        let buf = self
+            .inner
+            .fill_buf()
+            .map_err(|e| JsonError(format!("read error at byte {}: {e}", self.pos)))?;
+        Ok(buf.first().copied())
+    }
+
+    fn bump(&mut self) {
+        self.inner.consume(1);
+        self.pos += 1;
+    }
+
+    fn skip_ws(&mut self) -> Result<(), JsonError> {
+        while let Some(b) = self.peek()? {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek()? == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), JsonError> {
+        for &w in word.as_bytes() {
+            if self.peek()? != Some(w) {
+                return Err(self.err(&format!("expected '{word}'")));
+            }
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<String, JsonError> {
+        let mut text = String::new();
+        while let Some(b) = self.peek()? {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                text.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() || text == "-" {
+            return Err(self.err("malformed number"));
+        }
+        Ok(text)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut utf8: Vec<u8> = Vec::new();
+        loop {
+            let Some(b) = self.peek()? else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' if utf8.is_empty() => {
+                    self.bump();
+                    return Ok(out);
+                }
+                b'\\' if utf8.is_empty() => {
+                    self.bump();
+                    let esc = self.peek()?.ok_or_else(|| self.err("bad escape"))?;
+                    self.bump();
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let mut hex = String::new();
+                            for _ in 0..4 {
+                                let h = self.peek()?.ok_or_else(|| self.err("bad \\u escape"))?;
+                                hex.push(h as char);
+                                self.bump();
+                            }
+                            let cp = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Accumulate multi-byte UTF-8 sequences byte-wise.
+                    utf8.push(b);
+                    self.bump();
+                    match std::str::from_utf8(&utf8) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            utf8.clear();
+                        }
+                        Err(_) if utf8.len() < 4 => {}
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes one scalar JSON value; nested arrays/objects are
+    /// swallowed recursively and reported as [`Scalar::Other`].
+    fn scalar(&mut self) -> Result<Scalar, JsonError> {
+        self.skip_ws()?;
+        match self.peek()? {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b't') => self.literal("true").map(|()| Scalar::Other),
+            Some(b'f') => self.literal("false").map(|()| Scalar::Other),
+            Some(b'n') => self.literal("null").map(|()| Scalar::Other),
+            Some(b) if b == b'-' || b.is_ascii_digit() => Ok(Scalar::Num(self.number()?)),
+            Some(b'{') | Some(b'[') => {
+                self.skip_value()?;
+                Ok(Scalar::Other)
+            }
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    /// Validates and discards one JSON value of any shape — how unknown
+    /// keys are tolerated without materializing their contents.
+    fn skip_value(&mut self) -> Result<(), JsonError> {
+        self.skip_ws()?;
+        match self.peek()? {
+            Some(b'{') => {
+                self.bump();
+                self.skip_ws()?;
+                if self.peek()? == Some(b'}') {
+                    self.bump();
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws()?;
+                    self.string()?;
+                    self.skip_ws()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    self.skip_ws()?;
+                    match self.peek()? {
+                        Some(b',') => self.bump(),
+                        Some(b'}') => {
+                            self.bump();
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.bump();
+                self.skip_ws()?;
+                if self.peek()? == Some(b']') {
+                    self.bump();
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    self.skip_ws()?;
+                    match self.peek()? {
+                        Some(b',') => self.bump(),
+                        Some(b']') => {
+                            self.bump();
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            _ => self.scalar().map(|_| ()),
+        }
+    }
+
+    /// One element of the `"sends"` array: a flat object with `src`,
+    /// `dst` and `at` (unknown keys skipped, duplicates last-wins).
+    fn send_element(&mut self, i: usize) -> Result<TimedSend, JsonError> {
+        self.skip_ws()?;
+        if self.peek()? != Some(b'{') {
+            self.skip_value()?;
+            return Err(JsonError(format!("sends[{i}] must be an object")));
+        }
+        self.bump();
+        let (mut src, mut dst, mut at) = (None, None, None);
+        self.skip_ws()?;
+        if self.peek()? == Some(b'}') {
+            self.bump();
+        } else {
+            loop {
+                self.skip_ws()?;
+                let key = self.string()?;
+                self.skip_ws()?;
+                self.expect(b':')?;
+                match key.as_str() {
+                    "src" => src = Some(self.scalar()?),
+                    "dst" => dst = Some(self.scalar()?),
+                    "at" => at = Some(self.scalar()?),
+                    _ => self.skip_value()?,
+                }
+                self.skip_ws()?;
+                match self.peek()? {
+                    Some(b',') => self.bump(),
+                    Some(b'}') => {
+                        self.bump();
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        let src = src
+            .ok_or_else(|| JsonError(format!("sends[{i}]: missing \"src\"")))
+            .and_then(|v| v.as_u64("src"))?;
+        let dst = dst
+            .ok_or_else(|| JsonError(format!("sends[{i}]: missing \"dst\"")))
+            .and_then(|v| v.as_u64("dst"))?;
+        let at = at
+            .ok_or_else(|| JsonError(format!("sends[{i}]: missing \"at\"")))
+            .and_then(|v| v.as_ratio("at"))?;
+        if src > u32::MAX as u64 || dst > u32::MAX as u64 {
+            return Err(JsonError(format!("sends[{i}]: endpoint out of range")));
+        }
+        Ok(TimedSend {
+            src: src as u32,
+            dst: dst as u32,
+            send_start: Time(at),
+        })
+    }
+}
+
+/// Streaming counterpart of [`parse_schedule`]: reads the same format
+/// incrementally from `reader`, so a million-send schedule file is
+/// linted without ever materializing its text (or a parse tree) in
+/// memory. Only the `TimedSend` list itself is retained. Top-level and
+/// per-send unknown keys are skipped; duplicate keys are last-wins;
+/// fields may appear in any order.
+///
+/// # Errors
+/// [`JsonError`] on syntax errors, I/O failures, or shape violations,
+/// in the formats [`parse_schedule`] uses.
+pub fn parse_schedule_reader<R: std::io::BufRead>(reader: R) -> Result<ScheduleFile, JsonError> {
+    let mut p = StreamParser::new(reader);
+    p.skip_ws()?;
+    if p.peek()? != Some(b'{') {
+        // Validate the stray value for a precise syntax error, then
+        // report the shape problem the tree parser would.
+        p.skip_value()?;
+        return Err(JsonError("top level must be an object".into()));
+    }
+    p.bump();
+
+    let (mut n, mut lambda, mut messages): (Option<Scalar>, Option<Scalar>, Option<Scalar>) =
+        (None, None, None);
+    let mut sends: Option<Vec<TimedSend>> = None;
+    p.skip_ws()?;
+    if p.peek()? == Some(b'}') {
+        p.bump();
+    } else {
+        loop {
+            p.skip_ws()?;
+            let key = p.string()?;
+            p.skip_ws()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "n" => n = Some(p.scalar()?),
+                "lambda" => lambda = Some(p.scalar()?),
+                "messages" => messages = Some(p.scalar()?),
+                "sends" => {
+                    p.skip_ws()?;
+                    if p.peek()? == Some(b'[') {
+                        p.bump();
+                        let mut list = Vec::new();
+                        p.skip_ws()?;
+                        if p.peek()? == Some(b']') {
+                            p.bump();
+                        } else {
+                            loop {
+                                list.push(p.send_element(list.len())?);
+                                p.skip_ws()?;
+                                match p.peek()? {
+                                    Some(b',') => p.bump(),
+                                    Some(b']') => {
+                                        p.bump();
+                                        break;
+                                    }
+                                    _ => return Err(p.err("expected ',' or ']'")),
+                                }
+                            }
+                        }
+                        sends = Some(list);
+                    } else {
+                        // A non-array "sends" reads as absent, exactly
+                        // as the tree parser's shape check treats it.
+                        p.skip_value()?;
+                        sends = None;
+                    }
+                }
+                _ => p.skip_value()?,
+            }
+            p.skip_ws()?;
+            match p.peek()? {
+                Some(b',') => p.bump(),
+                Some(b'}') => {
+                    p.bump();
+                    break;
+                }
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+    }
+    p.skip_ws()?;
+    if p.peek()?.is_some() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+
+    let n = n
+        .ok_or_else(|| JsonError("missing \"n\"".into()))
+        .and_then(|v| v.as_u64("n"))?;
+    if n == 0 || n > u32::MAX as u64 {
+        return Err(JsonError(format!("\"n\" out of range: {n}")));
+    }
+    let lam_ratio = lambda
+        .ok_or_else(|| JsonError("missing \"lambda\"".into()))
+        .and_then(|v| v.as_ratio("lambda"))?;
+    let latency =
+        Latency::new(lam_ratio).map_err(|e| JsonError(format!("invalid \"lambda\": {e}")))?;
+    let messages = match messages {
+        None => None,
+        Some(v) => Some(v.as_u64("messages")?),
+    };
+    let Some(sends) = sends else {
+        return Err(JsonError("missing \"sends\" array".into()));
+    };
+    Ok(ScheduleFile {
+        schedule: Schedule::new(n as u32, latency, sends),
+        messages,
+    })
+}
+
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
@@ -470,6 +874,59 @@ mod tests {
         );
         assert!(parse_schedule("{\"n\": 2, \"lambda\": 1, \"sends\": [{}]}").is_err());
         assert!(parse_schedule("{\"n\": 2, \"lambda\": 1, \"sends\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn streaming_parser_matches_tree_parser() {
+        let cases = [
+            SAMPLE,
+            r#"{"n": 2, "lambda": 2.5, "sends": [{"src":0,"dst":1,"at":1.5}]}"#,
+            // Out-of-order fields, unknown keys (nested), duplicates.
+            r#"{"comment": {"a": [1, {"b": null}]}, "sends": [
+                 {"src": 0, "dst": 1, "at": "0", "note": "x"}],
+               "lambda": "5/2", "n": 4, "n": 3}"#,
+            r#"{"n": 2, "lambda": 1, "sends": []}"#,
+        ];
+        for text in cases {
+            let tree = parse_schedule(text).unwrap();
+            let stream = parse_schedule_reader(std::io::Cursor::new(text)).unwrap();
+            assert_eq!(stream.schedule.n(), tree.schedule.n(), "{text}");
+            assert_eq!(stream.schedule.latency(), tree.schedule.latency());
+            assert_eq!(stream.schedule.sends(), tree.schedule.sends());
+            assert_eq!(stream.messages, tree.messages);
+        }
+    }
+
+    #[test]
+    fn streaming_parser_rejects_what_the_tree_parser_rejects() {
+        let bad = [
+            "[1, 2]",
+            "{\"n\": 2}",
+            "{\"n\": 0, \"lambda\": 1, \"sends\": []}",
+            r#"{"n": 2, "lambda": "1/2", "sends": []}"#,
+            "{\"n\": 2, \"lambda\": 1, \"sends\": [{}]}",
+            "{\"n\": 2, \"lambda\": 1, \"sends\": []} trailing",
+            "{\"n\": 2, \"lambda\": 1, \"sends\": 3}",
+            "not json",
+        ];
+        for text in bad {
+            assert!(parse_schedule(text).is_err(), "{text}");
+            assert!(
+                parse_schedule_reader(std::io::Cursor::new(text)).is_err(),
+                "{text}"
+            );
+        }
+        // Shape errors carry the tree parser's exact wording.
+        let missing = parse_schedule_reader(std::io::Cursor::new(
+            "{\"n\": 2, \"lambda\": 1, \"sends\": 3}",
+        ))
+        .unwrap_err();
+        assert_eq!(missing.0, "missing \"sends\" array");
+        let el = parse_schedule_reader(std::io::Cursor::new(
+            "{\"n\": 2, \"lambda\": 1, \"sends\": [{\"dst\": 1, \"at\": 0}]}",
+        ))
+        .unwrap_err();
+        assert_eq!(el.0, "sends[0]: missing \"src\"");
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //!   linted by the same rules as hand-written schedules
 //!   ([`lint_trace`]);
 //! * **Race detection** — [`race::detect_races`] replays a trace's
-//!   flights, builds the send→receive happens-before order with vector
-//!   clocks, and flags deliveries whose observed order is not causally
-//!   forced (see [`race`]);
+//!   flights, builds the send→receive happens-before order with
+//!   FastTrack-style epochs (O(E + n) in the common case), and flags
+//!   deliveries whose observed order is not causally forced (see
+//!   [`race`]);
 //! * **Interchange** — [`json`] reads and writes the `postal lint`
 //!   schedule format, and [`render`] prints rustc-style reports.
 //!
@@ -142,7 +143,47 @@ pub fn lint_trace<P>(
 /// # Errors
 /// When the text is not a well-formed event log or carries no uniform λ.
 pub fn schedule_from_jsonl(text: &str) -> Result<Schedule, ObsError> {
-    postal_obs::from_jsonl(text)?.to_schedule()
+    jsonl_to_schedule_file(std::io::Cursor::new(text)).map(|f| f.schedule)
+}
+
+/// Streaming counterpart of [`schedule_from_jsonl`]: folds an
+/// observability JSONL log, line by line, directly into the schedule
+/// its send events realized — without materializing the log text or
+/// the full event list. Non-send events are parsed (so errors are still
+/// caught) and dropped; memory is O(sends), not O(events).
+///
+/// Takes any [`BufRead`](std::io::BufRead), so both in-memory text
+/// (via [`std::io::Cursor`]) and buffered file readers feed it.
+///
+/// # Errors
+/// When the reader fails, a line cannot be parsed, the log has no
+/// `"run"` header, or the header carries no uniform λ.
+pub fn jsonl_to_schedule_file<R: std::io::BufRead>(
+    reader: R,
+) -> Result<json::ScheduleFile, ObsError> {
+    let mut parser = postal_obs::JsonlParser::new();
+    let mut sends = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| ObsError(format!("read error: {e}")))?;
+        if let Some(postal_obs::ObsEvent::Send {
+            src, dst, start, ..
+        }) = parser.line(&line)?
+        {
+            sends.push(postal_model::schedule::TimedSend {
+                src,
+                dst,
+                send_start: start,
+            });
+        }
+    }
+    let meta = parser.finish()?;
+    let lambda = meta
+        .lambda
+        .ok_or_else(|| ObsError("log has no uniform lambda; cannot reduce to a schedule".into()))?;
+    Ok(json::ScheduleFile {
+        schedule: Schedule::new(meta.n, lambda, sends),
+        messages: meta.messages,
+    })
 }
 
 /// Lints an observability JSONL log end to end: parse the event stream,
