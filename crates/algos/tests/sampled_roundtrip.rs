@@ -1,0 +1,153 @@
+//! Sampled-trace properties: partial logs stay useful and honest.
+//!
+//! Two contracts, checked over generated workloads on the paper's
+//! n ≤ 64 grid:
+//!
+//! 1. **No false positives from sampling** — replaying a lint-clean run
+//!    through the ring recorder with rate sampling drops events, but
+//!    the resulting JSONL re-ingests through `postal-verify` without
+//!    any *error*-severity P0003 (causality) or P0005 (coverage)
+//!    finding: the header's drop count downgrades absence-based lints
+//!    to warnings instead of letting missing data masquerade as model
+//!    violations.
+//! 2. **Percentile fidelity** — the streaming log-bucketed sketches in
+//!    [`MetricsSummary`] agree with the exact event-vector quantile
+//!    computation to within one log-bucket at p50 and p99.
+
+use postal_algos::{bcast_programs, repeat::repeat_programs, Pacing};
+use postal_model::Latency;
+use postal_obs::{
+    hist::exact_quantile, to_jsonl, MetricsSummary, ObsEvent, ObsLog, Recorder, RingRecorder,
+    SampleSpec,
+};
+use postal_sim::{log_from_report, Simulation, Uniform};
+use postal_verify::{is_clean, lint_jsonl, LintCode, LintOptions, Severity};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One generated workload on the n ≤ 64 grid.
+#[derive(Debug, Clone, Copy)]
+struct Workload {
+    n: usize,
+    m: u32,
+    lam: Latency,
+    /// Keep one event in `rate` when replaying through the ring.
+    rate: u64,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (3usize..=64, 1u32..=3, 0usize..3, 2u64..=5).prop_map(|(n, m, li, rate)| Workload {
+        n,
+        m,
+        lam: [
+            Latency::from_int(1),
+            Latency::from_int(2),
+            Latency::from_ratio(5, 2),
+        ][li],
+        rate,
+    })
+}
+
+fn run_workload(w: Workload) -> ObsLog {
+    let model = Uniform(w.lam);
+    let (n, m) = (w.n as u32, w.m as u64);
+    if w.m == 1 {
+        let report = Simulation::new(w.n, &model)
+            .run(bcast_programs(w.n, w.lam))
+            .unwrap();
+        log_from_report(&report, "event", n, Some(w.lam), Some(m))
+    } else {
+        let report = Simulation::new(w.n, &model)
+            .run(repeat_programs(w.n, w.m, w.lam, Pacing::Greedy))
+            .unwrap();
+        log_from_report(&report, "event", n, Some(w.lam), Some(m))
+    }
+}
+
+/// Replays a full log through the ring recorder with head sampling at
+/// the given rate, producing a partial log with drop accounting.
+fn head_sample(log: &ObsLog, rate: u64) -> ObsLog {
+    let ring = RingRecorder::with_spec(1 << 16, SampleSpec::head(rate));
+    for e in log.events() {
+        ring.record(e.clone());
+    }
+    ring.into_log(log.meta().clone())
+}
+
+/// End-to-end latencies (recv finish − matching send start), exactly as
+/// `MetricsSummary` computes them — the reference vector the sketch is
+/// compared against.
+fn exact_latencies(log: &ObsLog) -> Vec<f64> {
+    let mut send_starts: HashMap<u64, postal_model::Time> = HashMap::new();
+    for e in log.events() {
+        if let ObsEvent::Send { seq, start, .. } = *e {
+            send_starts.insert(seq, start);
+        }
+    }
+    log.events()
+        .iter()
+        .filter_map(|e| match *e {
+            ObsEvent::Recv { seq, finish, .. } => {
+                send_starts.get(&seq).map(|s| (finish - *s).to_f64())
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn head_sampled_logs_lint_without_spurious_errors(w in arb_workload()) {
+        let full = run_workload(w);
+        let opts = if w.m == 1 { LintOptions::default() } else { LintOptions::ports_only() };
+
+        // The unsampled run is clean; that is the baseline being protected.
+        let baseline = lint_jsonl(&to_jsonl(&full), &opts).unwrap();
+        prop_assert!(is_clean(&baseline, Severity::Error), "{w:?}: baseline dirty: {baseline:?}");
+
+        let sampled = head_sample(&full, w.rate);
+        let dropped = sampled.meta().dropped_events.unwrap();
+        prop_assert!(dropped > 0, "{w:?}: rate {} dropped nothing", w.rate);
+        prop_assert_eq!(
+            sampled.events().len() as u64 + dropped,
+            full.events().len() as u64
+        );
+
+        // The partial trace must re-ingest without error-severity
+        // absence lints — they are artifacts of sampling, not the run.
+        let text = to_jsonl(&sampled);
+        let diags = lint_jsonl(&text, &opts).unwrap();
+        for d in &diags {
+            let absence = matches!(
+                d.code,
+                LintCode::CausalityViolation | LintCode::UninformedProcessor
+            );
+            prop_assert!(
+                !(absence && d.severity == Severity::Error),
+                "{w:?}: spurious {} error on a sampled log: {}",
+                d.code,
+                d.message
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_percentiles_match_exact_within_one_bucket(w in arb_workload()) {
+        let log = run_workload(w);
+        let s = MetricsSummary::from_log(&log);
+        let latencies = exact_latencies(&log);
+        prop_assert_eq!(latencies.len() as u64, s.latency_sketch.count());
+
+        for q in [0.5, 0.99] {
+            let exact = exact_quantile(&latencies, q);
+            let (lo, hi) = s.latency_sketch.quantile_bounds(q);
+            prop_assert!(
+                exact >= lo && exact < hi,
+                "{w:?}: exact p{} = {} outside sketch bucket [{}, {})",
+                q * 100.0, exact, lo, hi
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Experiment OBS: recorder overhead at scale.
+//!
+//! Synthesizes event streams at n ∈ {10³, 10⁴, 10⁵, 10⁶} and pushes the
+//! identical stream through each recorder — [`NullRecorder`] (the
+//! zero-cost floor), [`MemoryRecorder`] (every event, unbounded
+//! memory), and the sharded [`RingRecorder`] (fixed memory, honest drop
+//! accounting) — reporting an events/sec series to `BENCH_obs.json`.
+//! Event construction happens inside every timed loop, so the Null
+//! column is a real baseline (build + dispatch), not an empty loop.
+//!
+//! Two gates make this a regression tripwire:
+//!
+//! * at 10⁶ events the ring recorder must stay under
+//!   `$OBS_RING_OVERHEAD_BUDGET` (default 2.0) × the NullRecorder's
+//!   time — once the head fills, a record is one atomic sequence, and
+//!   that property is what makes tracing affordable at n → 10⁶;
+//! * the streaming percentile sketches must agree with the exact
+//!   event-vector quantiles to within one log-bucket on a real BCAST
+//!   workload (n = 64, λ = 5/2) — speed must not cost correctness.
+
+use postal_algos::bcast_programs;
+use postal_bench::report::BenchReport;
+use postal_bench::table::Table;
+use postal_model::{Latency, Time};
+use postal_obs::hist::exact_quantile;
+use postal_obs::{
+    MemoryRecorder, MetricsSummary, NullRecorder, ObsEvent, Recorder, RingRecorder, RunMeta,
+};
+use postal_sim::{log_from_report, Simulation, Uniform};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `i`-th synthetic event: send spans sweeping across 64 source
+/// processors, so the ring's shards all see traffic.
+fn event(i: u64) -> ObsEvent {
+    let t = Time::from_int((i / 64) as i128);
+    ObsEvent::Send {
+        seq: i,
+        src: (i % 64) as u32,
+        dst: ((i + 1) % 64) as u32,
+        start: t,
+        finish: t + Time::ONE,
+    }
+}
+
+/// Times pushing `n` synthesized events through `rec`, returning
+/// (seconds, events/sec).
+fn drive(rec: &dyn Recorder, n: u64) -> (f64, f64) {
+    let start = Instant::now();
+    for i in 0..n {
+        rec.record(black_box(event(i)));
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (secs, n as f64 / secs)
+}
+
+fn main() {
+    let overhead_budget = env_f64("OBS_RING_OVERHEAD_BUDGET", 2.0);
+
+    let mut table = Table::new(
+        "OBS: recorder throughput, synthetic send streams across 64 procs",
+        &["n", "null ev/s", "memory ev/s", "ring ev/s", "ring/null ×"],
+    );
+    let mut report = BenchReport::new("obs");
+    let mut worst_overhead = 0.0f64;
+
+    for n in [1_000u64, 10_000, 100_000, 1_000_000] {
+        let (null_secs, null_rate) = drive(&NullRecorder, n);
+
+        let memory = MemoryRecorder::new();
+        let (_, mem_rate) = drive(&memory, n);
+        drop(memory);
+
+        // Default config: head mode, 16 shards × 65536 capacity. Below
+        // ~1M events everything is kept; at 10⁶ the head fills and the
+        // remainder takes the atomic-only drop path.
+        let ring = RingRecorder::new(65_536 / 16);
+        let (ring_secs, ring_rate) = drive(&ring, n);
+        assert_eq!(
+            ring.recorded_events() + ring.dropped_events(),
+            n,
+            "ring lost events at n = {n}"
+        );
+        let overhead = ring_secs / null_secs;
+        worst_overhead = if n == 1_000_000 {
+            worst_overhead.max(overhead)
+        } else {
+            worst_overhead
+        };
+
+        println!(
+            "n = {n:>9}: null {null_rate:>12.0} ev/s   memory {mem_rate:>12.0} ev/s   \
+             ring {ring_rate:>12.0} ev/s   ({overhead:.2}× null, {} dropped)",
+            ring.dropped_events()
+        );
+        table.row(vec![
+            n.to_string(),
+            format!("{null_rate:.0}"),
+            format!("{mem_rate:.0}"),
+            format!("{ring_rate:.0}"),
+            format!("{overhead:.2}"),
+        ]);
+        report.num(&format!("events_per_sec_null_n{n}"), null_rate);
+        report.num(&format!("events_per_sec_memory_n{n}"), mem_rate);
+        report.num(&format!("events_per_sec_ring_n{n}"), ring_rate);
+        report.num(&format!("ring_overhead_x_n{n}"), overhead);
+    }
+
+    // Percentile-fidelity gate: streaming sketch vs exact quantiles on
+    // a real workload from the paper's grid.
+    let (n, lam) = (64usize, Latency::from_ratio(5, 2));
+    let sim = Simulation::new(n, &Uniform(lam))
+        .run(bcast_programs(n, lam))
+        .expect("bcast simulates");
+    let log = log_from_report(&sim, "event", n as u32, Some(lam), Some(1));
+    let s = MetricsSummary::from_log(&log);
+    let mut send_starts = std::collections::HashMap::new();
+    for e in log.events() {
+        if let ObsEvent::Send { seq, start, .. } = *e {
+            send_starts.insert(seq, start);
+        }
+    }
+    let latencies: Vec<f64> = log
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            ObsEvent::Recv { seq, finish, .. } => {
+                send_starts.get(&seq).map(|st| (finish - *st).to_f64())
+            }
+            _ => None,
+        })
+        .collect();
+    for q in [0.5, 0.99] {
+        let exact = exact_quantile(&latencies, q);
+        let (lo, hi) = s.latency_sketch.quantile_bounds(q);
+        assert!(
+            exact >= lo && exact < hi,
+            "sketch p{} bucket [{lo}, {hi}) misses exact {exact}",
+            q * 100.0
+        );
+        report.num(
+            &format!("latency_p{}_sketch", (q * 100.0) as u32),
+            s.latency_quantile(q),
+        );
+        report.num(&format!("latency_p{}_exact", (q * 100.0) as u32), exact);
+    }
+    println!(
+        "percentile fidelity: BCAST({n}, {lam}) p50 sketch {:.4} vs exact {:.4}, \
+         p99 sketch {:.4} vs exact {:.4} — within one log-bucket",
+        s.latency_quantile(0.5),
+        exact_quantile(&latencies, 0.5),
+        s.latency_quantile(0.99),
+        exact_quantile(&latencies, 0.99),
+    );
+
+    // A sampled drain end to end, so the report pins the drop metadata
+    // contract the exporters rely on.
+    let ring = RingRecorder::new(16);
+    for i in 0..1_000u64 {
+        ring.record(event(i));
+    }
+    let dropped = ring.dropped_events();
+    let drained = ring.into_log(RunMeta::new("bench", 64));
+    assert_eq!(drained.meta().dropped_events, Some(dropped));
+    report.int("drain_dropped_events", dropped as i128);
+
+    println!("{table}");
+    report
+        .num("ring_overhead_x_worst_n1000000", worst_overhead)
+        .num("ring_overhead_budget_x", overhead_budget)
+        .table(&table);
+    postal_bench::report::emit_json(&report);
+
+    if worst_overhead > overhead_budget {
+        eprintln!(
+            "error: ring recorder overhead {worst_overhead:.2}× null at 10⁶ events \
+             (budget {overhead_budget}×)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,10 @@ use postal_algos::{
 };
 use postal_bench::optimal::{optimal_multi_broadcast_with, OrderPolicy, SearchResult};
 use postal_model::{runtimes, GenFib, Latency, Time};
-use postal_obs::{to_chrome_trace, to_jsonl, to_prometheus, MetricsSummary, ObsLog};
+use postal_obs::{
+    to_chrome_trace, to_jsonl, to_prometheus, MetricsSummary, ObsLog, Recorder, RingRecorder,
+    SampleSpec,
+};
 use postal_sim::gantt::render_gantt;
 use postal_sim::{log_from_report, RunReport};
 use std::fmt::Write as _;
@@ -48,9 +51,16 @@ USAGE:
            [--events-out FILE]               export JSONL event log (re-lintable: postal lint)
            [--metrics-out FILE]              export Prometheus text exposition
            [--format text|json]              machine-readable summary
+           [--sample SPEC]                   record through the sharded ring recorder with
+                                             sampling: all | head | tail | rate:<k>, comma-
+                                             separated (e.g. tail,rate:8); drops are counted
+                                             and stamped into every export
+           [--ring-capacity K]               per-shard ring capacity (default 65536)
     postal stats <algo> <n> <m> <lambda>     observed-run metrics: gap to f_λ(n), port
-                                             utilization, latency, idle-port waste (P0006)
+                                             utilization, p50/p90/p99 latency, idle-port
+                                             waste (P0006)
            [--trace-out|--events-out|--metrics-out FILE] [--format text|json]
+           [--sample SPEC] [--ring-capacity K]
     postal svg <n> <lambda>                  broadcast tree as an SVG document (stdout)
     postal optimal <n> <m> <lambda>          exact optimum via exhaustive search
                                              (tiny instances only)
@@ -276,21 +286,36 @@ fn lint(args: &[String]) -> Result<String, CliError> {
         json::parse_schedule_reader(Cursor::new(first_line).chain(reader))
             .map_err(|e| invalid(&e))?
     };
+    let dropped = parsed.dropped_events.unwrap_or(0);
     let (schedule, file_messages) = (parsed.schedule, parsed.messages);
     let messages = m_override.or(file_messages).unwrap_or(1);
-    let diags = lint_schedule(&schedule, &LintOptions::broadcast_of(messages));
+    let diags = postal_verify::downgrade_partial_trace(
+        lint_schedule(&schedule, &LintOptions::broadcast_of(messages)),
+        dropped,
+    );
+    let partial_note = (dropped > 0).then(|| {
+        format!(
+            "note: {path} is a partial trace ({dropped} events dropped by sampling); \
+             absence-based lints (P0003, P0005) are downgraded to warnings\n"
+        )
+    });
     let report = if as_json {
         json::diagnostics_to_json(&diags)
     } else if diags.is_empty() {
         format!(
             "{path}: clean — valid broadcast of {messages} message(s) over MPS({}, {}), \
-             completes at t = {}\n",
+             completes at t = {}\n{}",
             schedule.n(),
             schedule.latency(),
-            schedule.completion()
+            schedule.completion(),
+            partial_note.as_deref().unwrap_or("")
         )
     } else {
-        render::render_report(&diags, path)
+        format!(
+            "{}{}",
+            render::render_report(&diags, path),
+            partial_note.as_deref().unwrap_or("")
+        )
     };
     if diags.iter().any(|d| d.severity >= deny) {
         Err(CliError::LintFailed(report))
@@ -761,6 +786,15 @@ struct OutputOpts {
     events_out: Option<String>,
     metrics_out: Option<String>,
     as_json: bool,
+    sample: Option<SampleSpec>,
+    ring_capacity: Option<usize>,
+}
+
+impl OutputOpts {
+    /// True when the run should be recorded through the ring recorder.
+    fn uses_ring(&self) -> bool {
+        self.sample.is_some() || self.ring_capacity.is_some()
+    }
 }
 
 /// Splits an argument list into positionals and the shared output flags.
@@ -785,6 +819,23 @@ fn split_output_flags(args: &[String]) -> Result<(Vec<String>, OutputOpts), CliE
             }
             "--metrics-out" => {
                 opts.metrics_out = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
+            "--sample" => {
+                opts.sample = Some(
+                    SampleSpec::parse(flag_value(i)?)
+                        .map_err(|e| CliError::Invalid(format!("--sample: {e}")))?,
+                );
+                i += 2;
+            }
+            "--ring-capacity" => {
+                let k: usize = flag_value(i)?.parse().map_err(|_| {
+                    CliError::Invalid("--ring-capacity must be a positive integer".into())
+                })?;
+                if k == 0 {
+                    return Err(CliError::Invalid("--ring-capacity must be ≥ 1".into()));
+                }
+                opts.ring_capacity = Some(k);
                 i += 2;
             }
             "--format" => {
@@ -882,6 +933,25 @@ fn run_workload(algo: &str, n: usize, m: u32, lam: Latency) -> Result<SimRun, Cl
     Ok(run)
 }
 
+/// Re-records a run's event log through the sharded [`RingRecorder`]
+/// when `--sample` or `--ring-capacity` was given, so the log the
+/// exporters see went down the same `record()` path a live sampled run
+/// would use — including honest drop accounting in the metadata.
+fn apply_ring(log: ObsLog, opts: &OutputOpts) -> ObsLog {
+    if !opts.uses_ring() {
+        return log;
+    }
+    let spec = opts.sample.unwrap_or_else(SampleSpec::all);
+    let cap = opts
+        .ring_capacity
+        .unwrap_or(postal_obs::ring::DEFAULT_CAPACITY);
+    let ring = RingRecorder::with_spec(cap, spec);
+    for e in log.events() {
+        ring.record(e.clone());
+    }
+    ring.into_log(log.meta().clone())
+}
+
 /// Writes the requested exporter outputs, returning one note per file.
 fn write_exports(log: &ObsLog, opts: &OutputOpts) -> Result<Vec<String>, CliError> {
     let mut notes = Vec::new();
@@ -906,9 +976,13 @@ fn simulate(
     lam: Latency,
     opts: &OutputOpts,
 ) -> Result<String, CliError> {
-    let run = run_workload(algo, n, m, lam)?;
+    let mut run = run_workload(algo, n, m, lam)?;
+    run.log = apply_ring(run.log, opts);
     let notes = write_exports(&run.log, opts)?;
     let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+    let meta = run.log.meta();
+    let (recorded, dropped) = (run.log.events().len(), meta.dropped_events.unwrap_or(0));
+    let sample = meta.sample.clone();
     if opts.as_json {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"command\": \"simulate\",");
@@ -920,6 +994,11 @@ fn simulate(
         let _ = writeln!(out, "  \"completion_units\": {},", run.completion.to_f64());
         let _ = writeln!(out, "  \"messages\": {},", run.messages);
         let _ = writeln!(out, "  \"violations\": {},", run.violations);
+        if let Some(s) = &sample {
+            let _ = writeln!(out, "  \"sample\": \"{s}\",");
+            let _ = writeln!(out, "  \"recorded_events\": {recorded},");
+            let _ = writeln!(out, "  \"dropped_events\": {dropped},");
+        }
         let _ = writeln!(out, "  \"lower_bound\": \"{lb}\"");
         out.push('}');
         return Ok(out);
@@ -929,6 +1008,12 @@ fn simulate(
          messages:  {}\nmodel violations: {}\nlower bound (Lemma 8): {lb}",
         run.completion, run.messages, run.violations
     );
+    if let Some(s) = &sample {
+        let _ = write!(
+            out,
+            "\nsampling: {s} — recorded {recorded} events, dropped {dropped}"
+        );
+    }
     if let Some(extra) = &run.extra {
         let _ = write!(out, "\n{extra}");
     }
@@ -948,7 +1033,8 @@ fn stats(
     lam: Latency,
     opts: &OutputOpts,
 ) -> Result<String, CliError> {
-    let run = run_workload(algo, n, m, lam)?;
+    let mut run = run_workload(algo, n, m, lam)?;
+    run.log = apply_ring(run.log, opts);
     let notes = write_exports(&run.log, opts)?;
     let s = MetricsSummary::from_log(&run.log);
     let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
@@ -978,7 +1064,32 @@ fn stats(
         let _ = writeln!(out, "  \"drops\": {},", s.drops);
         let _ = writeln!(out, "  \"crashes\": {},", s.crashes);
         let _ = writeln!(out, "  \"wakes\": {},", s.wakes);
+        let _ = writeln!(out, "  \"dropped_events\": {},", s.dropped_events);
+        if let Some(spec) = &s.sample {
+            let _ = writeln!(out, "  \"sample\": \"{spec}\",");
+        }
         let _ = writeln!(out, "  \"mean_latency_units\": {},", s.latency.mean());
+        let _ = writeln!(
+            out,
+            "  \"latency_quantiles_units\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},",
+            s.latency_quantile(0.5),
+            s.latency_quantile(0.9),
+            s.latency_quantile(0.99)
+        );
+        let _ = writeln!(
+            out,
+            "  \"queue_delay_quantiles_units\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},",
+            s.queue_delay_quantile(0.5),
+            s.queue_delay_quantile(0.9),
+            s.queue_delay_quantile(0.99)
+        );
+        let _ = writeln!(
+            out,
+            "  \"out_utilization_quantiles\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},",
+            s.out_utilization_quantile(0.5),
+            s.out_utilization_quantile(0.9),
+            s.out_utilization_quantile(0.99)
+        );
         let _ = writeln!(out, "  \"idle_out_units\": {},", s.idle_out_units());
         let util: Vec<String> = (0..n)
             .map(|p| {
@@ -1013,10 +1124,31 @@ fn stats(
     if s.drops + s.crashes > 0 {
         let _ = writeln!(out, "drops: {}   crashes: {}", s.drops, s.crashes);
     }
+    if s.is_partial() {
+        let _ = writeln!(
+            out,
+            "recorder: PARTIAL trace — {} events dropped (sample: {}); counts are lower bounds",
+            s.dropped_events,
+            s.sample.as_deref().unwrap_or("none")
+        );
+    }
     let _ = writeln!(
         out,
         "mean end-to-end latency: {:.3} units",
         s.latency.mean()
+    );
+    let _ = writeln!(
+        out,
+        "latency p50/p90/p99:     {:.3} / {:.3} / {:.3} units",
+        s.latency_quantile(0.5),
+        s.latency_quantile(0.9),
+        s.latency_quantile(0.99)
+    );
+    let _ = writeln!(
+        out,
+        "queue delay p50/p99:     {:.3} / {:.3} units",
+        s.queue_delay_quantile(0.5),
+        s.queue_delay_quantile(0.99)
     );
     let _ = writeln!(
         out,
@@ -1588,6 +1720,110 @@ mod tests {
                 "--max-depth",
                 "99"
             ]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    /// Pulls a `"field": N` integer out of a JSON summary.
+    fn json_u64(json: &str, field: &str) -> u64 {
+        json.lines()
+            .find_map(|l| l.trim().strip_prefix(&format!("\"{field}\": ")))
+            .and_then(|v| v.trim_end_matches(',').parse().ok())
+            .unwrap_or_else(|| panic!("no {field} in {json}"))
+    }
+
+    #[test]
+    fn simulate_with_sampling_reports_drop_accounting() {
+        // rate:2 keeps every other event *per shard*: the exact split
+        // depends on shard routing, but recorded + dropped must equal
+        // the 26 events (13 sends + 13 recvs) BCAST(14) emits.
+        let out = call(&["simulate", "bcast", "14", "1", "5/2", "--sample", "rate:2"]).unwrap();
+        assert!(out.contains("sampling: head,rate:2 — recorded"), "{out}");
+
+        let json = call(&[
+            "simulate", "bcast", "14", "1", "5/2", "--sample", "rate:2", "--format", "json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"sample\": \"head,rate:2\""), "{json}");
+        let recorded = json_u64(&json, "recorded_events");
+        let dropped = json_u64(&json, "dropped_events");
+        assert_eq!(recorded + dropped, 26, "{json}");
+        assert!(dropped > 0, "{json}");
+    }
+
+    #[test]
+    fn stats_reports_percentiles_and_partial_traces() {
+        let out = call(&["stats", "bcast", "14", "1", "5/2"]).unwrap();
+        assert!(out.contains("latency p50/p90/p99:"), "{out}");
+        assert!(!out.contains("PARTIAL"), "{out}");
+
+        let sampled = call(&["stats", "bcast", "14", "1", "5/2", "--sample", "rate:2"]).unwrap();
+        assert!(sampled.contains("PARTIAL trace"), "{sampled}");
+        assert!(sampled.contains("lower bounds"), "{sampled}");
+
+        let json = call(&["stats", "bcast", "14", "1", "5/2", "--format", "json"]).unwrap();
+        assert!(json.contains("\"latency_quantiles_units\""), "{json}");
+        assert!(json.contains("\"dropped_events\": 0"), "{json}");
+    }
+
+    #[test]
+    fn sampled_jsonl_relints_without_false_positives() {
+        // A rate-sampled log is missing sends; without the partial-trace
+        // downgrade this would report error[P0003]/error[P0005].
+        let events = std::env::temp_dir().join("postal-cli-test-sampled.jsonl");
+        call(&[
+            "simulate",
+            "bcast",
+            "14",
+            "1",
+            "5/2",
+            "--sample",
+            "rate:3",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = call(&["lint", events.to_str().unwrap()]).unwrap();
+        assert!(out.contains("partial trace"), "{out}");
+        assert!(!out.contains("error[P0003]"), "{out}");
+        assert!(!out.contains("error[P0005]"), "{out}");
+    }
+
+    #[test]
+    fn ring_capacity_bounds_the_recorded_log() {
+        // 16 shards × capacity 1 = at most 16 recorded events.
+        let json = call(&[
+            "simulate",
+            "bcast",
+            "40",
+            "1",
+            "2",
+            "--ring-capacity",
+            "1",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        // The keep-everything spec canonicalizes to "head".
+        assert!(json.contains("\"sample\": \"head\""), "{json}");
+        let recorded = json_u64(&json, "recorded_events");
+        let dropped = json_u64(&json, "dropped_events");
+        assert!(recorded <= 16, "{json}");
+        assert_eq!(recorded + dropped, 78, "{json}"); // 39 sends + 39 recvs
+    }
+
+    #[test]
+    fn sample_flag_rejects_garbage() {
+        assert!(matches!(
+            call(&["simulate", "bcast", "5", "1", "2", "--sample", "rate:0"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["simulate", "bcast", "5", "1", "2", "--sample", "sometimes"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["simulate", "bcast", "5", "1", "2", "--ring-capacity", "0"]),
             Err(CliError::Invalid(_))
         ));
     }

@@ -49,6 +49,12 @@ pub fn to_chrome_trace(log: &ObsLog) -> String {
     if let Some(m) = meta.messages {
         let _ = write!(out, ", \"messages\": \"{m}\"");
     }
+    if let Some(d) = meta.dropped_events {
+        let _ = write!(out, ", \"dropped_events\": \"{d}\"");
+    }
+    if let Some(s) = &meta.sample {
+        let _ = write!(out, ", \"sample\": \"{s}\"");
+    }
     out.push_str(" },\n  \"traceEvents\": [\n");
 
     let mut lines: Vec<String> = Vec::new();
@@ -176,6 +182,16 @@ mod tests {
         );
         assert!(json.contains("\"lambda\": \"5/2\""));
         assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn sampled_logs_declare_dropped_events() {
+        let mut log = sample_log();
+        let meta = log.meta().clone().dropped(9).sampled("head,rate:4");
+        log = ObsLog::new(meta, log.events().to_vec());
+        let json = to_chrome_trace(&log);
+        assert!(json.contains("\"dropped_events\": \"9\""), "{json}");
+        assert!(json.contains("\"sample\": \"head,rate:4\""), "{json}");
     }
 
     #[test]

@@ -107,6 +107,22 @@ impl ObsEvent {
         }
     }
 
+    /// The processor the event is attributed to — the port owner whose
+    /// timeline it lands on (receiver for `Recv`/`Violation`/`Drop`).
+    /// [`crate::RingRecorder`] shards by this key, so one processor's
+    /// port activity stays within one shard and per-shard order is
+    /// per-port order.
+    pub fn proc(&self) -> u32 {
+        match *self {
+            ObsEvent::Send { src, .. } => src,
+            ObsEvent::Recv { dst, .. } => dst,
+            ObsEvent::Wake { proc, .. } => proc,
+            ObsEvent::Violation { dst, .. } => dst,
+            ObsEvent::Drop { dst, .. } => dst,
+            ObsEvent::Crash { proc, .. } => proc,
+        }
+    }
+
     /// The stable `type` tag used by the JSONL codec.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -1,0 +1,387 @@
+//! Streaming log-bucketed (HDR-style) histograms.
+//!
+//! [`StreamingHistogram`] computes quantiles **incrementally** in
+//! O(buckets) memory: each `observe` is a handful of integer operations
+//! on a fixed bucket array, so percentile summaries of million-event
+//! runs never materialize an event vector. This is what lets
+//! [`crate::MetricsSummary`] report p50/p90/p99 latency, queue delay
+//! and port utilization at scales where storing every sample would
+//! dominate the run being measured.
+//!
+//! ## Bucket layout and error bound
+//!
+//! Nonnegative values are bucketed geometrically: each power-of-two
+//! *octave* `[2^e, 2^{e+1})` is split into [`SUBBUCKETS`] equal linear
+//! sub-buckets, exactly the HdrHistogram scheme. A value `v` therefore
+//! lands in a bucket whose width is `2^e / SUBBUCKETS ≤ v / SUBBUCKETS`,
+//! giving a guaranteed **relative error ≤ 1/SUBBUCKETS ≈ 1.6%** for any
+//! reported quantile: the true quantile and the reported representative
+//! always share one bucket. Values below [`MIN_VALUE`] (including 0,
+//! the common case for queue delays on conflict-free runs) occupy a
+//! dedicated underflow bucket reported as 0; values above [`MAX_VALUE`]
+//! clamp into the top bucket. The whole structure is
+//! `(EXP_RANGE × SUBBUCKETS + 2)` `u64`s — about 26 KiB — regardless
+//! of how many samples it absorbs.
+
+use std::fmt;
+
+/// Linear sub-buckets per power-of-two octave. 64 sub-buckets bound the
+/// relative quantile error at 1/64 ≈ 1.6%.
+pub const SUBBUCKETS: usize = 64;
+
+/// Smallest distinguishable value: `2^MIN_EXP`. Everything below lands
+/// in the underflow bucket and reports as 0 (1/1024 is finer than the
+/// threaded runtime's clock lattice, so no real sample underflows).
+const MIN_EXP: i32 = -10;
+
+/// Largest octave exponent: values up to `2^MAX_EXP` (≈ 3.5e13 model
+/// units) resolve; larger ones clamp into the top bucket.
+const MAX_EXP: i32 = 45;
+
+/// Number of octaves covered.
+const EXP_RANGE: usize = (MAX_EXP - MIN_EXP) as usize;
+
+/// Smallest value that escapes the underflow bucket.
+pub const MIN_VALUE: f64 = 1.0 / 1024.0;
+
+/// Largest value that resolves without clamping.
+pub const MAX_VALUE: f64 = (1u64 << 45) as f64;
+
+/// A fixed-memory quantile sketch over nonnegative `f64` samples.
+#[derive(Clone, PartialEq)]
+pub struct StreamingHistogram {
+    /// `counts[0]` is the underflow bucket; then `EXP_RANGE × SUBBUCKETS`
+    /// geometric buckets; the last slot is the clamp bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl fmt::Debug for StreamingHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamingHistogram")
+            .field("total", &self.total)
+            .field("sum", &self.sum)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> StreamingHistogram {
+        StreamingHistogram::new()
+    }
+}
+
+/// Index of the clamp (overflow) bucket.
+const CLAMP: usize = 1 + EXP_RANGE * SUBBUCKETS;
+
+/// Maps a value to its bucket index.
+fn bucket_of(v: f64) -> usize {
+    if v.is_nan() || v < MIN_VALUE {
+        // NaN and everything below MIN_VALUE share the underflow bucket.
+        return 0;
+    }
+    if v >= MAX_VALUE {
+        return CLAMP;
+    }
+    // v = m × 2^e with m ∈ [1, 2): e from the bit pattern, sub-bucket
+    // from the linear position of m within its octave.
+    let e = v.log2().floor() as i32;
+    let e = e.clamp(MIN_EXP, MAX_EXP - 1);
+    let scale = (2.0f64).powi(e);
+    let frac = (v / scale - 1.0).clamp(0.0, 1.0 - f64::EPSILON);
+    let sub = (frac * SUBBUCKETS as f64) as usize;
+    1 + (e - MIN_EXP) as usize * SUBBUCKETS + sub.min(SUBBUCKETS - 1)
+}
+
+/// The `[lo, hi)` value range of a bucket index.
+fn bucket_bounds(idx: usize) -> (f64, f64) {
+    if idx == 0 {
+        return (0.0, MIN_VALUE);
+    }
+    if idx >= CLAMP {
+        return (MAX_VALUE, f64::INFINITY);
+    }
+    let g = idx - 1;
+    let e = MIN_EXP + (g / SUBBUCKETS) as i32;
+    let sub = (g % SUBBUCKETS) as f64;
+    let scale = (2.0f64).powi(e);
+    let width = scale / SUBBUCKETS as f64;
+    let lo = scale + sub * width;
+    (lo, lo + width)
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> StreamingHistogram {
+        StreamingHistogram {
+            counts: vec![0; CLAMP + 1],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Negative and NaN values are treated as 0
+    /// (they land in the underflow bucket).
+    pub fn observe(&mut self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples absorbed.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest sample seen (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) as a representative value from
+    /// the bucket containing that rank: the bucket midpoint, sharpened
+    /// to the exact observed `min`/`max` at the extremes. Returns 0 when
+    /// empty. The true quantile lies in the same bucket, so the result
+    /// is within one log-bucket (relative error ≤ 1/[`SUBBUCKETS`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
+        let (lo, hi) = self.quantile_bounds(q);
+        if lo <= 0.0 {
+            return 0.0;
+        }
+        // Clamp the representative into the observed range so p0/p100
+        // are exact and the top bucket never overreports.
+        let mid = (lo + hi.min(self.max)) / 2.0;
+        mid.clamp(self.min, self.max)
+    }
+
+    /// The `[lo, hi)` bounds of the bucket holding the `q`-quantile —
+    /// the bracket any exact computation must fall inside. `(0, 0)`
+    /// when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (f64, f64) {
+        if self.total == 0 {
+            return (0.0, 0.0);
+        }
+        // Rank of the q-quantile under the nearest-rank definition:
+        // the ⌈q·N⌉-th smallest sample (1-based), q = 0 meaning the min.
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(idx);
+            }
+        }
+        bucket_bounds(CLAMP)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of buckets (the memory bound: `buckets × 8` bytes).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Nonempty `(lo, hi, count)` buckets, for exporters.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// The exact nearest-rank `q`-quantile of a sample vector — the
+/// reference the streaming sketch is tested against. Sorts a copy;
+/// only for tests and small offline summaries.
+pub fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = StreamingHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn zero_samples_stay_zero() {
+        let mut h = StreamingHistogram::new();
+        for _ in 0..10 {
+            h.observe(0.0);
+        }
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact() {
+        let mut h = StreamingHistogram::new();
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 / 7.0).collect();
+        for &s in &samples {
+            h.observe(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let (lo, hi) = h.quantile_bounds(q);
+            assert!(
+                exact >= lo && exact < hi,
+                "q={q}: exact {exact} outside bucket [{lo}, {hi})"
+            );
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact.max(1e-9);
+            assert!(rel <= 1.0 / SUBBUCKETS as f64 + 1e-9, "q={q}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = StreamingHistogram::new();
+        for s in [2.5, 7.0, 42.0] {
+            h.observe(s);
+        }
+        assert_eq!(h.min(), 2.5);
+        assert_eq!(h.max(), 42.0);
+        assert_eq!(h.quantile(0.0), 2.5);
+        assert_eq!(h.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_observation() {
+        let (mut a, mut b, mut c) = (
+            StreamingHistogram::new(),
+            StreamingHistogram::new(),
+            StreamingHistogram::new(),
+        );
+        for i in 0..100 {
+            let v = (i * 13 % 97) as f64 / 3.0;
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            c.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts, c.counts);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), c.quantile(q), "q={q}");
+        }
+        // f64 addition is not associative, so sums agree only approximately.
+        assert!((a.sum() - c.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_and_huge_values_clamp() {
+        let mut h = StreamingHistogram::new();
+        h.observe(1e-12);
+        h.observe(1e300);
+        h.observe(f64::NAN);
+        h.observe(-5.0);
+        assert_eq!(h.count(), 4);
+        // Underflow reports 0; the clamp bucket reports a finite value.
+        assert_eq!(h.quantile(0.1), 0.0);
+        assert!(h.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut h = StreamingHistogram::new();
+        let before = h.buckets();
+        for i in 0..100_000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.buckets(), before, "observe must never allocate");
+        assert!(before * 8 < 64 * 1024, "sketch stays under 64 KiB");
+    }
+
+    #[test]
+    fn bucket_math_is_consistent() {
+        for v in [0.001, 0.5, 1.0, 1.5, 2.0, 3.75, 1024.0, 9.9e12] {
+            let idx = bucket_of(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(v >= lo && v < hi, "{v} not in [{lo}, {hi}) (idx {idx})");
+        }
+    }
+}

@@ -36,6 +36,15 @@ pub fn to_jsonl(log: &ObsLog) -> String {
     if let Some(m) = meta.messages {
         let _ = write!(out, ",\"messages\":{m}");
     }
+    if let Some(d) = meta.dropped_events {
+        let _ = write!(out, ",\"dropped\":{d}");
+    }
+    if let Some(s) = &meta.sample {
+        let _ = write!(out, ",\"sample\":\"{s}\"");
+    }
+    if let Some(c) = meta.ring_capacity {
+        let _ = write!(out, ",\"ring_capacity\":{c}");
+    }
     out.push_str("}\n");
     for e in log.events() {
         match *e {
@@ -321,6 +330,15 @@ impl JsonlParser {
             if f.get("messages").is_ok() {
                 m.messages = Some(f.u64("messages")?);
             }
+            if f.get("dropped").is_ok() {
+                m.dropped_events = Some(f.u64("dropped")?);
+            }
+            if f.get("sample").is_ok() {
+                m.sample = Some(f.str("sample")?.to_string());
+            }
+            if f.get("ring_capacity").is_ok() {
+                m.ring_capacity = Some(f.u64("ring_capacity")?);
+            }
             self.meta = Some(m);
             return Ok(None);
         }
@@ -461,6 +479,29 @@ mod tests {
             header,
             "{\"type\":\"run\",\"engine\":\"event\",\"n\":3,\"lambda\":\"5/2\",\"messages\":1}"
         );
+    }
+
+    #[test]
+    fn drop_accounting_round_trips_in_the_header() {
+        let mut meta = RunMeta::new("event", 4)
+            .latency(Latency::from_int(2))
+            .dropped(17)
+            .sampled("tail,rate:8");
+        meta.ring_capacity = Some(1024);
+        let log = ObsLog::new(meta, vec![]);
+        let text = to_jsonl(&log);
+        let header = text.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "{\"type\":\"run\",\"engine\":\"event\",\"n\":4,\"lambda\":\"2\",\
+             \"dropped\":17,\"sample\":\"tail,rate:8\",\"ring_capacity\":1024}"
+        );
+        let again = from_jsonl(&text).unwrap();
+        assert_eq!(again.meta().dropped_events, Some(17));
+        assert_eq!(again.meta().sample.as_deref(), Some("tail,rate:8"));
+        assert_eq!(again.meta().ring_capacity, Some(1024));
+        assert!(again.meta().is_partial());
+        assert_eq!(&again, &log);
     }
 
     #[test]

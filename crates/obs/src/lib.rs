@@ -21,6 +21,20 @@
 //! so instrumentation never creates a dependency cycle: engines push
 //! events down into a recorder; exporters read the log back out.
 //!
+//! ## Recording at scale
+//!
+//! Three recorders cover the cost spectrum: [`NullRecorder`] (zero
+//! cost), [`MemoryRecorder`] (every event, unbounded memory), and
+//! [`RingRecorder`] — a sharded fixed-capacity ring with configurable
+//! [`SampleSpec`] head/tail/rate sampling for runs where tracing must
+//! not dominate (n → 10⁶). Sampling is *honest*: every rejected event
+//! is counted, the total lands in [`RunMeta::dropped_events`], and all
+//! three exporters plus `postal-cli stats` surface it, so a partial
+//! trace can never masquerade as a complete one. Percentile summaries
+//! (p50/p90/p99 latency, queue delay, port utilization) come from
+//! [`StreamingHistogram`] — log-bucketed sketches computed in
+//! O(buckets) memory rather than from stored event vectors.
+//!
 //! ## Timing fidelity
 //!
 //! Events carry [`postal_model::Time`] (exact rationals). The JSONL
@@ -34,16 +48,22 @@
 pub mod chrome;
 pub mod event;
 pub mod gantt;
+pub mod hist;
 pub mod jsonl;
 pub mod log;
 pub mod metrics;
 pub mod prometheus;
 pub mod recorder;
+pub mod ring;
+pub mod sample;
 
 pub use chrome::to_chrome_trace;
 pub use event::{ObsEvent, PortSide, PortSpan};
+pub use hist::StreamingHistogram;
 pub use jsonl::{from_jsonl, to_jsonl, JsonlParser};
 pub use log::{port_busy_times, ObsError, ObsLog, RunMeta};
 pub use metrics::{Histogram, MetricsSummary};
 pub use prometheus::to_prometheus;
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder};
+pub use ring::{RingRecorder, ShardStats};
+pub use sample::{SampleMode, SampleSpec};

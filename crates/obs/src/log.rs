@@ -21,6 +21,18 @@ pub struct RunMeta {
     /// Number of distinct broadcast messages (the paper's `m`), when the
     /// workload has one.
     pub messages: Option<u64>,
+    /// Events the recorder *rejected* (sampling, ring overflow) while
+    /// producing this log. `Some(0)` asserts the log is complete;
+    /// `Some(k > 0)` marks a **partial trace** — consumers (lints,
+    /// metrics) must not treat absence of an event as evidence. `None`
+    /// means the producer predates drop accounting (treated as
+    /// complete, like `Some(0)`).
+    pub dropped_events: Option<u64>,
+    /// The sampling policy that produced the log (the
+    /// [`crate::SampleSpec`] grammar), when one was applied.
+    pub sample: Option<String>,
+    /// Per-shard ring capacity of the producing recorder, when bounded.
+    pub ring_capacity: Option<u64>,
 }
 
 impl RunMeta {
@@ -31,6 +43,9 @@ impl RunMeta {
             n,
             lambda: None,
             messages: None,
+            dropped_events: None,
+            sample: None,
+            ring_capacity: None,
         }
     }
 
@@ -44,6 +59,26 @@ impl RunMeta {
     pub fn messages(mut self, m: u64) -> RunMeta {
         self.messages = Some(m);
         self
+    }
+
+    /// Sets the recorder-drop count (see [`RunMeta::dropped_events`]).
+    pub fn dropped(mut self, dropped: u64) -> RunMeta {
+        self.dropped_events = Some(dropped);
+        self
+    }
+
+    /// Sets the sampling-policy tag (see [`RunMeta::sample`]).
+    pub fn sampled(mut self, spec: &str) -> RunMeta {
+        self.sample = Some(spec.to_string());
+        self
+    }
+
+    /// Whether the log is a partial trace: some events were dropped by
+    /// sampling or ring overflow, so absence of an event proves
+    /// nothing. Complete logs (and logs predating drop accounting)
+    /// return `false`.
+    pub fn is_partial(&self) -> bool {
+        self.dropped_events.is_some_and(|d| d > 0)
     }
 }
 

@@ -1,8 +1,10 @@
 //! Counters and histograms summarizing an observed run.
 
 use crate::event::ObsEvent;
+use crate::hist::StreamingHistogram;
 use crate::log::{port_busy_times, ObsLog};
 use postal_model::Time;
+use std::collections::HashMap;
 
 /// A fixed-bucket histogram over model-time durations (in units).
 ///
@@ -115,6 +117,23 @@ pub struct MetricsSummary {
     /// Queueing delay samples (`recv_start − arrival`); all-zero on any
     /// schedule the paper's algorithms produce.
     pub queue_delay: Histogram,
+    /// Streaming log-bucketed latency sketch: p50/p90/p99 in O(buckets)
+    /// memory, never from a stored event vector. Same samples as
+    /// [`MetricsSummary::latency`].
+    pub latency_sketch: StreamingHistogram,
+    /// Streaming queue-delay sketch (same samples as
+    /// [`MetricsSummary::queue_delay`]).
+    pub queue_delay_sketch: StreamingHistogram,
+    /// Streaming sketch of per-processor *output*-port utilization
+    /// fractions over the completion window — percentiles across the
+    /// fleet ("the p99 port is 80% busy"), not across time.
+    pub out_utilization_sketch: StreamingHistogram,
+    /// Events the recorder dropped while producing the log
+    /// ([`crate::RunMeta::dropped_events`]); when > 0 every count above
+    /// is a lower bound, not a total.
+    pub dropped_events: u64,
+    /// The sampling policy that shaped the log, when one was applied.
+    pub sample: Option<String>,
 }
 
 impl MetricsSummary {
@@ -135,8 +154,13 @@ impl MetricsSummary {
             completion: log.completion_time(),
             latency: Histogram::default(),
             queue_delay: Histogram::default(),
+            latency_sketch: StreamingHistogram::new(),
+            queue_delay_sketch: StreamingHistogram::new(),
+            out_utilization_sketch: StreamingHistogram::new(),
+            dropped_events: log.meta().dropped_events.unwrap_or(0),
+            sample: log.meta().sample.clone(),
         };
-        let mut send_starts: Vec<(u64, Time)> = Vec::new();
+        let mut send_starts: HashMap<u64, Time> = HashMap::new();
         for e in log.events() {
             match *e {
                 ObsEvent::Send {
@@ -145,7 +169,7 @@ impl MetricsSummary {
                     if (src as usize) < n {
                         s.sends[src as usize] += 1;
                     }
-                    send_starts.push((seq, start));
+                    send_starts.insert(seq, start);
                 }
                 ObsEvent::Recv {
                     seq,
@@ -160,10 +184,14 @@ impl MetricsSummary {
                         s.recvs[dst as usize] += 1;
                     }
                     s.queued_recvs += u64::from(queued);
-                    if let Some(&(_, sent)) = send_starts.iter().find(|&&(q, _)| q == seq) {
-                        s.latency.observe((finish - sent).to_f64());
+                    if let Some(&sent) = send_starts.get(&seq) {
+                        let sample = (finish - sent).to_f64();
+                        s.latency.observe(sample);
+                        s.latency_sketch.observe(sample);
                     }
-                    s.queue_delay.observe((start - arrival).to_f64());
+                    let delay = (start - arrival).to_f64();
+                    s.queue_delay.observe(delay);
+                    s.queue_delay_sketch.observe(delay);
                 }
                 ObsEvent::Violation { .. } => s.violations += 1,
                 ObsEvent::Drop { .. } => s.drops += 1,
@@ -176,7 +204,33 @@ impl MetricsSummary {
             s.out_busy[i] = out;
             s.in_busy[i] = inn;
         }
+        for p in 0..n {
+            let (out, _) = s.utilization(p);
+            s.out_utilization_sketch.observe(out);
+        }
         s
+    }
+
+    /// The `q`-quantile of end-to-end message latency, from the
+    /// streaming sketch (within one log-bucket of exact).
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        self.latency_sketch.quantile(q)
+    }
+
+    /// The `q`-quantile of input-port queueing delay.
+    pub fn queue_delay_quantile(&self, q: f64) -> f64 {
+        self.queue_delay_sketch.quantile(q)
+    }
+
+    /// The `q`-quantile of per-processor output-port utilization.
+    pub fn out_utilization_quantile(&self, q: f64) -> f64 {
+        self.out_utilization_sketch.quantile(q)
+    }
+
+    /// Whether the summarized log was a partial (sampled) trace; when
+    /// true every total is a lower bound on the run's real activity.
+    pub fn is_partial(&self) -> bool {
+        self.dropped_events > 0
     }
 
     /// Port utilization fractions `(out, in)` for one processor over
@@ -274,6 +328,40 @@ mod tests {
         assert!((s.latency.mean() - 2.0).abs() < 1e-12);
         assert_eq!(s.queue_delay.count(), 2);
         assert_eq!(s.queue_delay.sum(), 0.0);
+    }
+
+    #[test]
+    fn streaming_sketches_agree_with_exact_histograms() {
+        let s = MetricsSummary::from_log(&sample_log());
+        assert_eq!(s.latency_sketch.count(), s.latency.count());
+        assert!((s.latency_sketch.mean() - s.latency.mean()).abs() < 1e-12);
+        // Both messages took exactly 2 units; every quantile is in the
+        // bucket containing 2.0 (≤ 1/64 relative error).
+        for q in [0.5, 0.9, 0.99] {
+            let (lo, hi) = s.latency_sketch.quantile_bounds(q);
+            assert!(lo <= 2.0 && 2.0 < hi, "q={q}: [{lo}, {hi})");
+            assert!((s.latency_quantile(q) - 2.0).abs() <= 2.0 / 64.0);
+        }
+        assert_eq!(s.queue_delay_quantile(0.99), 0.0);
+        assert_eq!(s.out_utilization_sketch.count(), 3);
+        assert_eq!(s.dropped_events, 0);
+        assert!(!s.is_partial());
+    }
+
+    #[test]
+    fn dropped_events_flow_from_meta() {
+        let lam = Latency::from_int(2);
+        let log = ObsLog::new(
+            RunMeta::new("event", 2)
+                .latency(lam)
+                .dropped(5)
+                .sampled("tail"),
+            vec![],
+        );
+        let s = MetricsSummary::from_log(&log);
+        assert_eq!(s.dropped_events, 5);
+        assert_eq!(s.sample.as_deref(), Some("tail"));
+        assert!(s.is_partial());
     }
 
     #[test]

@@ -46,13 +46,27 @@ pub fn to_prometheus(log: &ObsLog) -> String {
         .unwrap_or_else(|| "unknown".into());
     let _ = writeln!(
         out,
-        "postal_run_info{{engine=\"{}\",n=\"{}\",lambda=\"{}\",messages=\"{}\"}} 1",
+        "postal_run_info{{engine=\"{}\",n=\"{}\",lambda=\"{}\",messages=\"{}\",sample=\"{}\"}} 1",
         meta.engine,
         meta.n,
         lam,
         meta.messages
             .map(|m| m.to_string())
             .unwrap_or_else(|| "unknown".into()),
+        meta.sample.as_deref().unwrap_or("none"),
+    );
+
+    // Honest drop accounting: a scrape of a sampled run must say so.
+    let _ = writeln!(
+        out,
+        "# HELP postal_recorder_dropped_events_total Events the recorder rejected \
+         (sampling or ring overflow); counters above are lower bounds when nonzero."
+    );
+    let _ = writeln!(out, "# TYPE postal_recorder_dropped_events_total counter");
+    let _ = writeln!(
+        out,
+        "postal_recorder_dropped_events_total {}",
+        s.dropped_events
     );
 
     let _ = writeln!(
@@ -148,6 +162,31 @@ pub fn to_prometheus(log: &ObsLog) -> String {
         "Input-port queueing delay (recv start minus arrival), model units.",
         &s.queue_delay,
     );
+
+    // Streaming-sketch percentiles (summary-style quantile gauges).
+    for (name, help, value_of) in [
+        (
+            "postal_message_latency_quantile_units",
+            "End-to-end latency quantiles from the streaming log-bucketed sketch.",
+            &(|q| s.latency_quantile(q)) as &dyn Fn(f64) -> f64,
+        ),
+        (
+            "postal_queue_delay_quantile_units",
+            "Queueing-delay quantiles from the streaming sketch.",
+            &|q| s.queue_delay_quantile(q),
+        ),
+        (
+            "postal_out_port_utilization_quantile",
+            "Per-processor output-port utilization quantiles across the fleet.",
+            &|q| s.out_utilization_quantile(q),
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for q in [0.5, 0.9, 0.99] {
+            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", fmt_f64(value_of(q)));
+        }
+    }
     out
 }
 
@@ -184,8 +223,12 @@ mod tests {
             ],
         );
         let text = to_prometheus(&log);
-        assert!(text
-            .contains("postal_run_info{engine=\"event\",n=\"2\",lambda=\"2\",messages=\"1\"} 1"));
+        assert!(text.contains(
+            "postal_run_info{engine=\"event\",n=\"2\",lambda=\"2\",messages=\"1\",sample=\"none\"} 1"
+        ));
+        assert!(text.contains("postal_recorder_dropped_events_total 0"));
+        assert!(text.contains("postal_message_latency_quantile_units{quantile=\"0.99\"}"));
+        assert!(text.contains("postal_out_port_utilization_quantile{quantile=\"0.5\"}"));
         assert!(text.contains("postal_sends_total{proc=\"0\"} 1"));
         assert!(text.contains("postal_recvs_total{proc=\"1\"} 1"));
         assert!(text.contains("postal_port_busy_units{proc=\"0\",port=\"out\"} 1"));
@@ -201,5 +244,22 @@ mod tests {
                 "malformed exposition line: {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn sampled_runs_expose_their_drop_count() {
+        let log = ObsLog::new(
+            RunMeta::new("event", 2)
+                .latency(Latency::from_int(2))
+                .dropped(42)
+                .sampled("tail,rate:8"),
+            vec![],
+        );
+        let text = to_prometheus(&log);
+        assert!(
+            text.contains("postal_recorder_dropped_events_total 42"),
+            "{text}"
+        );
+        assert!(text.contains("sample=\"tail,rate:8\""), "{text}");
     }
 }

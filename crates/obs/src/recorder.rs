@@ -43,19 +43,29 @@ impl MemoryRecorder {
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("recorder poisoned").len()
+        self.lock().len()
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing has been recorded. Checks under a single lock
+    /// acquisition (not via [`MemoryRecorder::len`]).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.lock().is_empty()
+    }
+
+    /// The event buffer, recovering from poisoning: a panicking worker
+    /// thread (`RuntimeError::WorkerExited` upstream) must not cascade
+    /// into losing the whole log — an appended `ObsEvent` is always
+    /// fully written before the lock is released, so the buffer is
+    /// intact even if some *other* holder panicked mid-critical-section.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<ObsEvent>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Drains the recorded events into an [`ObsLog`] with the given run
     /// metadata, sorted by (timestamp, kind, seq) so logs from threaded
     /// runs are deterministic given their timestamps.
     pub fn into_log(self, meta: RunMeta) -> ObsLog {
-        let mut events = self.events.into_inner().expect("recorder poisoned");
+        let mut events = self.events.into_inner().unwrap_or_else(|e| e.into_inner());
         sort_events(&mut events);
         ObsLog::new(meta, events)
     }
@@ -63,13 +73,26 @@ impl MemoryRecorder {
     /// Copies the events recorded so far (sorted as in
     /// [`MemoryRecorder::into_log`]) without consuming the recorder.
     pub fn snapshot(&self, meta: RunMeta) -> ObsLog {
-        let mut events = self.events.lock().expect("recorder poisoned").clone();
+        self.snapshot_tail(meta, usize::MAX)
+    }
+
+    /// Copies at most the last `max_events` recorded events (by record
+    /// order) without consuming the recorder. Only the requested slice
+    /// is cloned, and only while the lock is held — a bounded snapshot
+    /// of a multi-million-event buffer copies `max_events` events, not
+    /// the whole log.
+    pub fn snapshot_tail(&self, meta: RunMeta, max_events: usize) -> ObsLog {
+        let mut events = {
+            let guard = self.lock();
+            let skip = guard.len().saturating_sub(max_events);
+            guard[skip..].to_vec()
+        };
         sort_events(&mut events);
         ObsLog::new(meta, events)
     }
 }
 
-fn sort_events(events: &mut [ObsEvent]) {
+pub(crate) fn sort_events(events: &mut [ObsEvent]) {
     events.sort_by_key(|e| {
         let seq = match *e {
             ObsEvent::Send { seq, .. }
@@ -95,7 +118,7 @@ fn kind_rank(e: &ObsEvent) -> u8 {
 
 impl Recorder for MemoryRecorder {
     fn record(&self, event: ObsEvent) {
-        self.events.lock().expect("recorder poisoned").push(event);
+        self.lock().push(event);
     }
 }
 
@@ -136,6 +159,51 @@ mod tests {
             proc: 0,
             at: Time::ZERO,
         });
+    }
+
+    #[test]
+    fn snapshot_tail_copies_only_the_requested_slice() {
+        let rec = MemoryRecorder::new();
+        for i in 0..10 {
+            rec.record(ObsEvent::Wake {
+                proc: 0,
+                at: Time::from_int(i),
+            });
+        }
+        let meta = RunMeta::new("test", 1);
+        let tail = rec.snapshot_tail(meta.clone(), 3);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail.events()[0].at(), Time::from_int(7));
+        // An oversized request degrades to a full snapshot.
+        assert_eq!(rec.snapshot_tail(meta.clone(), 1000).len(), 10);
+        assert_eq!(rec.snapshot(meta).len(), 10);
+    }
+
+    #[test]
+    fn poisoned_recorder_keeps_its_log() {
+        let rec = std::sync::Arc::new(MemoryRecorder::new());
+        rec.record(ObsEvent::Wake {
+            proc: 0,
+            at: Time::ZERO,
+        });
+        // Panic while holding the buffer lock: the mutex is now
+        // poisoned, but no event was lost.
+        let holder = std::sync::Arc::clone(&rec);
+        let _ = std::thread::spawn(move || {
+            let _guard = holder.lock();
+            panic!("worker exited");
+        })
+        .join();
+        assert_eq!(rec.len(), 1, "poisoning must not lose the log");
+        assert!(!rec.is_empty());
+        rec.record(ObsEvent::Wake {
+            proc: 1,
+            at: Time::ONE,
+        });
+        let log = std::sync::Arc::try_unwrap(rec)
+            .unwrap()
+            .into_log(RunMeta::new("test", 2));
+        assert_eq!(log.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Sampling policies for bounded-memory recording.
+//!
+//! At n = 10⁶ processors a full event log is gigabytes; tracing must
+//! not dominate the run it observes. A [`SampleSpec`] describes which
+//! events a [`crate::RingRecorder`] keeps:
+//!
+//! * **mode** — what happens when a shard's ring fills: [`SampleMode::Head`]
+//!   keeps the *first* `capacity` events per shard (the broadcast
+//!   front, where the paper's structure lives) and drops the rest;
+//!   [`SampleMode::Tail`] overwrites the oldest event, keeping the most
+//!   *recent* `capacity` (the steady state, where contention lives);
+//! * **rate** — `1/every` pre-sampling on the hot path: only every
+//!   `every`-th event (per shard, in arrival order) is even offered to
+//!   the ring. `every = 1` offers everything.
+//!
+//! Every event a policy rejects is **counted, never silently lost**:
+//! the recorder's per-shard `dropped` counters flow into
+//! [`crate::RunMeta::dropped_events`], the JSONL header, the Prometheus
+//! exposition and `postal-cli stats`, so a consumer always knows how
+//! much of the run it is looking at.
+//!
+//! The textual grammar (accepted by `postal-cli simulate --sample` and
+//! [`SampleSpec::parse`]) is a comma-separated list:
+//!
+//! ```text
+//! all            keep everything the ring has room for (head mode, rate 1)
+//! head           keep the first events per shard (same as all)
+//! tail           keep the most recent events per shard
+//! rate:<k>       keep one event in k (combines with head/tail)
+//! tail,rate:8    e.g.: every 8th event, most recent kept on overflow
+//! ```
+
+use std::fmt;
+
+/// What a full ring does with the next kept event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleMode {
+    /// Keep the first `capacity` events per shard; drop later ones.
+    #[default]
+    Head,
+    /// Keep the most recent `capacity` events per shard; overwrite (and
+    /// count as dropped) the oldest.
+    Tail,
+}
+
+/// A complete sampling policy: overflow mode plus rate pre-sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Overflow behavior once a shard's ring is full.
+    pub mode: SampleMode,
+    /// Keep one event in `every` (per shard). `1` keeps all.
+    pub every: u64,
+}
+
+impl Default for SampleSpec {
+    fn default() -> SampleSpec {
+        SampleSpec {
+            mode: SampleMode::Head,
+            every: 1,
+        }
+    }
+}
+
+impl SampleSpec {
+    /// The keep-everything policy (subject only to ring capacity).
+    pub fn all() -> SampleSpec {
+        SampleSpec::default()
+    }
+
+    /// Head mode at the given rate.
+    pub fn head(every: u64) -> SampleSpec {
+        SampleSpec {
+            mode: SampleMode::Head,
+            every: every.max(1),
+        }
+    }
+
+    /// Tail mode at the given rate.
+    pub fn tail(every: u64) -> SampleSpec {
+        SampleSpec {
+            mode: SampleMode::Tail,
+            every: every.max(1),
+        }
+    }
+
+    /// Whether the `k`-th event offered to a shard (0-based, in arrival
+    /// order) passes the rate pre-sampler.
+    pub fn keeps(&self, k: u64) -> bool {
+        self.every <= 1 || k.is_multiple_of(self.every)
+    }
+
+    /// Parses the textual grammar (see the module docs).
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending term.
+    pub fn parse(text: &str) -> Result<SampleSpec, String> {
+        let mut spec = SampleSpec::default();
+        for term in text.split(',') {
+            let term = term.trim();
+            match term {
+                "all" | "head" => spec.mode = SampleMode::Head,
+                "tail" => spec.mode = SampleMode::Tail,
+                _ => {
+                    if let Some(k) = term.strip_prefix("rate:") {
+                        let every: u64 = k.parse().map_err(|_| {
+                            format!("bad sample rate {k:?} (want rate:<positive integer>)")
+                        })?;
+                        if every == 0 {
+                            return Err("sample rate must be ≥ 1".into());
+                        }
+                        spec.every = every;
+                    } else {
+                        return Err(format!(
+                            "unknown sample term {term:?} (want all|head|tail|rate:<k>)"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for SampleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match self.mode {
+            SampleMode::Head => "head",
+            SampleMode::Tail => "tail",
+        };
+        if self.every <= 1 {
+            f.write_str(mode)
+        } else {
+            write!(f, "{mode},rate:{}", self.every)
+        }
+    }
+}
+
+impl std::str::FromStr for SampleSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SampleSpec, String> {
+        SampleSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_grammar_form() {
+        assert_eq!(SampleSpec::parse("all").unwrap(), SampleSpec::all());
+        assert_eq!(SampleSpec::parse("head").unwrap(), SampleSpec::head(1));
+        assert_eq!(SampleSpec::parse("tail").unwrap(), SampleSpec::tail(1));
+        assert_eq!(SampleSpec::parse("rate:8").unwrap(), SampleSpec::head(8));
+        assert_eq!(
+            SampleSpec::parse("tail,rate:8").unwrap(),
+            SampleSpec::tail(8)
+        );
+        assert_eq!(
+            SampleSpec::parse(" head , rate:3 ").unwrap(),
+            SampleSpec::head(3)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(SampleSpec::parse("warp").is_err());
+        assert!(SampleSpec::parse("rate:0").is_err());
+        assert!(SampleSpec::parse("rate:x").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["head", "tail", "head,rate:8", "tail,rate:100"] {
+            let spec = SampleSpec::parse(text).unwrap();
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(SampleSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        // "all" and "rate:8" normalize to head forms.
+        assert_eq!(SampleSpec::parse("all").unwrap().to_string(), "head");
+        assert_eq!(
+            SampleSpec::parse("rate:8").unwrap().to_string(),
+            "head,rate:8"
+        );
+    }
+
+    #[test]
+    fn rate_keeps_every_kth() {
+        let spec = SampleSpec::head(4);
+        let kept: Vec<u64> = (0..12).filter(|&k| spec.keeps(k)).collect();
+        assert_eq!(kept, vec![0, 4, 8]);
+        assert!((0..100).all(|k| SampleSpec::all().keeps(k)));
+    }
+}

@@ -685,6 +685,41 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_through_sharded_ring_accounts_for_every_event() {
+        // Real threads hammer the ring concurrently; the accounting
+        // invariant must hold regardless of interleaving, and the
+        // drained log must stamp its own completeness.
+        let n = 8;
+        let lam = Latency::from_int(2);
+        let rec = Arc::new(postal_obs::RingRecorder::with_spec(
+            4,
+            postal_obs::SampleSpec::tail(1),
+        ));
+        let programs = send_programs_from(n, |id| {
+            Box::new(BcastProgram::new(
+                lam,
+                (id == ProcId::ROOT).then_some(n as u64),
+            )) as Box<dyn Program<BcastPayload> + Send>
+        });
+        let report = run_threaded_observed(
+            lam,
+            RuntimeConfig::default(),
+            programs,
+            Arc::clone(&rec) as Arc<dyn postal_obs::Recorder>,
+        );
+        assert_eq!(report.deliveries.len(), n - 1);
+        let ring = Arc::try_unwrap(rec).expect("all threads joined");
+        assert_eq!(
+            ring.recorded_events() + ring.dropped_events(),
+            ring.attempted_events()
+        );
+        let dropped = ring.dropped_events();
+        let log = ring.into_log(postal_obs::RunMeta::new("threaded", n as u32).latency(lam));
+        assert_eq!(log.meta().dropped_events, Some(dropped));
+        assert_eq!(log.meta().sample.as_deref(), Some("tail"));
+    }
+
+    #[test]
     fn completion_comes_from_the_virtual_clock() {
         let n = 8;
         let lam = Latency::from_int(2);

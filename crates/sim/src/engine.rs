@@ -747,6 +747,52 @@ mod tests {
     }
 
     #[test]
+    fn observe_streams_through_the_ring_recorder() {
+        // The sharded ring recorder plugs into the engine exactly like
+        // MemoryRecorder; with ample capacity nothing is dropped and the
+        // log matches the unsampled one event for event.
+        let lam = Uniform(Latency::from_ratio(5, 2));
+        let ring = postal_obs::RingRecorder::new(1024);
+        let full = postal_obs::MemoryRecorder::new();
+        let report = Simulation::new(3, &lam)
+            .observe(&ring)
+            .run(spray_programs(3, vec![1, 2]))
+            .unwrap();
+        let _ = Simulation::new(3, &lam)
+            .observe(&full)
+            .run(spray_programs(3, vec![1, 2]))
+            .unwrap();
+        assert_eq!(ring.dropped_events(), 0);
+        assert_eq!(ring.attempted_events(), ring.recorded_events());
+        let meta = postal_obs::RunMeta::new("event", 3).latency(Latency::from_ratio(5, 2));
+        let log = ring.into_log(meta.clone());
+        assert_eq!(log.meta().dropped_events, Some(0));
+        assert_eq!(log.completion_time(), report.completion);
+        assert_eq!(log.events(), full.into_log(meta).events());
+    }
+
+    #[test]
+    fn observe_with_tight_ring_drops_honestly() {
+        // Per-shard capacity 1: most events are dropped, but every drop
+        // is counted — recorded + dropped == attempted, always.
+        let lam = Uniform(Latency::from_int(2));
+        let ring = postal_obs::RingRecorder::new(1);
+        let _ = Simulation::new(8, &lam)
+            .observe(&ring)
+            .run(spray_programs(8, (1..8).collect()))
+            .unwrap();
+        let attempted = ring.attempted_events();
+        assert_eq!(attempted, 14); // 7 sends + 7 recvs
+        assert_eq!(ring.recorded_events() + ring.dropped_events(), attempted);
+        assert!(ring.dropped_events() > 0);
+        let log = ring.into_log(postal_obs::RunMeta::new("event", 8));
+        assert_eq!(
+            log.meta().dropped_events,
+            Some(attempted - log.events().len() as u64)
+        );
+    }
+
+    #[test]
     fn observe_streams_fault_events() {
         let lam = Uniform(Latency::from_int(2));
         let rec = postal_obs::MemoryRecorder::new();

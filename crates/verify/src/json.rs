@@ -33,6 +33,20 @@ pub struct ScheduleFile {
     pub schedule: Schedule,
     /// `"messages"` field, when present.
     pub messages: Option<u64>,
+    /// Events the recorder dropped before this schedule was derived
+    /// (JSONL logs only; schedule files are always complete). A nonzero
+    /// value marks the schedule as a *partial* reconstruction.
+    pub dropped_events: Option<u64>,
+    /// The sampling spec that produced the source log, when sampled.
+    pub sample: Option<String>,
+}
+
+impl ScheduleFile {
+    /// True when the source trace is known to be incomplete — findings
+    /// about absences (causality, coverage) are unreliable then.
+    pub fn is_partial(&self) -> bool {
+        self.dropped_events.is_some_and(|d| d > 0)
+    }
 }
 
 /// A JSON syntax or shape error, with a byte offset when syntactic.
@@ -327,6 +341,8 @@ pub fn parse_schedule(text: &str) -> Result<ScheduleFile, JsonError> {
     Ok(ScheduleFile {
         schedule: Schedule::new(n as u32, latency, sends),
         messages,
+        dropped_events: None,
+        sample: None,
     })
 }
 
@@ -731,6 +747,8 @@ pub fn parse_schedule_reader<R: std::io::BufRead>(reader: R) -> Result<ScheduleF
     Ok(ScheduleFile {
         schedule: Schedule::new(n as u32, latency, sends),
         messages,
+        dropped_events: None,
+        sample: None,
     })
 }
 

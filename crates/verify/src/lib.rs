@@ -183,7 +183,43 @@ pub fn jsonl_to_schedule_file<R: std::io::BufRead>(
     Ok(json::ScheduleFile {
         schedule: Schedule::new(meta.n, lambda, sends),
         messages: meta.messages,
+        dropped_events: meta.dropped_events,
+        sample: meta.sample,
     })
+}
+
+/// Downgrades absence-based lints on a partial trace.
+///
+/// A sampled or ring-overflowed log (header `"dropped" > 0`) is missing
+/// events, so `P0003` (causality) and `P0005` (coverage) findings may be
+/// artifacts of the missing data rather than real violations: a
+/// forwarding send whose triggering receive was sampled away looks
+/// acausal, and a processor whose informing send was dropped looks
+/// uninformed. When `dropped > 0` this rewrites those two codes from
+/// [`Severity::Error`] to [`Severity::Warn`] and annotates the message;
+/// port-overlap and shape lints (`P0001`, `P0002`, `P0004`) fire on the
+/// events that *are* present, so they keep their severity. With
+/// `dropped == 0` the diagnostics pass through untouched.
+pub fn downgrade_partial_trace(diags: Vec<Diagnostic>, dropped: u64) -> Vec<Diagnostic> {
+    if dropped == 0 {
+        return diags;
+    }
+    diags
+        .into_iter()
+        .map(|mut d| {
+            let absence_based = matches!(
+                d.code,
+                LintCode::CausalityViolation | LintCode::UninformedProcessor
+            );
+            if absence_based && d.severity == Severity::Error {
+                d.severity = Severity::Warn;
+                d.message.push_str(&format!(
+                    " (downgraded: trace is partial, {dropped} events dropped by sampling)"
+                ));
+            }
+            d
+        })
+        .collect()
 }
 
 /// Lints an observability JSONL log end to end: parse the event stream,
@@ -191,10 +227,20 @@ pub fn jsonl_to_schedule_file<R: std::io::BufRead>(
 /// This closes the loop between the runtime exporters and the static
 /// analyzer — a recorded run can be re-checked offline.
 ///
+/// Sampled logs are tolerated: when the header declares dropped events,
+/// absence-based findings are downgraded via
+/// [`downgrade_partial_trace`] instead of reported as false-positive
+/// errors.
+///
 /// # Errors
 /// When the text cannot be parsed or reduced to a schedule.
 pub fn lint_jsonl(text: &str, opts: &LintOptions) -> Result<Vec<Diagnostic>, ObsError> {
-    Ok(lint_schedule(&schedule_from_jsonl(text)?, opts))
+    let file = jsonl_to_schedule_file(std::io::Cursor::new(text))?;
+    let diags = lint_schedule(&file.schedule, opts);
+    Ok(downgrade_partial_trace(
+        diags,
+        file.dropped_events.unwrap_or(0),
+    ))
 }
 
 #[cfg(test)]
@@ -287,5 +333,62 @@ mod tests {
     #[test]
     fn lint_jsonl_rejects_garbage() {
         assert!(lint_jsonl("not json", &LintOptions::default()).is_err());
+    }
+
+    /// A log missing its first send (sampled away): p1 forwards a
+    /// message it never visibly received.
+    fn partial_log(dropped: u64) -> String {
+        use postal_obs::{to_jsonl, ObsEvent, ObsLog, RunMeta};
+        let lam = Latency::from_ratio(5, 2);
+        let mut meta = RunMeta::new("event", 3).latency(lam).messages(1);
+        if dropped > 0 {
+            meta = meta.dropped(dropped).sampled("rate:2");
+        }
+        to_jsonl(&ObsLog::new(
+            meta,
+            vec![ObsEvent::Send {
+                seq: 1,
+                src: 1,
+                dst: 2,
+                start: Time::new(5, 2),
+                finish: Time::new(7, 2),
+            }],
+        ))
+    }
+
+    #[test]
+    fn sampled_logs_downgrade_absence_lints() {
+        // Complete log: the missing informing send is a real error.
+        let full = lint_jsonl(&partial_log(0), &LintOptions::default()).unwrap();
+        assert!(full
+            .iter()
+            .any(|d| d.code == LintCode::CausalityViolation && d.severity == Severity::Error));
+        assert!(full
+            .iter()
+            .any(|d| d.code == LintCode::UninformedProcessor && d.severity == Severity::Error));
+
+        // Same events, but the header admits drops: downgraded to warnings.
+        let sampled = lint_jsonl(&partial_log(3), &LintOptions::default()).unwrap();
+        assert!(is_clean(&sampled, Severity::Error), "{sampled:?}");
+        let causality = sampled
+            .iter()
+            .find(|d| d.code == LintCode::CausalityViolation)
+            .expect("finding still reported, just softer");
+        assert_eq!(causality.severity, Severity::Warn);
+        assert!(causality.message.contains("3 events dropped"));
+        assert!(sampled
+            .iter()
+            .any(|d| d.code == LintCode::UninformedProcessor && d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn jsonl_schedule_file_carries_drop_metadata() {
+        let file = jsonl_to_schedule_file(std::io::Cursor::new(partial_log(7).as_bytes())).unwrap();
+        assert!(file.is_partial());
+        assert_eq!(file.dropped_events, Some(7));
+        assert_eq!(file.sample.as_deref(), Some("rate:2"));
+        let complete =
+            jsonl_to_schedule_file(std::io::Cursor::new(partial_log(0).as_bytes())).unwrap();
+        assert!(!complete.is_partial());
     }
 }
