@@ -1,0 +1,157 @@
+//! Experiment SIM: calendar-queue engine throughput at scale.
+//!
+//! Runs the paper's BCAST workload on the fast engine
+//! ([`Simulation::run`]: fixed-point `FastTime`, O(1) bucket queue)
+//! across n ∈ {10³, 10⁴, 10⁵, 10⁶}, reporting wall-clock and events/sec
+//! to `BENCH_sim.json`. Every run's completion time is checked against
+//! the paper's closed form `f_λ(n)` by exact rational equality — the
+//! speed ladder doubles as a correctness sweep.
+//!
+//! Two gates make this a regression tripwire:
+//!
+//! * BCAST at n = 10⁶ (two million engine events) must finish under
+//!   `$SIM_BUDGET_SECS` (default 60) — the headline "million processors
+//!   in seconds" property of the calendar-queue rewrite;
+//! * at an off-lattice λ (7/3, which never hits the half-unit lattice,
+//!   so every event rides the exact-`Ratio` fallback) the fast engine
+//!   must agree with the seed reference engine
+//!   ([`Simulation::run_reference`]) on completion, event count,
+//!   message count, and per-processor statistics. The full
+//!   trace-identity pin lives in `tests/engine_differential.rs`; this
+//!   gate keeps the release-mode fallback path honest in CI.
+//!
+//! The reference engine is also timed at n ≤ 10⁵ for a speedup column;
+//! at 10⁶ only the fast engine runs (the point of the rewrite).
+
+use postal_algos::bcast_programs;
+use postal_bench::report::BenchReport;
+use postal_bench::table::Table;
+use postal_model::{runtimes, Latency};
+use postal_sim::{Simulation, Uniform};
+use std::time::Instant;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let budget_secs = env_f64("SIM_BUDGET_SECS", 60.0);
+    let lam = Latency::from_int(2);
+
+    let mut table = Table::new(
+        "SIM: BCAST on the calendar-queue engine, λ = 2",
+        &["n", "fast secs", "fast ev/s", "ref secs", "speedup ×"],
+    );
+    let mut report = BenchReport::new("sim");
+    let mut fast_secs_at_million = f64::NAN;
+
+    let uni = Uniform(lam);
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let sim = Simulation::new(n, &uni);
+
+        let start = Instant::now();
+        let fast = sim.run(bcast_programs(n, lam)).expect("bcast simulates");
+        let fast_secs = start.elapsed().as_secs_f64().max(1e-9);
+        fast.assert_model_clean();
+        assert_eq!(
+            fast.completion,
+            runtimes::bcast_time(n as u128, lam),
+            "fast engine missed the closed form at n = {n}"
+        );
+        assert_eq!(fast.messages(), n - 1);
+        let rate = fast.events as f64 / fast_secs;
+
+        // The reference engine is the seed implementation; timing it at
+        // 10⁶ would roughly double this job's wall-clock for a number
+        // the differential tests already pin, so the ladder stops it at
+        // 10⁵.
+        let (ref_cell, speedup_cell) = if n <= 100_000 {
+            let start = Instant::now();
+            let reference = sim
+                .run_reference(bcast_programs(n, lam))
+                .expect("bcast simulates on the reference engine");
+            let ref_secs = start.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(reference.completion, fast.completion);
+            assert_eq!(reference.events, fast.events);
+            report.num(&format!("ref_secs_n{n}"), ref_secs);
+            report.num(&format!("speedup_x_n{n}"), ref_secs / fast_secs);
+            (
+                format!("{ref_secs:.3}"),
+                format!("{:.2}", ref_secs / fast_secs),
+            )
+        } else {
+            fast_secs_at_million = fast_secs;
+            ("-".to_string(), "-".to_string())
+        };
+
+        println!(
+            "n = {n:>9}: fast {fast_secs:>8.3} s  ({rate:>12.0} ev/s)  ref {ref_cell:>8}  \
+             completion {} = f_λ(n)",
+            fast.completion
+        );
+        table.row(vec![
+            n.to_string(),
+            format!("{fast_secs:.3}"),
+            format!("{rate:.0}"),
+            ref_cell,
+            speedup_cell,
+        ]);
+        report.num(&format!("fast_secs_n{n}"), fast_secs);
+        report.num(&format!("events_per_sec_fast_n{n}"), rate);
+        report.int(&format!("events_n{n}"), fast.events as i128);
+    }
+
+    assert!(
+        fast_secs_at_million < budget_secs,
+        "BCAST at n = 10⁶ took {fast_secs_at_million:.1} s, over the {budget_secs:.0} s budget"
+    );
+
+    // Fallback-parity gate: λ = 7/3 is off the half-unit lattice, so
+    // the fast engine's calendar never fires and every event takes the
+    // exact-`Ratio` fallback — which must behave exactly like the
+    // reference engine.
+    let lam_off = Latency::from_ratio(7, 3);
+    let n_off = 20_000usize;
+    let uni_off = Uniform(lam_off);
+    let sim = Simulation::new(n_off, &uni_off);
+    let start = Instant::now();
+    let fast = sim
+        .run(bcast_programs(n_off, lam_off))
+        .expect("off-lattice bcast simulates");
+    let fast_off_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let start = Instant::now();
+    let reference = sim
+        .run_reference(bcast_programs(n_off, lam_off))
+        .expect("off-lattice bcast simulates on the reference engine");
+    let ref_off_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut mismatches = 0u32;
+    mismatches += u32::from(fast.completion != reference.completion);
+    mismatches += u32::from(fast.events != reference.events);
+    mismatches += u32::from(fast.messages() != reference.messages());
+    mismatches += u32::from(fast.proc_stats != reference.proc_stats);
+    assert_eq!(
+        mismatches, 0,
+        "off-lattice fallback diverged from the reference engine at λ = 7/3"
+    );
+    assert_eq!(
+        fast.completion,
+        runtimes::bcast_time(n_off as u128, lam_off)
+    );
+    println!(
+        "fallback parity: BCAST({n_off}, 7/3) fast {fast_off_secs:.3} s vs ref {ref_off_secs:.3} s, \
+         completion {} on both engines",
+        fast.completion
+    );
+
+    println!("{table}");
+    report.num("sim_budget_secs", budget_secs);
+    report.num("fallback_fast_secs", fast_off_secs);
+    report.num("fallback_ref_secs", ref_off_secs);
+    report.int("fallback_parity_mismatches", mismatches as i128);
+    report.table(&table);
+    postal_bench::report::emit_json(&report);
+}

@@ -149,6 +149,33 @@ impl FastTime {
         matches!(self.0, Repr::Fixed(_))
     }
 
+    /// The `i64` half-unit count when the value is held in fixed-point
+    /// form, `None` for the exact fallback. Because the representation
+    /// is canonical, `None` means the value genuinely lies off the
+    /// half-integer lattice (or beyond [`FIXED_LIMIT`]) — a calendar
+    /// queue keyed on half-ticks can therefore route on this accessor
+    /// alone, with no risk of a `Fixed` and an `Exact` value denoting
+    /// the same instant.
+    pub fn as_half_units(self) -> Option<i64> {
+        match self.0 {
+            Repr::Fixed(h) => Some(h),
+            Repr::Exact(_) => None,
+        }
+    }
+
+    /// The fixed-point value worth `half` half-units.
+    ///
+    /// # Panics
+    /// Panics if `|half| > FIXED_LIMIT` — such a value must be built via
+    /// [`FastTime::from_time`] so it lands in the exact fallback form.
+    pub fn from_half_units(half: i64) -> FastTime {
+        assert!(
+            half.abs() <= FIXED_LIMIT,
+            "half-unit count {half} outside the fixed-point range"
+        );
+        FastTime(Repr::Fixed(half))
+    }
+
     /// Maximum of two values.
     pub fn max(self, other: FastTime) -> FastTime {
         if self >= other {
@@ -394,6 +421,30 @@ mod tests {
                 assert_eq!(fa.min(fb).to_time(), a.min(b));
             }
         }
+    }
+
+    #[test]
+    fn fast_time_half_unit_accessors() {
+        assert_eq!(
+            FastTime::from_time(Time::new(5, 2)).as_half_units(),
+            Some(5)
+        );
+        assert_eq!(
+            FastTime::from_time(Time::from_int(-3)).as_half_units(),
+            Some(-6)
+        );
+        assert_eq!(FastTime::from_time(Time::new(1, 3)).as_half_units(), None);
+        assert_eq!(
+            FastTime::from_half_units(7),
+            FastTime::from_time(Time::new(7, 2))
+        );
+        assert!(FastTime::from_half_units(FIXED_LIMIT).is_fixed());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the fixed-point range")]
+    fn fast_time_from_half_units_rejects_out_of_range() {
+        let _ = FastTime::from_half_units(FIXED_LIMIT + 1);
     }
 
     #[test]

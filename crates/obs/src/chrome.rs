@@ -129,6 +129,14 @@ pub fn to_chrome_trace(log: &ObsLog) -> String {
                  \"name\": \"crash\" }}",
                 ts(at),
             )),
+            ObsEvent::Truncated {
+                processed, limit, ..
+            } => lines.push(format!(
+                "    {{ \"ph\": \"i\", \"pid\": 0, \"tid\": 0, \"ts\": {}, \"s\": \"g\", \
+                 \"name\": \"truncated: event budget exhausted\", \
+                 \"args\": {{ \"processed\": {processed}, \"limit\": {limit} }} }}",
+                ts(e.at()),
+            )),
         }
     }
     out.push_str(&lines.join(",\n"));

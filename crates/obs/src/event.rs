@@ -91,6 +91,20 @@ pub enum ObsEvent {
         /// The crash time.
         at: Time,
     },
+    /// The engine hit its event (or tick) budget and stopped early: the
+    /// trace ends here and every downstream count is a lower bound.
+    /// Emitted exactly once, as the final event, before the engine
+    /// returns its truncation error — so a consumer that only sees the
+    /// event stream can still tell a completed run from an aborted one.
+    Truncated {
+        /// Events (or ticks, for the lockstep engine) processed before
+        /// the budget ran out.
+        processed: u64,
+        /// The configured budget that was exceeded.
+        limit: u64,
+        /// Model time at which the engine gave up.
+        at: Time,
+    },
 }
 
 impl ObsEvent {
@@ -104,6 +118,7 @@ impl ObsEvent {
             ObsEvent::Violation { arrival, .. } => arrival,
             ObsEvent::Drop { at, .. } => at,
             ObsEvent::Crash { at, .. } => at,
+            ObsEvent::Truncated { at, .. } => at,
         }
     }
 
@@ -120,6 +135,10 @@ impl ObsEvent {
             ObsEvent::Violation { dst, .. } => dst,
             ObsEvent::Drop { dst, .. } => dst,
             ObsEvent::Crash { proc, .. } => proc,
+            // Truncation is a whole-run fact, not a port event; it is
+            // attributed to processor 0 so sharded recorders keep it in
+            // a deterministic shard.
+            ObsEvent::Truncated { .. } => 0,
         }
     }
 
@@ -132,6 +151,7 @@ impl ObsEvent {
             ObsEvent::Violation { .. } => "violation",
             ObsEvent::Drop { .. } => "drop",
             ObsEvent::Crash { .. } => "crash",
+            ObsEvent::Truncated { .. } => "truncated",
         }
     }
 }

@@ -105,6 +105,17 @@ pub fn to_jsonl(log: &ObsLog) -> String {
                     "{{\"type\":\"crash\",\"proc\":{proc},\"at\":\"{at}\"}}"
                 );
             }
+            ObsEvent::Truncated {
+                processed,
+                limit,
+                at,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"truncated\",\"processed\":{processed},\
+                     \"limit\":{limit},\"at\":\"{at}\"}}"
+                );
+            }
         }
     }
     out
@@ -382,6 +393,11 @@ impl JsonlParser {
                 proc: f.u32("proc")?,
                 at: f.time("at")?,
             },
+            "truncated" => ObsEvent::Truncated {
+                processed: f.u64("processed")?,
+                limit: f.u64("limit")?,
+                at: f.time("at")?,
+            },
             other => return Err(f.err(format!("unknown event type {other:?}"))),
         };
         Ok(Some(event))
@@ -457,6 +473,11 @@ mod tests {
                 },
                 ObsEvent::Crash {
                     proc: 2,
+                    at: Time::from_int(5),
+                },
+                ObsEvent::Truncated {
+                    processed: 6,
+                    limit: 6,
                     at: Time::from_int(5),
                 },
             ],

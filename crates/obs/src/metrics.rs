@@ -132,6 +132,10 @@ pub struct MetricsSummary {
     /// ([`crate::RunMeta::dropped_events`]); when > 0 every count above
     /// is a lower bound, not a total.
     pub dropped_events: u64,
+    /// Whether the engine hit its event budget and stopped early
+    /// ([`ObsEvent::Truncated`] present in the log); when `true` the run
+    /// never finished and every count above is a lower bound.
+    pub truncated: bool,
     /// The sampling policy that shaped the log, when one was applied.
     pub sample: Option<String>,
 }
@@ -158,6 +162,7 @@ impl MetricsSummary {
             queue_delay_sketch: StreamingHistogram::new(),
             out_utilization_sketch: StreamingHistogram::new(),
             dropped_events: log.meta().dropped_events.unwrap_or(0),
+            truncated: false,
             sample: log.meta().sample.clone(),
         };
         let mut send_starts: HashMap<u64, Time> = HashMap::new();
@@ -197,6 +202,7 @@ impl MetricsSummary {
                 ObsEvent::Drop { .. } => s.drops += 1,
                 ObsEvent::Crash { .. } => s.crashes += 1,
                 ObsEvent::Wake { .. } => s.wakes += 1,
+                ObsEvent::Truncated { .. } => s.truncated = true,
             }
         }
         let busy = port_busy_times(n, &log.port_spans());
@@ -227,10 +233,11 @@ impl MetricsSummary {
         self.out_utilization_sketch.quantile(q)
     }
 
-    /// Whether the summarized log was a partial (sampled) trace; when
-    /// true every total is a lower bound on the run's real activity.
+    /// Whether the summarized log was a partial trace — sampled by the
+    /// recorder or truncated by the engine's event budget; when true
+    /// every total is a lower bound on the run's real activity.
     pub fn is_partial(&self) -> bool {
-        self.dropped_events > 0
+        self.dropped_events > 0 || self.truncated
     }
 
     /// Port utilization fractions `(out, in)` for one processor over
@@ -362,6 +369,24 @@ mod tests {
         assert_eq!(s.dropped_events, 5);
         assert_eq!(s.sample.as_deref(), Some("tail"));
         assert!(s.is_partial());
+    }
+
+    #[test]
+    fn truncation_marks_the_summary_partial() {
+        let mut events = sample_log().events().to_vec();
+        events.push(ObsEvent::Truncated {
+            processed: 5,
+            limit: 4,
+            at: Time::from_int(3),
+        });
+        let log = ObsLog::new(
+            RunMeta::new("event", 3).latency(Latency::from_int(2)),
+            events,
+        );
+        let s = MetricsSummary::from_log(&log);
+        assert!(s.truncated);
+        assert_eq!(s.dropped_events, 0);
+        assert!(s.is_partial(), "a truncated run is a partial run");
     }
 
     #[test]

@@ -69,6 +69,15 @@ pub fn to_prometheus(log: &ObsLog) -> String {
         s.dropped_events
     );
 
+    // Ditto for engine truncation: a scrape of an aborted run must say so.
+    let _ = writeln!(
+        out,
+        "# HELP postal_run_truncated Whether the engine hit its event budget \
+         and aborted the run; counters above are lower bounds when 1."
+    );
+    let _ = writeln!(out, "# TYPE postal_run_truncated gauge");
+    let _ = writeln!(out, "postal_run_truncated {}", u8::from(s.truncated));
+
     let _ = writeln!(
         out,
         "# HELP postal_sends_total Messages sent, per processor."
@@ -244,6 +253,28 @@ mod tests {
                 "malformed exposition line: {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn truncated_runs_expose_the_abort_flag() {
+        let log = ObsLog::new(
+            RunMeta::new("event", 2).latency(Latency::from_int(2)),
+            vec![ObsEvent::Truncated {
+                processed: 11,
+                limit: 10,
+                at: Time::from_int(3),
+            }],
+        );
+        let text = to_prometheus(&log);
+        assert!(text.contains("postal_run_truncated 1"), "{text}");
+        let complete = ObsLog::new(
+            RunMeta::new("event", 2).latency(Latency::from_int(2)),
+            vec![],
+        );
+        assert!(
+            to_prometheus(&complete).contains("postal_run_truncated 0"),
+            "complete runs must scrape as untruncated"
+        );
     }
 
     #[test]

@@ -113,6 +113,9 @@ fn kind_rank(e: &ObsEvent) -> u8 {
         ObsEvent::Violation { .. } => 3,
         ObsEvent::Drop { .. } => 4,
         ObsEvent::Wake { .. } => 5,
+        // Truncation ends the run; it sorts after everything else at its
+        // timestamp.
+        ObsEvent::Truncated { .. } => 6,
     }
 }
 

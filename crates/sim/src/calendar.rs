@@ -1,0 +1,375 @@
+//! A calendar (bucket) event queue keyed on [`FastTime`] half-units.
+//!
+//! The discrete-event engine's hot path is queue traffic: every message
+//! costs one arrival push, one deliver push and two pops. The seed
+//! engine paid `O(log n)` exact-rational comparisons per operation on a
+//! [`BinaryHeap`]; this queue exploits the postal model's time structure
+//! instead. Under the paper's λ grid (integers and half-integers) every
+//! event time is a half-unit multiple, so [`FastTime`] holds it as a
+//! plain `i64` and the queue becomes a classic calendar: a ring of
+//! half-tick buckets over a sliding window `[cur, cur + W)`, with `O(1)`
+//! amortized push and pop and no per-event comparisons at all.
+//!
+//! Two ordered heaps back the ring up without giving up exactness:
+//!
+//! * **overflow** — on-lattice events beyond the window (`≥ cur + W`),
+//!   flushed into the ring when the window slides over them;
+//! * **exact** — events whose time left the half-unit lattice (an
+//!   off-lattice λ such as 7/3, or a magnitude past `FIXED_LIMIT`).
+//!   These fall back to exact [`Time`] keys and full rational
+//!   comparisons — the reference-identical slow path.
+//!
+//! Because [`FastTime`]'s representation is canonical, a fixed-point
+//! time and an exact-fallback time can never denote the same instant,
+//! so arbitration between the ring and the exact heap is a strict
+//! comparison with no tie to break.
+//!
+//! # Ordering contract
+//!
+//! Pops come out ordered by `(time, lane, push counter)` — exactly the
+//! `(time, kind_rank, counter)` order of the seed engine's heap — under
+//! one precondition the engine naturally satisfies: **pushes are
+//! monotone**, i.e. never earlier than the last popped time (asserted).
+//! Within one bucket each lane is a FIFO [`VecDeque`], which equals
+//! counter order because a bucket only receives direct pushes while its
+//! tick is inside the window, and the overflow heap is drained into it
+//! in counter order at the moment the window first covers that tick.
+
+use postal_model::{FastTime, Time};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Number of half-tick buckets in the ring (a power of two). 512
+/// half-units = 256 time units of lookahead, far beyond any λ the
+/// paper's grid uses, so overflow traffic is rare.
+const WINDOW: usize = 512;
+
+/// Same-instant event class, in drain order. Mirrors the engine's
+/// `kind_rank`: port bookings first, then completed receives, then
+/// timer wake-ups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// A message arrival (books the input port).
+    Arrival = 0,
+    /// A receive completing (delivers the payload).
+    Deliver = 1,
+    /// A timer wake-up.
+    Wake = 2,
+}
+
+impl Lane {
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One ring slot: three FIFO lanes, one per event class. The deques are
+/// the queue's arena — buckets are drained and refilled as the window
+/// slides, so their capacity is recycled instead of reallocated.
+#[derive(Debug)]
+struct Bucket<T> {
+    lanes: [VecDeque<T>; 3],
+}
+
+impl<T> Bucket<T> {
+    fn new() -> Bucket<T> {
+        Bucket {
+            lanes: std::array::from_fn(|_| VecDeque::new()),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lanes.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// A heap entry for the overflow and exact fallbacks, ordered by
+/// `(key, lane, counter)` — the global event order restricted to the
+/// events that left the ring.
+#[derive(Debug)]
+struct Keyed<K, T> {
+    key: K,
+    lane: Lane,
+    counter: u64,
+    item: T,
+}
+
+impl<K: Ord, T> PartialEq for Keyed<K, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<K: Ord, T> Eq for Keyed<K, T> {}
+impl<K: Ord, T> PartialOrd for Keyed<K, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, T> Ord for Keyed<K, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.key, self.lane, self.counter).cmp(&(&other.key, other.lane, other.counter))
+    }
+}
+
+/// The calendar queue. See the module docs for the design and the
+/// ordering contract.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    buckets: Vec<Bucket<T>>,
+    /// Half-tick index of the window start; bucket for tick `h` is
+    /// `buckets[h & mask]`.
+    cur: i64,
+    /// Items currently in the ring (fast membership test for pop).
+    ring_len: usize,
+    /// On-lattice events at ticks `≥ cur + WINDOW`.
+    overflow: BinaryHeap<Reverse<Keyed<i64, T>>>,
+    /// Off-lattice (or out-of-range) events, under exact rational order.
+    exact: BinaryHeap<Reverse<Keyed<Time, T>>>,
+    /// Next push counter — the global tie-break of the seed heap.
+    counter: u64,
+    /// Total queued items.
+    len: usize,
+    /// The monotone floor: no push may be earlier than this.
+    frontier: FastTime,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with its window starting at time zero.
+    pub fn new() -> CalendarQueue<T> {
+        CalendarQueue {
+            buckets: (0..WINDOW).map(|_| Bucket::new()).collect(),
+            cur: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            exact: BinaryHeap::new(),
+            counter: 0,
+            len: 0,
+            frontier: FastTime::ZERO,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `item` at `time` in `lane`.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the last popped time (the queue is
+    /// monotone; a discrete-event engine never schedules into the past).
+    pub fn push(&mut self, time: FastTime, lane: Lane, item: T) {
+        assert!(
+            time >= self.frontier,
+            "calendar queue is monotone: push at {:?} precedes frontier {:?}",
+            time.to_time(),
+            self.frontier.to_time(),
+        );
+        let counter = self.counter;
+        self.counter += 1;
+        self.len += 1;
+        match time.as_half_units() {
+            Some(h) if h < self.cur + WINDOW as i64 => {
+                debug_assert!(h >= self.cur, "monotone push below the window start");
+                self.buckets[(h & (WINDOW as i64 - 1)) as usize].lanes[lane.index()]
+                    .push_back(item);
+                self.ring_len += 1;
+            }
+            Some(h) => self.overflow.push(Reverse(Keyed {
+                key: h,
+                lane,
+                counter,
+                item,
+            })),
+            None => self.exact.push(Reverse(Keyed {
+                key: time.to_time(),
+                lane,
+                counter,
+                item,
+            })),
+        }
+    }
+
+    /// Dequeues the earliest event under `(time, lane, counter)` order.
+    pub fn pop(&mut self) -> Option<(FastTime, Lane, T)> {
+        // The next on-lattice tick: the first nonempty bucket when the
+        // ring holds anything (the ring always precedes the overflow,
+        // whose keys are ≥ cur + WINDOW), else the overflow head.
+        let cal_tick = if self.ring_len > 0 {
+            let mut h = self.cur;
+            while self.buckets[(h & (WINDOW as i64 - 1)) as usize].is_empty() {
+                h += 1;
+            }
+            Some(h)
+        } else {
+            self.overflow.peek().map(|Reverse(k)| k.key)
+        };
+        let exact_first = match (cal_tick, self.exact.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            // Canonical representations make a tie impossible; strict
+            // comparison is exact arbitration.
+            (Some(h), Some(Reverse(k))) => k.key < Time::from_half_units(h),
+        };
+        self.len -= 1;
+        if exact_first {
+            // Note: `cur` does not advance — a later on-lattice push
+            // between `cur` and this exact time must still find its
+            // bucket inside the window.
+            let Reverse(k) = self.exact.pop().expect("peeked");
+            self.frontier = FastTime::from_time(k.key);
+            return Some((self.frontier, k.lane, k.item));
+        }
+        let tick = cal_tick.expect("calendar side was chosen");
+        if tick != self.cur {
+            self.advance_to(tick);
+        }
+        let bucket = &mut self.buckets[(tick & (WINDOW as i64 - 1)) as usize];
+        for (i, lane) in [Lane::Arrival, Lane::Deliver, Lane::Wake]
+            .into_iter()
+            .enumerate()
+        {
+            if let Some(item) = bucket.lanes[i].pop_front() {
+                self.ring_len -= 1;
+                self.frontier = FastTime::from_half_units(tick);
+                return Some((self.frontier, lane, item));
+            }
+        }
+        unreachable!("a nonempty or overflow-fed bucket was selected")
+    }
+
+    /// Slides the window start to `tick` and drains every overflow
+    /// entry the window now covers into its bucket. Draining in heap
+    /// order keeps each bucket lane's FIFO equal to counter order.
+    fn advance_to(&mut self, tick: i64) {
+        self.cur = tick;
+        let horizon = tick + WINDOW as i64;
+        while let Some(Reverse(k)) = self.overflow.peek() {
+            if k.key >= horizon {
+                break;
+            }
+            let Reverse(k) = self.overflow.pop().expect("peeked");
+            self.buckets[(k.key & (WINDOW as i64 - 1)) as usize].lanes[k.lane.index()]
+                .push_back(k.item);
+            self.ring_len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(h: i64) -> FastTime {
+        FastTime::from_half_units(h)
+    }
+
+    #[test]
+    fn pops_in_time_lane_counter_order() {
+        let mut q = CalendarQueue::new();
+        q.push(ft(4), Lane::Wake, "w2");
+        q.push(ft(2), Lane::Deliver, "d1");
+        q.push(ft(2), Lane::Arrival, "a1");
+        q.push(ft(2), Lane::Arrival, "a2");
+        q.push(ft(4), Lane::Arrival, "a3");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, x)| x)).collect();
+        assert_eq!(order, vec!["a1", "a2", "d1", "a3", "w2"]);
+    }
+
+    #[test]
+    fn same_tick_push_during_drain_is_seen_before_later_lanes() {
+        // A heap pops an arrival pushed mid-drain before the remaining
+        // delivers of the same tick; the ring must do the same.
+        let mut q = CalendarQueue::new();
+        q.push(ft(2), Lane::Deliver, "d1");
+        q.push(ft(2), Lane::Deliver, "d2");
+        let (t, lane, x) = q.pop().unwrap();
+        assert_eq!((t, lane, x), (ft(2), Lane::Deliver, "d1"));
+        q.push(ft(2), Lane::Arrival, "a-late");
+        assert_eq!(q.pop().unwrap().2, "a-late");
+        assert_eq!(q.pop().unwrap().2, "d2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_flushes_into_the_window_in_counter_order() {
+        let far = WINDOW as i64 + 10;
+        let mut q = CalendarQueue::new();
+        q.push(ft(far), Lane::Deliver, 0u32);
+        q.push(ft(far), Lane::Deliver, 1);
+        q.push(ft(1), Lane::Deliver, 2);
+        assert_eq!(q.pop().unwrap().2, 2);
+        // Window slides to `far`; both overflow entries must come out
+        // FIFO, and a direct push lands after them.
+        assert_eq!(q.pop().unwrap(), (ft(far), Lane::Deliver, 0));
+        q.push(ft(far), Lane::Deliver, 3);
+        assert_eq!(q.pop().unwrap().2, 1);
+        assert_eq!(q.pop().unwrap().2, 3);
+    }
+
+    #[test]
+    fn exact_fallback_interleaves_with_the_ring() {
+        // 7/3 lies off the half-unit lattice → exact heap; it must pop
+        // between ticks 2 (h=4) and 5/2 (h=5).
+        let third = FastTime::from_time(Time::new(7, 3));
+        assert!(third.as_half_units().is_none());
+        let mut q = CalendarQueue::new();
+        q.push(ft(5), Lane::Arrival, "half");
+        q.push(third, Lane::Arrival, "third");
+        q.push(ft(4), Lane::Arrival, "two");
+        assert_eq!(q.pop().unwrap().2, "two");
+        let (t, _, x) = q.pop().unwrap();
+        assert_eq!(x, "third");
+        assert_eq!(t.to_time(), Time::new(7, 3));
+        assert_eq!(q.pop().unwrap().2, "half");
+    }
+
+    #[test]
+    fn exact_pop_does_not_strand_later_lattice_pushes() {
+        let third = FastTime::from_time(Time::new(7, 3));
+        let mut q = CalendarQueue::new();
+        q.push(third, Lane::Wake, "third");
+        assert_eq!(q.pop().unwrap().2, "third");
+        // The window start stayed at 0; a push at tick 3 must still be
+        // routable and popped.
+        q.push(ft(6), Lane::Wake, "three");
+        assert_eq!(q.pop().unwrap().2, "three");
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn push_into_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.push(ft(10), Lane::Wake, ());
+        let _ = q.pop();
+        q.push(ft(4), Lane::Wake, ());
+    }
+
+    #[test]
+    fn len_tracks_all_three_structures() {
+        let mut q: CalendarQueue<u8> = CalendarQueue::new();
+        assert!(q.is_empty());
+        q.push(ft(0), Lane::Arrival, 0);
+        q.push(ft(WINDOW as i64 * 3), Lane::Arrival, 1);
+        q.push(FastTime::from_time(Time::new(1, 3)), Lane::Arrival, 2);
+        assert_eq!(q.len(), 3);
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(q.is_empty());
+    }
+}

@@ -25,11 +25,27 @@
 //! zero), while `Queued` delays receives FIFO like a real NIC would —
 //! useful for evaluating non-latency-aware schedules.
 
+//! ## Two engines, one semantics
+//!
+//! [`Simulation::run`] is the production engine: a calendar/bucket
+//! queue ([`crate::calendar`]) keyed on [`FastTime`] half-units, flat
+//! `u32` processor ids and fixed-point port accounting, sized for
+//! n = 10^6 runs. [`Simulation::run_reference`] is the original seed
+//! engine — exact rationals on a binary heap — kept verbatim as the
+//! behavioral pin: `tests/engine_differential.rs` asserts the two
+//! produce identical traces, violations, counters and observability
+//! streams over the acceptance grid. When event times leave the
+//! half-unit lattice (off-lattice λ, extreme magnitudes), the fast
+//! engine's queue routes those events through an exact-`Ratio` fallback
+//! heap, so order stays reference-identical rather than approximately
+//! right.
+
+use crate::calendar::{CalendarQueue, Lane};
 use crate::ids::{ProcId, SendSeq};
 use crate::latency_model::LatencyModel;
 use crate::program::{Context, Program};
 use crate::trace::{Trace, Transfer};
-use postal_model::Time;
+use postal_model::{FastTime, Time};
 use postal_obs::{ObsEvent, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -213,12 +229,161 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    /// Runs the given per-processor programs to quiescence.
+    /// Runs the given per-processor programs to quiescence on the fast
+    /// calendar-queue engine.
+    ///
+    /// Event order, timing and the observability stream are pinned to
+    /// [`Simulation::run_reference`] by `tests/engine_differential.rs`;
+    /// the fast path differs only in mechanism ([`FastTime`]
+    /// fixed-point arithmetic and an O(1) bucket queue instead of exact
+    /// rationals on a binary heap). Event times that leave the
+    /// half-unit lattice — an off-lattice λ such as 7/3, or magnitudes
+    /// beyond `postal_model::time::FIXED_LIMIT` — take the queue's
+    /// exact-`Ratio` fallback *per event*, so precision is never lost.
     ///
     /// # Errors
     /// Returns [`SimError`] if the program count mismatches `n` or the
-    /// event cap is hit.
+    /// event cap is hit; the cap also records an
+    /// [`ObsEvent::Truncated`] marker so the trace itself shows it was
+    /// cut short rather than reading as a quietly finished run.
     pub fn run<P: Clone>(
+        &self,
+        mut programs: Vec<Box<dyn Program<P>>>,
+    ) -> Result<RunReport<P>, SimError> {
+        if programs.len() != self.n {
+            return Err(SimError::WrongProgramCount {
+                expected: self.n,
+                got: programs.len(),
+            });
+        }
+        let mut st = FastState::new(self.n, self.config, self.recorder, self.faults.clone());
+        for &(p, t) in &st.faults.crashes.clone() {
+            st.emit(ObsEvent::Crash { proc: p.0, at: t });
+        }
+
+        // Time 0: every processor's on_start, in index order.
+        for (i, program) in programs.iter_mut().enumerate() {
+            let mut ctx = EngineCtx {
+                me: ProcId::from(i),
+                n: self.n,
+                now: Time::ZERO,
+                outbox: Vec::new(),
+                wakes: Vec::new(),
+            };
+            program.on_start(&mut ctx);
+            st.apply_ctx(ctx, FastTime::ZERO, self.latency);
+        }
+
+        while let Some((time, _lane, kind)) = st.queue.pop() {
+            st.events += 1;
+            if st.events > self.config.max_events {
+                st.emit(ObsEvent::Truncated {
+                    processed: st.events,
+                    limit: self.config.max_events,
+                    at: time.to_time(),
+                });
+                return Err(SimError::EventLimitExceeded {
+                    limit: self.config.max_events,
+                });
+            }
+            match kind {
+                FastKind::Arrival {
+                    seq,
+                    src,
+                    dst,
+                    send_start,
+                    payload,
+                } => st.process_arrival(time, seq, src, dst, send_start, payload),
+                FastKind::Deliver {
+                    seq,
+                    src,
+                    dst,
+                    send_start,
+                    arrival,
+                    recv_start,
+                    payload,
+                } => {
+                    if st.crashed(dst, time) {
+                        st.emit(ObsEvent::Drop {
+                            seq,
+                            src,
+                            dst,
+                            at: time.to_time(),
+                        });
+                        continue;
+                    }
+                    st.proc_stats[dst as usize].recvs += 1;
+                    let transfer = Transfer {
+                        seq: SendSeq(seq),
+                        src: ProcId(src),
+                        dst: ProcId(dst),
+                        send_start: send_start.to_time(),
+                        send_finish: (send_start + FastTime::ONE).to_time(),
+                        arrival: arrival.to_time(),
+                        recv_start: recv_start.to_time(),
+                        recv_finish: time.to_time(),
+                        payload,
+                    };
+                    st.emit(ObsEvent::Recv {
+                        seq,
+                        src,
+                        dst,
+                        arrival: transfer.arrival,
+                        start: transfer.recv_start,
+                        finish: transfer.recv_finish,
+                        queued: transfer.was_queued(),
+                    });
+                    let now = transfer.recv_finish;
+                    let payload = transfer.payload.clone();
+                    st.trace.push(transfer);
+                    let mut ctx = EngineCtx {
+                        me: ProcId(dst),
+                        n: self.n,
+                        now,
+                        outbox: Vec::new(),
+                        wakes: Vec::new(),
+                    };
+                    programs[dst as usize].on_receive(&mut ctx, ProcId(src), payload);
+                    st.apply_ctx(ctx, time, self.latency);
+                }
+                FastKind::Wake(p) => {
+                    if st.crashed(p, time) {
+                        continue;
+                    }
+                    let at = time.to_time();
+                    st.emit(ObsEvent::Wake { proc: p, at });
+                    let mut ctx = EngineCtx {
+                        me: ProcId(p),
+                        n: self.n,
+                        now: at,
+                        outbox: Vec::new(),
+                        wakes: Vec::new(),
+                    };
+                    programs[p as usize].on_wake(&mut ctx);
+                    st.apply_ctx(ctx, time, self.latency);
+                }
+            }
+        }
+
+        Ok(RunReport {
+            completion: st.trace.completion_time(),
+            trace: st.trace,
+            violations: st.violations,
+            proc_stats: st.proc_stats,
+            events: st.events,
+        })
+    }
+
+    /// Runs the programs on the seed engine — exact rationals on a
+    /// binary heap — kept verbatim as the behavioral reference the fast
+    /// engine is differentially tested against. Use it when auditing
+    /// the fast path or reproducing pre-rewrite results; it is
+    /// semantically identical and only slower.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] if the program count mismatches `n` or the
+    /// event cap is hit (also recorded as [`ObsEvent::Truncated`]).
+    pub fn run_reference<P: Clone>(
         &self,
         mut programs: Vec<Box<dyn Program<P>>>,
     ) -> Result<RunReport<P>, SimError> {
@@ -250,6 +415,11 @@ impl<'a> Simulation<'a> {
         while let Some(Reverse(entry)) = engine.queue.pop() {
             engine.events += 1;
             if engine.events > self.config.max_events {
+                engine.emit(ObsEvent::Truncated {
+                    processed: engine.events,
+                    limit: self.config.max_events,
+                    at: entry.time,
+                });
                 return Err(SimError::EventLimitExceeded {
                     limit: self.config.max_events,
                 });
@@ -538,6 +708,208 @@ impl<'r, P: Clone> EngineState<'r, P> {
                     payload: a.payload,
                 },
             }),
+        );
+    }
+}
+
+/// A fast-engine event. Processor ids are flat `u32`s and times are
+/// [`FastTime`] fixed-point values; exact [`Time`] rationals are only
+/// materialized at the edges (program callbacks, the trace, the
+/// observability stream). The enum is stored by value in the calendar
+/// queue's bucket deques — the recycled bucket storage is the event
+/// arena, with no per-event box.
+enum FastKind<P> {
+    /// A message arrival: receive timing is decided when it fires.
+    Arrival {
+        seq: u64,
+        src: u32,
+        dst: u32,
+        send_start: FastTime,
+        payload: P,
+    },
+    /// A receive completing at the event's time (`recv_start + 1`).
+    Deliver {
+        seq: u64,
+        src: u32,
+        dst: u32,
+        send_start: FastTime,
+        arrival: FastTime,
+        recv_start: FastTime,
+        payload: P,
+    },
+    /// A timer callback firing on the given processor.
+    Wake(u32),
+}
+
+/// Mutable state of the fast engine; the counterpart of the reference
+/// engine's `EngineState`, with fixed-point port accounting.
+struct FastState<'r, P> {
+    config: SimConfig,
+    recorder: Option<&'r dyn Recorder>,
+    faults: crate::faults::FaultPlan,
+    /// Fault-plan fast guards: skip the hash/scan lookups entirely on
+    /// the (overwhelmingly common) fault-free runs.
+    has_drops: bool,
+    has_crashes: bool,
+    queue: CalendarQueue<FastKind<P>>,
+    /// When each processor's output port becomes free.
+    out_free: Vec<FastTime>,
+    /// When each processor's input port becomes free.
+    in_free: Vec<FastTime>,
+    trace: Trace<P>,
+    violations: Vec<Violation>,
+    proc_stats: Vec<ProcStats>,
+    next_seq: u64,
+    events: u64,
+}
+
+impl<'r, P: Clone> FastState<'r, P> {
+    fn new(
+        n: usize,
+        config: SimConfig,
+        recorder: Option<&'r dyn Recorder>,
+        faults: crate::faults::FaultPlan,
+    ) -> FastState<'r, P> {
+        FastState {
+            config,
+            recorder,
+            has_drops: !faults.drop_sends.is_empty(),
+            has_crashes: !faults.crashes.is_empty(),
+            faults,
+            queue: CalendarQueue::new(),
+            out_free: vec![FastTime::ZERO; n],
+            in_free: vec![FastTime::ZERO; n],
+            trace: Trace::new(),
+            violations: Vec::new(),
+            proc_stats: vec![ProcStats::default(); n],
+            next_seq: 0,
+            events: 0,
+        }
+    }
+
+    fn emit(&self, event: ObsEvent) {
+        if let Some(r) = self.recorder {
+            r.record(event);
+        }
+    }
+
+    fn crashed(&self, proc: u32, t: FastTime) -> bool {
+        self.has_crashes && self.faults.crashed(ProcId(proc), t.to_time())
+    }
+
+    /// Serializes a batch of sends through `src`'s output port, starting
+    /// no earlier than `now`. Mirrors the reference `issue_sends`
+    /// operation for operation (counter assignment included) so event
+    /// order is bit-identical.
+    fn issue_sends(
+        &mut self,
+        src: ProcId,
+        now: FastTime,
+        outbox: Vec<(ProcId, P)>,
+        latency: &dyn LatencyModel,
+    ) {
+        for (dst, payload) in outbox {
+            let send_start = now.max(self.out_free[src.index()]);
+            self.out_free[src.index()] = send_start + FastTime::ONE;
+            self.proc_stats[src.index()].sends += 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let lam = latency.latency(src, dst, send_start.to_time());
+            let arrival = send_start + lam.as_fast_time() - FastTime::ONE;
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::Send {
+                    seq,
+                    src: src.0,
+                    dst: dst.0,
+                    start: send_start.to_time(),
+                    finish: (send_start + FastTime::ONE).to_time(),
+                });
+            }
+            self.queue.push(
+                arrival,
+                Lane::Arrival,
+                FastKind::Arrival {
+                    seq,
+                    src: src.0,
+                    dst: dst.0,
+                    send_start,
+                    payload,
+                },
+            );
+        }
+    }
+
+    /// Applies everything a program requested during one callback.
+    /// `now` is the callback's fixed-point time (`ctx.now` is its exact
+    /// image).
+    fn apply_ctx(&mut self, ctx: EngineCtx<P>, now: FastTime, latency: &dyn LatencyModel) {
+        let EngineCtx {
+            me, outbox, wakes, ..
+        } = ctx;
+        self.issue_sends(me, now, outbox, latency);
+        for t in wakes {
+            self.queue
+                .push(FastTime::from_time(t), Lane::Wake, FastKind::Wake(me.0));
+        }
+    }
+
+    fn process_arrival(
+        &mut self,
+        arrival: FastTime,
+        seq: u64,
+        src: u32,
+        dst: u32,
+        send_start: FastTime,
+        payload: P,
+    ) {
+        if (self.has_drops && self.faults.drops(seq)) || self.crashed(dst, arrival) {
+            // Lost in flight, or nobody home to receive it.
+            self.emit(ObsEvent::Drop {
+                seq,
+                src,
+                dst,
+                at: arrival.to_time(),
+            });
+            return;
+        }
+        let port_free = self.in_free[dst as usize];
+        let recv_start = match self.config.port_mode {
+            PortMode::Strict => {
+                if port_free > arrival {
+                    let at = arrival.to_time();
+                    let busy_until = port_free.to_time();
+                    self.emit(ObsEvent::Violation {
+                        seq,
+                        dst,
+                        arrival: at,
+                        busy_until,
+                    });
+                    self.violations.push(Violation {
+                        seq: SendSeq(seq),
+                        dst: ProcId(dst),
+                        arrival: at,
+                        port_busy_until: busy_until,
+                    });
+                }
+                arrival
+            }
+            PortMode::Queued => arrival.max(port_free),
+        };
+        let recv_finish = recv_start + FastTime::ONE;
+        let slot = &mut self.in_free[dst as usize];
+        *slot = (*slot).max(recv_finish);
+        self.queue.push(
+            recv_finish,
+            Lane::Deliver,
+            FastKind::Deliver {
+                seq,
+                src,
+                dst,
+                send_start,
+                arrival,
+                recv_start,
+                payload,
+            },
         );
     }
 }

@@ -14,6 +14,7 @@
 //! ## Structure
 //!
 //! * [`ids`] — processor and message identifiers;
+//! * [`calendar`] — the O(1) bucket event queue behind the fast engine;
 //! * [`latency_model`] — uniform λ (the paper), plus the time-varying and
 //!   hierarchical relaxations proposed in the paper's Section 5;
 //! * [`program`] — the event-driven [`program::Program`] trait shared with
@@ -59,6 +60,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod engine;
 pub mod faults;
 pub mod gantt;
@@ -82,6 +84,7 @@ pub mod prelude {
     pub use crate::trace::{Trace, Transfer};
 }
 
+pub use calendar::{CalendarQueue, Lane};
 pub use engine::{PortMode, RunReport, SimConfig, SimError, Simulation};
 pub use faults::FaultPlan;
 pub use ids::{ProcId, SendSeq};

@@ -245,6 +245,13 @@ fn run_lockstep_inner<P: Clone>(
     while !pending.is_empty() || !wakes.is_empty() {
         events += 1;
         if events > max_ticks {
+            if let Some(r) = recorder {
+                r.record(ObsEvent::Truncated {
+                    processed: events,
+                    limit: max_ticks,
+                    at: Time(Ratio::new(tick.max(0), q)),
+                });
+            }
             return Err(SimError::EventLimitExceeded { limit: max_ticks });
         }
         tick += 1;

@@ -1,0 +1,155 @@
+//! Property tests pinning [`CalendarQueue`] to a binary-heap oracle.
+//!
+//! The oracle is the seed engine's priority structure: a
+//! `BinaryHeap` ordered by exact `(Time, lane, push counter)`. The
+//! calendar queue must pop the *same payloads in the same order* for
+//! any monotone push/pop interleaving — including same-timestamp
+//! bursts (tie-breaking by lane, then push order), pushes beyond the
+//! ring window (overflow heap), and off-lattice times (exact-`Ratio`
+//! fallback interleaved with the fixed-point ring).
+
+use postal_model::{FastTime, Time};
+use postal_sim::{CalendarQueue, Lane};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+fn lane_of(code: u8) -> Lane {
+    match code % 3 {
+        0 => Lane::Arrival,
+        1 => Lane::Deliver,
+        _ => Lane::Wake,
+    }
+}
+
+/// One generated operation: `kind == 0` pops, anything else pushes at
+/// `frontier + delta`, where the delta mixes half-units (on-lattice)
+/// and thirds (off-lattice, forcing the exact fallback).
+type Op = (u8, u16, u8, u8);
+
+/// Replays `ops` against both structures and asserts every pop agrees.
+///
+/// Pushes are offsets from the pop frontier, so the calendar queue's
+/// monotonicity contract holds by construction — exactly how the
+/// engine uses it.
+fn replay(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut queue: CalendarQueue<u64> = CalendarQueue::new();
+    let mut oracle: BinaryHeap<Reverse<(Time, Lane, u64)>> = BinaryHeap::new();
+    let mut payload_of_counter: Vec<u64> = Vec::new();
+    let mut frontier = Time::ZERO;
+    let mut counter = 0u64;
+    let mut next_payload = 0u64;
+
+    for &(kind, delta, lane_code, third) in ops {
+        if kind == 0 {
+            let got = queue.pop();
+            let want = oracle.pop();
+            match (got, want) {
+                (None, None) => {}
+                (Some((ft, lane, item)), Some(Reverse((t, olane, ocounter)))) => {
+                    prop_assert_eq!(ft.to_time(), t, "pop time diverged from oracle");
+                    prop_assert_eq!(lane, olane, "pop lane diverged from oracle");
+                    prop_assert_eq!(
+                        item,
+                        payload_of_counter[ocounter as usize],
+                        "pop payload diverged from oracle"
+                    );
+                    frontier = t;
+                }
+                (g, w) => {
+                    return Err(TestCaseError::fail(format!(
+                        "emptiness diverged: queue {g:?}, oracle {w:?}"
+                    )))
+                }
+            }
+        } else {
+            // Bias the deltas: kind 1 clusters events on the same few
+            // instants (ties), kind 2 reaches past the ring window
+            // (overflow), kind 3 stays mid-window.
+            let half = match kind {
+                1 => (delta % 4) as i128,
+                2 => delta as i128,
+                _ => (delta % 64) as i128,
+            };
+            let t = frontier + Time::new(half, 2) + Time::new((third % 3) as i128, 3);
+            let lane = lane_of(lane_code);
+            queue.push(FastTime::from_time(t), lane, next_payload);
+            oracle.push(Reverse((t, lane, counter)));
+            payload_of_counter.push(next_payload);
+            counter += 1;
+            next_payload += 1;
+        }
+        prop_assert_eq!(queue.len(), oracle.len(), "lengths diverged");
+    }
+
+    // Drain the remainder: the full pop order must match.
+    while let Some(Reverse((t, olane, ocounter))) = oracle.pop() {
+        let (ft, lane, item) = match queue.pop() {
+            Some(x) => x,
+            None => return Err(TestCaseError::fail("queue drained before oracle")),
+        };
+        prop_assert_eq!(ft.to_time(), t, "drain time diverged");
+        prop_assert_eq!(lane, olane, "drain lane diverged");
+        prop_assert_eq!(
+            item,
+            payload_of_counter[ocounter as usize],
+            "drain payload diverged"
+        );
+    }
+    prop_assert!(queue.pop().is_none(), "queue longer than oracle");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary monotone interleavings, mixing ties, window overflow,
+    /// and off-lattice thirds.
+    #[test]
+    fn matches_heap_oracle(ops in proptest::collection::vec((0u8..4, 0u16..600, 0u8..3, 0u8..3), 1..120)) {
+        replay(&ops)?;
+    }
+
+    /// Everything at one instant: order must reduce to (lane, push
+    /// order) exactly as the heap's `(time, kind_rank, counter)` key
+    /// does.
+    #[test]
+    fn same_timestamp_bursts_break_ties_like_the_heap(
+        lanes in proptest::collection::vec(0u8..3, 1..40),
+    ) {
+        let ops: Vec<Op> = lanes
+            .iter()
+            .map(|&l| (1u8, 0u16, l, 0u8))
+            .chain(lanes.iter().map(|_| (0u8, 0, 0, 0)))
+            .collect();
+        replay(&ops)?;
+    }
+
+    /// Purely off-lattice times (thirds): the calendar ring never
+    /// fires, every event rides the exact fallback, and order still
+    /// matches the oracle.
+    #[test]
+    fn off_lattice_streams_use_the_exact_fallback(
+        ops in proptest::collection::vec((0u8..2, 0u16..30, 0u8..3), 1..80),
+    ) {
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|(kind, delta, lane)| (kind, delta, lane, 1 + (delta % 2) as u8))
+            .collect();
+        replay(&ops)?;
+    }
+
+    /// Far-future pushes land in the overflow heap and must flush back
+    /// into the ring in push order as the window slides over them.
+    #[test]
+    fn window_overflow_preserves_order(
+        deltas in proptest::collection::vec(0u16..2000, 1..60),
+    ) {
+        let ops: Vec<Op> = deltas
+            .iter()
+            .map(|&d| (2u8, d.min(599), (d % 3) as u8, 0u8))
+            .chain(deltas.iter().map(|_| (0u8, 0, 0, 0)))
+            .collect();
+        replay(&ops)?;
+    }
+}

@@ -39,13 +39,19 @@ pub struct ScheduleFile {
     pub dropped_events: Option<u64>,
     /// The sampling spec that produced the source log, when sampled.
     pub sample: Option<String>,
+    /// Whether the source log carries a `truncated` event — the engine
+    /// hit its event budget and aborted, so the trace stops mid-run
+    /// (JSONL logs only; schedule files are always complete).
+    pub truncated: bool,
 }
 
 impl ScheduleFile {
     /// True when the source trace is known to be incomplete — findings
-    /// about absences (causality, coverage) are unreliable then.
+    /// about absences (causality, coverage) are unreliable then. Both
+    /// recorder sampling (`dropped_events > 0`) and an engine event-
+    /// budget abort (`truncated`) make a trace partial.
     pub fn is_partial(&self) -> bool {
-        self.dropped_events.is_some_and(|d| d > 0)
+        self.dropped_events.is_some_and(|d| d > 0) || self.truncated
     }
 }
 
@@ -343,6 +349,7 @@ pub fn parse_schedule(text: &str) -> Result<ScheduleFile, JsonError> {
         messages,
         dropped_events: None,
         sample: None,
+        truncated: false,
     })
 }
 
@@ -749,6 +756,7 @@ pub fn parse_schedule_reader<R: std::io::BufRead>(reader: R) -> Result<ScheduleF
         messages,
         dropped_events: None,
         sample: None,
+        truncated: false,
     })
 }
 

@@ -163,17 +163,21 @@ pub fn jsonl_to_schedule_file<R: std::io::BufRead>(
 ) -> Result<json::ScheduleFile, ObsError> {
     let mut parser = postal_obs::JsonlParser::new();
     let mut sends = Vec::new();
+    let mut truncated = false;
     for line in reader.lines() {
         let line = line.map_err(|e| ObsError(format!("read error: {e}")))?;
-        if let Some(postal_obs::ObsEvent::Send {
-            src, dst, start, ..
-        }) = parser.line(&line)?
-        {
-            sends.push(postal_model::schedule::TimedSend {
-                src,
-                dst,
-                send_start: start,
-            });
+        match parser.line(&line)? {
+            Some(postal_obs::ObsEvent::Send {
+                src, dst, start, ..
+            }) => {
+                sends.push(postal_model::schedule::TimedSend {
+                    src,
+                    dst,
+                    send_start: start,
+                });
+            }
+            Some(postal_obs::ObsEvent::Truncated { .. }) => truncated = true,
+            _ => {}
         }
     }
     let meta = parser.finish()?;
@@ -185,6 +189,7 @@ pub fn jsonl_to_schedule_file<R: std::io::BufRead>(
         messages: meta.messages,
         dropped_events: meta.dropped_events,
         sample: meta.sample,
+        truncated,
     })
 }
 
@@ -222,25 +227,58 @@ pub fn downgrade_partial_trace(diags: Vec<Diagnostic>, dropped: u64) -> Vec<Diag
         .collect()
 }
 
+/// Downgrades absence-based lints on a truncated trace.
+///
+/// When the engine aborts on its event budget it emits a final
+/// `truncated` event and the log simply *stops*: every send that would
+/// have happened after the cutoff is missing. As with sampling
+/// ([`downgrade_partial_trace`]), the absence-based codes `P0003`
+/// (causality) and `P0005` (coverage) then report artifacts of the
+/// missing tail, not real violations — a processor the run never got
+/// around to informing is not evidence the algorithm skips it. With
+/// `truncated == true` this rewrites those two codes from
+/// [`Severity::Error`] to [`Severity::Warn`] and annotates the message;
+/// presence-based lints keep their severity. With `truncated == false`
+/// the diagnostics pass through untouched.
+pub fn downgrade_truncated_trace(diags: Vec<Diagnostic>, truncated: bool) -> Vec<Diagnostic> {
+    if !truncated {
+        return diags;
+    }
+    diags
+        .into_iter()
+        .map(|mut d| {
+            let absence_based = matches!(
+                d.code,
+                LintCode::CausalityViolation | LintCode::UninformedProcessor
+            );
+            if absence_based && d.severity == Severity::Error {
+                d.severity = Severity::Warn;
+                d.message
+                    .push_str(" (downgraded: run truncated by the event budget, trace ends early)");
+            }
+            d
+        })
+        .collect()
+}
+
 /// Lints an observability JSONL log end to end: parse the event stream,
 /// reduce it to a schedule, and run the schedule lints with `opts`.
 /// This closes the loop between the runtime exporters and the static
 /// analyzer — a recorded run can be re-checked offline.
 ///
-/// Sampled logs are tolerated: when the header declares dropped events,
-/// absence-based findings are downgraded via
-/// [`downgrade_partial_trace`] instead of reported as false-positive
-/// errors.
+/// Partial logs are tolerated: when the header declares dropped events
+/// or the stream ends in a `truncated` event (engine event-budget
+/// abort), absence-based findings are downgraded via
+/// [`downgrade_partial_trace`] / [`downgrade_truncated_trace`] instead
+/// of reported as false-positive errors.
 ///
 /// # Errors
 /// When the text cannot be parsed or reduced to a schedule.
 pub fn lint_jsonl(text: &str, opts: &LintOptions) -> Result<Vec<Diagnostic>, ObsError> {
     let file = jsonl_to_schedule_file(std::io::Cursor::new(text))?;
     let diags = lint_schedule(&file.schedule, opts);
-    Ok(downgrade_partial_trace(
-        diags,
-        file.dropped_events.unwrap_or(0),
-    ))
+    let diags = downgrade_partial_trace(diags, file.dropped_events.unwrap_or(0));
+    Ok(downgrade_truncated_trace(diags, file.truncated))
 }
 
 #[cfg(test)]
@@ -390,5 +428,51 @@ mod tests {
         let complete =
             jsonl_to_schedule_file(std::io::Cursor::new(partial_log(0).as_bytes())).unwrap();
         assert!(!complete.is_partial());
+    }
+
+    /// The same incomplete trace as [`partial_log`], but cut short by
+    /// the engine's event budget instead of recorder sampling: the log
+    /// ends in a `truncated` event and the header admits no drops.
+    fn truncated_log() -> String {
+        use postal_obs::{to_jsonl, ObsEvent, ObsLog, RunMeta};
+        let lam = Latency::from_ratio(5, 2);
+        to_jsonl(&ObsLog::new(
+            RunMeta::new("event", 3).latency(lam).messages(1),
+            vec![
+                ObsEvent::Send {
+                    seq: 1,
+                    src: 1,
+                    dst: 2,
+                    start: Time::new(5, 2),
+                    finish: Time::new(7, 2),
+                },
+                ObsEvent::Truncated {
+                    processed: 2,
+                    limit: 2,
+                    at: Time::new(7, 2),
+                },
+            ],
+        ))
+    }
+
+    #[test]
+    fn truncated_logs_downgrade_absence_lints() {
+        let file =
+            jsonl_to_schedule_file(std::io::Cursor::new(truncated_log().as_bytes())).unwrap();
+        assert!(file.truncated);
+        assert!(file.is_partial(), "truncation alone makes a trace partial");
+        assert_eq!(file.dropped_events, None);
+
+        let diags = lint_jsonl(&truncated_log(), &LintOptions::default()).unwrap();
+        assert!(is_clean(&diags, Severity::Error), "{diags:?}");
+        let causality = diags
+            .iter()
+            .find(|d| d.code == LintCode::CausalityViolation)
+            .expect("finding still reported, just softer");
+        assert_eq!(causality.severity, Severity::Warn);
+        assert!(causality.message.contains("truncated by the event budget"));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::UninformedProcessor && d.severity == Severity::Warn));
     }
 }

@@ -1,0 +1,336 @@
+//! Differential harness pinning the fast calendar-queue engine to the
+//! seed binary-heap engine.
+//!
+//! [`Simulation::run`] (fast: `FastTime` fixed-point arithmetic, O(1)
+//! bucket queue, u32 processor ids) and [`Simulation::run_reference`]
+//! (the original exact-`Ratio` engine, kept verbatim) must be
+//! *behaviorally indistinguishable*: same completion time, same trace
+//! (every transfer field, in the same order), same violations, same
+//! per-processor statistics, same per-port occupancy, and the same
+//! observability event stream — across every paper algorithm, both
+//! port-contention modes, fault plans, jittered latency, off-lattice λ
+//! (which routes the fast engine through its exact fallback), and
+//! event-budget truncation.
+//!
+//! Any future change to the fast path that shifts an event by half a
+//! tick, reorders a tie, or drops an observability record fails here
+//! with the first diverging case named in the panic message.
+
+use postal::algos::dtree::dtree_programs;
+use postal::algos::pack::pack_programs;
+use postal::algos::pipeline::pipeline_programs;
+use postal::algos::repeat::repeat_programs;
+use postal::algos::{bcast_programs, Pacing};
+use postal::model::{runtimes, Latency, Time};
+use postal::sim::prelude::*;
+use postal::sim::SimError;
+use postal_obs::{MemoryRecorder, ObsEvent, RunMeta};
+
+/// Everything that configures a run besides the programs themselves.
+struct Setup<'a> {
+    n: usize,
+    latency: &'a dyn LatencyModel,
+    port_mode: PortMode,
+    faults: FaultPlan,
+    max_events: Option<u64>,
+}
+
+impl<'a> Setup<'a> {
+    fn strict(n: usize, latency: &'a dyn LatencyModel) -> Setup<'a> {
+        Setup {
+            n,
+            latency,
+            port_mode: PortMode::Strict,
+            faults: FaultPlan::none(),
+            max_events: None,
+        }
+    }
+
+    fn build(&self, rec: &'a dyn postal_obs::Recorder) -> Simulation<'a> {
+        let mut sim = Simulation::new(self.n, self.latency)
+            .port_mode(self.port_mode)
+            .faults(self.faults.clone())
+            .observe(rec);
+        if let Some(cap) = self.max_events {
+            sim = sim.max_events(cap);
+        }
+        sim
+    }
+}
+
+/// Runs the same program set on both engines and asserts that every
+/// observable output is identical. Returns the two recorded streams so
+/// callers can make extra, case-specific assertions.
+fn assert_engines_agree<P, F>(label: &str, setup: &Setup, mk: F) -> (Vec<ObsEvent>, Vec<ObsEvent>)
+where
+    P: Clone + std::fmt::Debug,
+    F: Fn() -> Vec<Box<dyn Program<P>>>,
+{
+    let fast_rec = MemoryRecorder::new();
+    let fast = setup.build(&fast_rec).run(mk());
+    let ref_rec = MemoryRecorder::new();
+    let reference = setup.build(&ref_rec).run_reference(mk());
+
+    match (&fast, &reference) {
+        (Ok(f), Ok(r)) => {
+            assert_eq!(f.completion, r.completion, "completion diverged: {label}");
+            assert_eq!(f.events, r.events, "event count diverged: {label}");
+            assert_eq!(f.violations, r.violations, "violations diverged: {label}");
+            assert_eq!(f.proc_stats, r.proc_stats, "proc stats diverged: {label}");
+            assert_eq!(
+                f.trace.len(),
+                r.trace.len(),
+                "trace length diverged: {label}"
+            );
+            for (i, (a, b)) in f
+                .trace
+                .transfers()
+                .iter()
+                .zip(r.trace.transfers())
+                .enumerate()
+            {
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "transfer {i} diverged: {label}"
+                );
+            }
+            assert_eq!(
+                f.trace.port_busy_times(setup.n),
+                r.trace.port_busy_times(setup.n),
+                "per-port occupancy diverged: {label}"
+            );
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "errors diverged: {label}"),
+        (f, r) => panic!("engines disagree on success: {label}\nfast: {f:?}\nreference: {r:?}"),
+    }
+
+    let fast_log = fast_rec.snapshot(RunMeta::new("event", setup.n as u32));
+    let ref_log = ref_rec.snapshot(RunMeta::new("event", setup.n as u32));
+    assert_eq!(
+        fast_log.events(),
+        ref_log.events(),
+        "observability streams diverged: {label}"
+    );
+    (fast_log.events().to_vec(), ref_log.events().to_vec())
+}
+
+/// The CLI spellings of the nine paper workloads, in grid order.
+const ALGOS: [&str; 9] = [
+    "bcast",
+    "repeat",
+    "repeat-greedy",
+    "pack",
+    "pipeline",
+    "line",
+    "binary",
+    "star",
+    "dtree",
+];
+
+/// Mirrors the model checker's degree clamp (`postal-mc`): a tree
+/// degree is at least 1 and at most `n − 1`.
+fn degree(n: usize, d: u64) -> u64 {
+    d.clamp(1, (n as u64).saturating_sub(1).max(1))
+}
+
+/// Instantiates one named workload and runs it through both engines.
+fn run_case(algo: &str, m: u32, lam: Latency, setup: &Setup) {
+    let n = setup.n;
+    let label = format!(
+        "{algo} n={n} m={m} lam={lam:?} mode={:?} faults={} jitter/exact per-latency",
+        setup.port_mode,
+        !setup.faults.is_empty(),
+    );
+    match algo {
+        "bcast" => {
+            assert_engines_agree(&label, setup, || bcast_programs(n, lam));
+        }
+        "repeat" => {
+            assert_engines_agree(&label, setup, || {
+                repeat_programs(n, m, lam, Pacing::PaperExact)
+            });
+        }
+        "repeat-greedy" => {
+            assert_engines_agree(&label, setup, || repeat_programs(n, m, lam, Pacing::Greedy));
+        }
+        "pack" => {
+            assert_engines_agree(&label, setup, || pack_programs(n, m, lam));
+        }
+        "pipeline" => {
+            assert_engines_agree(&label, setup, || pipeline_programs(n, m, lam));
+        }
+        "line" => {
+            assert_engines_agree(&label, setup, || dtree_programs(n, m, degree(n, 1)));
+        }
+        "binary" => {
+            assert_engines_agree(&label, setup, || dtree_programs(n, m, degree(n, 2)));
+        }
+        "star" => {
+            assert_engines_agree(&label, setup, || dtree_programs(n, m, degree(n, n as u64)));
+        }
+        "dtree" => {
+            let d = degree(n, runtimes::latency_matched_degree(n as u128, lam) as u64);
+            assert_engines_agree(&label, setup, || dtree_programs(n, m, d));
+        }
+        other => panic!("unknown algo {other}"),
+    }
+}
+
+fn lambdas() -> [Latency; 4] {
+    [
+        Latency::from_int(1),
+        Latency::from_int(2),
+        Latency::from_ratio(5, 2),
+        // Off the half-unit lattice: every event time takes the fast
+        // engine's exact-`Ratio` fallback.
+        Latency::from_ratio(7, 3),
+    ]
+}
+
+/// The full grid: 9 algorithms × n ≤ 64 × λ ∈ {1, 2, 5/2, 7/3} × m ≤ 4,
+/// strict ports, no faults. BCAST ignores `m`, so it runs once per
+/// `(n, λ)`.
+#[test]
+fn full_grid_matches_reference() {
+    for n in [2usize, 3, 5, 8, 13, 33, 64] {
+        for lam in lambdas() {
+            let uni = Uniform(lam);
+            let setup = Setup::strict(n, &uni);
+            for algo in ALGOS {
+                for m in [1u32, 2, 4] {
+                    if algo == "bcast" && m > 1 {
+                        continue;
+                    }
+                    run_case(algo, m, lam, &setup);
+                }
+            }
+        }
+    }
+}
+
+/// Queued input ports change receive times (contention delays instead
+/// of violations); both engines must queue identically.
+#[test]
+fn queued_ports_match_reference() {
+    for n in [5usize, 16, 33] {
+        for lam in [Latency::from_int(2), Latency::from_ratio(5, 2)] {
+            let uni = Uniform(lam);
+            let mut setup = Setup::strict(n, &uni);
+            setup.port_mode = PortMode::Queued;
+            for algo in ALGOS {
+                run_case(algo, 2, lam, &setup);
+            }
+        }
+    }
+}
+
+/// Message drops and crashes prune different subtrees of the event
+/// cascade; the engines must prune the same ones.
+#[test]
+fn fault_plans_match_reference() {
+    for n in [8usize, 33] {
+        for lam in [Latency::from_int(2), Latency::from_ratio(5, 2)] {
+            let uni = Uniform(lam);
+            let faults = FaultPlan::none()
+                .dropping(0)
+                .dropping(3)
+                .dropping(7)
+                .crashing(ProcId(1), Time::from_int(2))
+                .crashing(ProcId(n as u32 / 2), Time::new(5, 2));
+            let mut setup = Setup::strict(n, &uni);
+            setup.faults = faults;
+            for algo in ["bcast", "pipeline", "dtree", "star", "repeat"] {
+                run_case(algo, 2, lam, &setup);
+            }
+        }
+    }
+}
+
+/// Deterministic bounded jitter perturbs per-message latency, so tie
+/// patterns shift run to run; the engines must still agree event for
+/// event.
+#[test]
+fn jittered_latency_matches_reference() {
+    for n in [8usize, 33] {
+        for lam in [Latency::from_int(2), Latency::from_ratio(5, 2)] {
+            for seed in [1u64, 0xDEAD_BEEF] {
+                let jit = Jittered::new(lam, 3, seed);
+                let setup = Setup::strict(n, &jit);
+                for algo in ["bcast", "star", "repeat-greedy", "binary"] {
+                    run_case(algo, 2, lam, &setup);
+                }
+            }
+        }
+    }
+}
+
+/// λ = 7/3 leaves the half-unit lattice entirely, so the fast engine's
+/// calendar never fires and every event rides the exact-`Ratio`
+/// fallback heap — the run must still be reference-identical (covered
+/// by the grid) and the latency really must be off-lattice (guarded
+/// here, so the grid cannot silently stop exercising the fallback).
+#[test]
+fn off_lattice_lambda_exercises_the_exact_fallback() {
+    let lam = Latency::from_ratio(7, 3);
+    assert_eq!(
+        lam.as_fast_time().as_half_units(),
+        None,
+        "7/3 must be off the half-unit lattice"
+    );
+    let uni = Uniform(lam);
+    let setup = Setup::strict(33, &uni);
+    run_case("bcast", 1, lam, &setup);
+    run_case("pipeline", 3, lam, &setup);
+}
+
+/// Hitting `max_events` must surface identically on both engines: the
+/// same `EventLimitExceeded` error and a `truncated` marker in the
+/// recorded stream, so a cut-short trace can never read as a quietly
+/// finished run.
+#[test]
+fn truncation_matches_reference_and_is_recorded() {
+    let lam = Latency::from_int(2);
+    let uni = Uniform(lam);
+    let mut setup = Setup::strict(16, &uni);
+    setup.max_events = Some(10);
+
+    let fast_rec = MemoryRecorder::new();
+    let fast = setup.build(&fast_rec).run(bcast_programs(16, lam));
+    let ref_rec = MemoryRecorder::new();
+    let reference = setup.build(&ref_rec).run_reference(bcast_programs(16, lam));
+
+    assert!(matches!(
+        fast,
+        Err(SimError::EventLimitExceeded { limit: 10 })
+    ));
+    assert!(matches!(
+        reference,
+        Err(SimError::EventLimitExceeded { limit: 10 })
+    ));
+
+    let fast_log = fast_rec.snapshot(RunMeta::new("event", 16));
+    let ref_log = ref_rec.snapshot(RunMeta::new("event", 16));
+    assert_eq!(
+        fast_log.events(),
+        ref_log.events(),
+        "truncated streams diverged"
+    );
+    let marker = fast_log
+        .events()
+        .iter()
+        .find_map(|e| match *e {
+            ObsEvent::Truncated {
+                processed, limit, ..
+            } => Some((processed, limit)),
+            _ => None,
+        })
+        .expect("truncated run must record an ObsEvent::Truncated marker");
+    assert_eq!(marker.1, 10);
+    assert!(marker.0 > 10, "processed count includes the fatal event");
+
+    // And the summary layer flags it as partial.
+    let summary = postal_obs::MetricsSummary::from_log(&fast_log);
+    assert!(summary.truncated);
+    assert!(summary.is_partial());
+}
