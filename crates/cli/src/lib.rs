@@ -56,6 +56,10 @@ USAGE:
                                              separated (e.g. tail,rate:8); drops are counted
                                              and stamped into every export
            [--ring-capacity K]               per-shard ring capacity (default 65536)
+           [--lint-inline]                   lint the run while it executes (codes
+                                             P0001-P0007): the streaming lint engine
+                                             rides the recorder, the trace is never
+                                             stored; composes with --sample
     postal stats <algo> <n> <m> <lambda>     observed-run metrics: gap to f_λ(n), port
                                              utilization, p50/p90/p99 latency, idle-port
                                              waste (P0006)
@@ -69,6 +73,9 @@ USAGE:
                                              accepts schedule JSON or an observability
                                              JSONL event log; exits nonzero when any
                                              diagnostic reaches --deny (default: error)
+           [--stream]                        fold a JSONL log through the streaming
+                                             lint engine line by line (O(n) memory,
+                                             identical report)
     postal check --algo <name|all> --n N --lambda L
                                              model-check every interleaving (DPOR):
                                              codes P0008-P0011 over the whole state
@@ -203,11 +210,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 fn lint(args: &[String]) -> Result<String, CliError> {
-    use postal_verify::{json, lint_schedule, render, LintOptions, Severity};
+    use postal_verify::{json, lint_schedule, LintOptions, Severity};
     let mut file: Option<&str> = None;
     let mut deny = Severity::Error;
     let mut as_json = false;
     let mut m_override: Option<u64> = None;
+    let mut stream_mode = false;
     let mut i = 0;
     while i < args.len() {
         let flag_value = |i: usize| {
@@ -250,6 +258,10 @@ fn lint(args: &[String]) -> Result<String, CliError> {
                 m_override = Some(m);
                 i += 2;
             }
+            "--stream" => {
+                stream_mode = true;
+                i += 1;
+            }
             s if s.starts_with('-') => {
                 return Err(CliError::Invalid(format!("unknown lint flag {s:?}")));
             }
@@ -267,19 +279,19 @@ fn lint(args: &[String]) -> Result<String, CliError> {
     let path = file.ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
     // Stream the file instead of reading it into memory: million-send
     // schedules lint without ever materializing the trace text. The
-    // first line is read eagerly to sniff the format — an observability
-    // JSONL log announces itself with a run header; a schedule file is
-    // a single JSON object. Both reduce to a Schedule.
-    use std::io::{BufRead as _, BufReader, Cursor, Read as _};
-    let handle = std::fs::File::open(path)
-        .map_err(|e| CliError::Invalid(format!("cannot read {path}: {e}")))?;
-    let mut reader = BufReader::new(handle);
-    let mut first_line = String::new();
-    reader
-        .read_line(&mut first_line)
-        .map_err(|e| CliError::Invalid(format!("cannot read {path}: {e}")))?;
+    // first content line is read eagerly to sniff the format — an
+    // observability JSONL log announces itself with a run header; a
+    // schedule file is a single JSON object. Both reduce to a Schedule.
+    use std::io::{Cursor, Read as _};
+    let (first_line, reader) = open_sniffed(path)?;
+    let is_jsonl = first_line.contains("\"type\":\"run\"");
+    if stream_mode {
+        return lint_streaming(
+            path, first_line, reader, is_jsonl, m_override, deny, as_json,
+        );
+    }
     let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(format!("{path}: {e}"));
-    let parsed = if first_line.contains("\"type\":\"run\"") {
+    let parsed = if is_jsonl {
         postal_verify::jsonl_to_schedule_file(Cursor::new(first_line).chain(reader))
             .map_err(|e| invalid(&e))?
     } else {
@@ -287,34 +299,114 @@ fn lint(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| invalid(&e))?
     };
     let dropped = parsed.dropped_events.unwrap_or(0);
+    let truncated = parsed.truncated;
     let (schedule, file_messages) = (parsed.schedule, parsed.messages);
     let messages = m_override.or(file_messages).unwrap_or(1);
-    let diags = postal_verify::downgrade_partial_trace(
-        lint_schedule(&schedule, &LintOptions::broadcast_of(messages)),
-        dropped,
+    let diags = postal_verify::downgrade_truncated_trace(
+        postal_verify::downgrade_partial_trace(
+            lint_schedule(&schedule, &LintOptions::broadcast_of(messages)),
+            dropped,
+        ),
+        truncated,
     );
-    let partial_note = (dropped > 0).then(|| {
-        format!(
-            "note: {path} is a partial trace ({dropped} events dropped by sampling); \
+    lint_outcome(
+        path,
+        &diags,
+        LintFacts {
+            n: schedule.n(),
+            latency: schedule.latency(),
+            completion: schedule.completion(),
+            messages,
+            dropped,
+            truncated,
+        },
+        as_json,
+        deny,
+    )
+}
+
+/// Opens `path` for lint-format sniffing: skips a UTF-8 byte-order mark
+/// and any leading blank lines (editors and shell heredocs prepend
+/// both), returning the first content line plus the rest of the file.
+/// The returned line has the BOM already stripped, so chaining it back
+/// in front of the reader reconstructs a clean document.
+fn open_sniffed(path: &str) -> Result<(String, std::io::BufReader<std::fs::File>), CliError> {
+    use std::io::{BufRead as _, BufReader};
+    let cannot = |e: &dyn std::fmt::Display| CliError::Invalid(format!("cannot read {path}: {e}"));
+    let handle = std::fs::File::open(path).map_err(|e| cannot(&e))?;
+    let mut reader = BufReader::new(handle);
+    let mut first_line = String::new();
+    loop {
+        first_line.clear();
+        let n = reader.read_line(&mut first_line).map_err(|e| cannot(&e))?;
+        if n == 0 {
+            break; // EOF: hand the (blank) line to the parser for its error.
+        }
+        if first_line.starts_with('\u{feff}') {
+            first_line.replace_range(..'\u{feff}'.len_utf8(), "");
+        }
+        if !first_line.trim().is_empty() {
+            break;
+        }
+    }
+    Ok((first_line, reader))
+}
+
+/// The facts a lint report's clean line and notes are rendered from.
+struct LintFacts {
+    n: u32,
+    latency: Latency,
+    completion: Time,
+    messages: u64,
+    dropped: u64,
+    truncated: bool,
+}
+
+/// The incompleteness note under a lint report, naming every cause.
+fn lint_note(path: &str, dropped: u64, truncated: bool) -> Option<String> {
+    let cause = match (dropped > 0, truncated) {
+        (true, true) => format!(
+            "is a partial trace ({dropped} events dropped by sampling) \
+             and was cut short by the event budget"
+        ),
+        (true, false) => format!("is a partial trace ({dropped} events dropped by sampling)"),
+        (false, true) => "was cut short by the event budget (truncated trace)".to_string(),
+        (false, false) => return None,
+    };
+    Some(format!(
+        "note: {path} {cause}; \
              absence-based lints (P0003, P0005) are downgraded to warnings\n"
-        )
-    });
+    ))
+}
+
+/// Renders a lint report — shared by the batch and streaming paths so
+/// their output is byte-identical — and applies the `--deny` gate.
+fn lint_outcome(
+    path: &str,
+    diags: &[postal_verify::Diagnostic],
+    facts: LintFacts,
+    as_json: bool,
+    deny: postal_verify::Severity,
+) -> Result<String, CliError> {
+    use postal_verify::{json, render};
+    let note = lint_note(path, facts.dropped, facts.truncated);
     let report = if as_json {
-        json::diagnostics_to_json(&diags)
+        json::diagnostics_to_json(diags)
     } else if diags.is_empty() {
         format!(
-            "{path}: clean — valid broadcast of {messages} message(s) over MPS({}, {}), \
+            "{path}: clean — valid broadcast of {} message(s) over MPS({}, {}), \
              completes at t = {}\n{}",
-            schedule.n(),
-            schedule.latency(),
-            schedule.completion(),
-            partial_note.as_deref().unwrap_or("")
+            facts.messages,
+            facts.n,
+            facts.latency,
+            facts.completion,
+            note.as_deref().unwrap_or("")
         )
     } else {
         format!(
             "{}{}",
-            render::render_report(&diags, path),
-            partial_note.as_deref().unwrap_or("")
+            render::render_report(diags, path),
+            note.as_deref().unwrap_or("")
         )
     };
     if diags.iter().any(|d| d.severity >= deny) {
@@ -322,6 +414,90 @@ fn lint(args: &[String]) -> Result<String, CliError> {
     } else {
         Ok(report)
     }
+}
+
+/// The `lint --stream` path: folds a JSONL event log through the
+/// streaming lint engine line by line — O(n) linter memory, no
+/// materialized schedule — and renders the exact batch report.
+fn lint_streaming(
+    path: &str,
+    first_line: String,
+    reader: std::io::BufReader<std::fs::File>,
+    is_jsonl: bool,
+    m_override: Option<u64>,
+    deny: postal_verify::Severity,
+    as_json: bool,
+) -> Result<String, CliError> {
+    use postal_obs::{JsonlParser, LintStream, StreamOrdering};
+    use postal_verify::LintOptions;
+    use std::io::{BufRead as _, Cursor, Read as _};
+    if !is_jsonl {
+        return Err(CliError::Invalid(format!(
+            "{path}: --stream needs an observability JSONL event log \
+             (\"type\":\"run\" header); schedule JSON is linted whole — drop --stream"
+        )));
+    }
+    let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(format!("{path}: {e}"));
+    let mut parser = JsonlParser::new();
+    // Built once the header line has been parsed; `Live` ordering is
+    // sound for both orders a log is written in — live emission order
+    // (sends announced ahead of their starts) and at()-sorted — and a
+    // shuffled log merely defers finalization to finish(), which is
+    // still the exact batch report.
+    let mut stream: Option<LintStream> = None;
+    let mut header: Option<(u32, Latency, u64, u64)> = None;
+    for line in Cursor::new(first_line).chain(reader).lines() {
+        let line = line.map_err(|e| invalid(&e))?;
+        let event = parser.line(&line).map_err(|e| invalid(&e))?;
+        if stream.is_none() {
+            if let Some(meta) = parser.meta() {
+                let lam = meta.lambda.ok_or_else(|| {
+                    invalid(&"log has no uniform lambda; cannot reduce to a schedule")
+                })?;
+                let messages = m_override.or(meta.messages).unwrap_or(1);
+                let dropped = meta.dropped_events.unwrap_or(0);
+                header = Some((meta.n, lam, messages, dropped));
+                stream = Some(LintStream::new(
+                    meta.n,
+                    lam,
+                    LintOptions::broadcast_of(messages),
+                    StreamOrdering::Live,
+                ));
+            }
+        }
+        if let (Some(ev), Some(s)) = (event, stream.as_mut()) {
+            s.on_event(&ev);
+        }
+    }
+    let (stream, (n, latency, messages, dropped)) = stream
+        .zip(header)
+        .ok_or_else(|| invalid(&"empty log: no \"run\" header"))?;
+    if stream.out_of_order() {
+        return Err(CliError::Invalid(format!(
+            "{path}: a send appears after later events already passed its start time; \
+             the log is out of order — lint without --stream instead"
+        )));
+    }
+    let truncated = stream.truncated();
+    let completion = stream.completion();
+    let diags = postal_verify::downgrade_truncated_trace(
+        postal_verify::downgrade_partial_trace(stream.finish(), dropped),
+        truncated,
+    );
+    lint_outcome(
+        path,
+        &diags,
+        LintFacts {
+            n,
+            latency,
+            completion,
+            messages,
+            dropped,
+            truncated,
+        },
+        as_json,
+        deny,
+    )
 }
 
 /// The `check` subcommand: model-check one (or every) paper algorithm.
@@ -788,6 +964,7 @@ struct OutputOpts {
     as_json: bool,
     sample: Option<SampleSpec>,
     ring_capacity: Option<usize>,
+    lint_inline: bool,
 }
 
 impl OutputOpts {
@@ -837,6 +1014,10 @@ fn split_output_flags(args: &[String]) -> Result<(Vec<String>, OutputOpts), CliE
                 }
                 opts.ring_capacity = Some(k);
                 i += 2;
+            }
+            "--lint-inline" => {
+                opts.lint_inline = true;
+                i += 1;
             }
             "--format" => {
                 opts.as_json = match flag_value(i)? {
@@ -976,6 +1157,9 @@ fn simulate(
     lam: Latency,
     opts: &OutputOpts,
 ) -> Result<String, CliError> {
+    if opts.lint_inline {
+        return simulate_lint_inline(algo, n, m, lam, opts);
+    }
     let mut run = run_workload(algo, n, m, lam)?;
     run.log = apply_ring(run.log, opts);
     let notes = write_exports(&run.log, opts)?;
@@ -1023,6 +1207,246 @@ fn simulate(
     Ok(out)
 }
 
+/// One inline-linted run's outcome: the engine's completion plus the
+/// streaming linter's report and bookkeeping.
+struct InlineLint {
+    completion: Time,
+    violations: usize,
+    sends: u64,
+    diags: Vec<postal_verify::Diagnostic>,
+    dropped: u64,
+    sample: Option<String>,
+    truncated: bool,
+    linter_bytes: usize,
+}
+
+/// The `simulate --lint-inline` path: runs the algorithm with the trace
+/// discarded as it is generated and the streaming lint engine attached
+/// as the run's recorder, so a million-processor run is linted in O(n)
+/// memory with no stored trace.
+fn simulate_lint_inline(
+    algo: &str,
+    n: usize,
+    m: u32,
+    lam: Latency,
+    opts: &OutputOpts,
+) -> Result<String, CliError> {
+    use postal_algos::dtree::dtree_programs;
+    use postal_algos::pack::pack_programs;
+    use postal_algos::pipeline::pipeline_programs;
+    use postal_algos::repeat::repeat_programs;
+    use postal_algos::{bcast_programs, Pacing};
+    if opts.trace_out.is_some() || opts.events_out.is_some() || opts.metrics_out.is_some() {
+        return Err(CliError::Invalid(
+            "--lint-inline discards the trace as it runs; \
+             --trace-out/--events-out/--metrics-out need a recorded log"
+                .into(),
+        ));
+    }
+    let run = match algo {
+        "bcast" => run_lint_inline(n, m, lam, bcast_programs(n, lam), opts)?,
+        "repeat" => run_lint_inline(
+            n,
+            m,
+            lam,
+            repeat_programs(n, m, lam, Pacing::PaperExact),
+            opts,
+        )?,
+        "repeat-greedy" => {
+            run_lint_inline(n, m, lam, repeat_programs(n, m, lam, Pacing::Greedy), opts)?
+        }
+        "pack" => run_lint_inline(n, m, lam, pack_programs(n, m, lam), opts)?,
+        "pipeline" => run_lint_inline(n, m, lam, pipeline_programs(n, m, lam), opts)?,
+        "line" => run_lint_inline(n, m, lam, dtree_programs(n, m, 1), opts)?,
+        "binary" => run_lint_inline(n, m, lam, dtree_programs(n, m, 2), opts)?,
+        "star" => {
+            if n < 2 {
+                return Err(CliError::Invalid("star needs n ≥ 2".into()));
+            }
+            run_lint_inline(n, m, lam, dtree_programs(n, m, n as u64 - 1), opts)?
+        }
+        _ if algo.starts_with("dtree:") => {
+            let d: u64 = algo[6..]
+                .parse()
+                .map_err(|_| CliError::Invalid(format!("bad degree in {algo:?}")))?;
+            if d == 0 {
+                return Err(CliError::Invalid("degree must be ≥ 1".into()));
+            }
+            run_lint_inline(n, m, lam, dtree_programs(n, m, d), opts)?
+        }
+        "combine" | "gossip" | "scatter" => {
+            return Err(CliError::Invalid(format!(
+                "--lint-inline checks the broadcast contract (P0003/P0005/P0007); \
+                 {algo} is not a broadcast — run it without --lint-inline"
+            )));
+        }
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown algorithm {other:?} (see `postal` for the list)"
+            )))
+        }
+    };
+    render_inline(algo, n, m, lam, run, opts)
+}
+
+/// Runs one program set with the trace discarded and the linter inline.
+///
+/// Unsampled runs attach a [`postal_obs::LintSink`] directly — the
+/// engine's live emission order drives the watermark. Sampled runs
+/// route events through the ring recorder exactly like a plain
+/// `--sample` run, then replay the surviving snapshot through the
+/// streaming linter; the drop count feeds the partial-trace downgrades.
+fn run_lint_inline<P: Clone>(
+    n: usize,
+    m: u32,
+    lam: Latency,
+    programs: Vec<Box<dyn postal_sim::Program<P>>>,
+    opts: &OutputOpts,
+) -> Result<InlineLint, CliError> {
+    use postal_obs::{LintSink, LintStream, StreamOrdering};
+    use postal_sim::{Simulation, Uniform};
+    use postal_verify::LintOptions;
+    let model = Uniform(lam);
+    let lint_opts = LintOptions::broadcast_of(m as u64);
+    let sim_failed = |e: postal_sim::SimError| CliError::Invalid(format!("simulation failed: {e}"));
+    let (stream, completion, violations, dropped, sample) = if opts.uses_ring() {
+        let spec = opts.sample.unwrap_or_else(SampleSpec::all);
+        let cap = opts
+            .ring_capacity
+            .unwrap_or(postal_obs::ring::DEFAULT_CAPACITY);
+        let ring = RingRecorder::with_spec(cap, spec);
+        let report = Simulation::new(n, &model)
+            .observe(&ring)
+            .discard_trace()
+            .run(programs)
+            .map_err(sim_failed)?;
+        let log = ring.into_log(postal_obs::RunMeta::new("event", n as u32));
+        let mut events = log.events().to_vec();
+        events.sort_by_key(|e| e.at());
+        let mut stream = LintStream::new(n as u32, lam, lint_opts, StreamOrdering::Live);
+        for ev in &events {
+            stream.on_event(ev);
+        }
+        let dropped = log.meta().dropped_events.unwrap_or(0);
+        let sample = log.meta().sample.clone();
+        (
+            stream,
+            report.completion,
+            report.violations.len(),
+            dropped,
+            sample,
+        )
+    } else {
+        let sink = LintSink::new(n as u32, lam, lint_opts);
+        let report = Simulation::new(n, &model)
+            .observe(&sink)
+            .discard_trace()
+            .run(programs)
+            .map_err(sim_failed)?;
+        (
+            sink.finish(),
+            report.completion,
+            report.violations.len(),
+            0,
+            None,
+        )
+    };
+    if stream.out_of_order() {
+        return Err(CliError::Invalid(
+            "internal: the engine fed the inline linter out of order; \
+             re-run without --lint-inline and report this"
+                .into(),
+        ));
+    }
+    let truncated = stream.truncated();
+    let linter_bytes = stream.memory_bytes();
+    let sends = stream.sends_observed();
+    let diags = postal_verify::downgrade_truncated_trace(
+        postal_verify::downgrade_partial_trace(stream.finish(), dropped),
+        truncated,
+    );
+    Ok(InlineLint {
+        completion,
+        violations,
+        sends,
+        diags,
+        dropped,
+        sample,
+        truncated,
+        linter_bytes,
+    })
+}
+
+/// Renders the `--lint-inline` summary plus the lint report, applying
+/// the same default gate as `lint` (fail on any error diagnostic).
+fn render_inline(
+    algo: &str,
+    n: usize,
+    m: u32,
+    lam: Latency,
+    run: InlineLint,
+    opts: &OutputOpts,
+) -> Result<String, CliError> {
+    use postal_verify::{json, render, Severity};
+    let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
+    let report = if opts.as_json {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"command\": \"simulate\",");
+        let _ = writeln!(out, "  \"algo\": \"{algo}\",");
+        let _ = writeln!(out, "  \"n\": {n},");
+        let _ = writeln!(out, "  \"m\": {m},");
+        let _ = writeln!(out, "  \"lambda\": \"{lam}\",");
+        let _ = writeln!(out, "  \"lint_inline\": true,");
+        let _ = writeln!(out, "  \"completion\": \"{}\",", run.completion);
+        let _ = writeln!(out, "  \"completion_units\": {},", run.completion.to_f64());
+        let _ = writeln!(out, "  \"sends\": {},", run.sends);
+        let _ = writeln!(out, "  \"violations\": {},", run.violations);
+        if let Some(s) = &run.sample {
+            let _ = writeln!(out, "  \"sample\": \"{s}\",");
+            let _ = writeln!(out, "  \"dropped_events\": {},", run.dropped);
+        }
+        let _ = writeln!(out, "  \"truncated\": {},", run.truncated);
+        let _ = writeln!(out, "  \"linter_memory_bytes\": {},", run.linter_bytes);
+        let _ = writeln!(out, "  \"lower_bound\": \"{lb}\",");
+        let _ = writeln!(
+            out,
+            "  \"diagnostics\": {}",
+            json::diagnostics_to_json(&run.diags).trim_end()
+        );
+        out.push('}');
+        out
+    } else {
+        let mut out = format!(
+            "algorithm: {algo}\nn = {n}, m = {m}, λ = {lam}\ncompletion: {} units\n\
+             sends:     {}\nmodel violations: {}\nlower bound (Lemma 8): {lb}\n",
+            run.completion, run.sends, run.violations
+        );
+        let _ = writeln!(
+            out,
+            "inline lint: {} diagnostic(s) — linter memory {} KiB, no stored trace",
+            run.diags.len(),
+            run.linter_bytes.div_ceil(1024),
+        );
+        if let Some(s) = &run.sample {
+            let _ = writeln!(
+                out,
+                "sampling: {s} — {} events dropped; absence lints downgraded",
+                run.dropped
+            );
+        }
+        if !run.diags.is_empty() {
+            out.push('\n');
+            out.push_str(&render::render_report(&run.diags, algo));
+        }
+        out
+    };
+    if run.diags.iter().any(|d| d.severity >= Severity::Error) {
+        Err(CliError::LintFailed(report))
+    } else {
+        Ok(report)
+    }
+}
+
 /// How many per-processor rows `stats` prints before eliding the rest.
 const STATS_UTILIZATION_ROWS: usize = 16;
 
@@ -1033,6 +1457,11 @@ fn stats(
     lam: Latency,
     opts: &OutputOpts,
 ) -> Result<String, CliError> {
+    if opts.lint_inline {
+        return Err(CliError::Invalid(
+            "--lint-inline applies to `simulate` only".into(),
+        ));
+    }
     let mut run = run_workload(algo, n, m, lam)?;
     run.log = apply_ring(run.log, opts);
     let notes = write_exports(&run.log, opts)?;
@@ -1824,6 +2253,194 @@ mod tests {
         ));
         assert!(matches!(
             call(&["simulate", "bcast", "5", "1", "2", "--ring-capacity", "0"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn lint_tolerates_bom_and_blank_lines() {
+        // A UTF-8 BOM plus leading blank lines (editors and heredocs
+        // prepend both) must not break format sniffing.
+        let path = write_temp(
+            "bom.json",
+            "\u{feff}\n\n{\"n\": 3, \"lambda\": \"5/2\",\n \"sends\": \
+             [{\"src\":0,\"dst\":1,\"at\":\"0\"}, {\"src\":0,\"dst\":2,\"at\":\"1\"}]}",
+        );
+        let out = call(&["lint", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+
+        let events = std::env::temp_dir().join("postal-cli-test-bom-src.jsonl");
+        call(&[
+            "simulate",
+            "bcast",
+            "14",
+            "1",
+            "5/2",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&events).unwrap();
+        let bom = write_temp("bom.jsonl", &format!("\u{feff}\n{text}"));
+        let out = call(&["lint", bom.to_str().unwrap()]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        let streamed = call(&["lint", bom.to_str().unwrap(), "--stream"]).unwrap();
+        assert_eq!(out, streamed);
+    }
+
+    #[test]
+    fn lint_stream_matches_batch_byte_for_byte() {
+        let events = std::env::temp_dir().join("postal-cli-test-stream.jsonl");
+        call(&[
+            "simulate",
+            "pipeline",
+            "9",
+            "3",
+            "5/2",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        let p = events.to_str().unwrap();
+        assert_eq!(call(&["lint", p]), call(&["lint", p, "--stream"]));
+        assert_eq!(
+            call(&["lint", p, "--format", "json", "--deny", "warn"]),
+            call(&["lint", p, "--format", "json", "--deny", "warn", "--stream"]),
+        );
+    }
+
+    #[test]
+    fn lint_stream_agrees_on_sampled_and_truncated_logs() {
+        let events = std::env::temp_dir().join("postal-cli-test-stream-sampled.jsonl");
+        call(&[
+            "simulate",
+            "bcast",
+            "14",
+            "1",
+            "5/2",
+            "--sample",
+            "rate:3",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        let p = events.to_str().unwrap();
+        let batch = call(&["lint", p]);
+        assert_eq!(batch, call(&["lint", p, "--stream"]));
+        assert!(batch.unwrap().contains("partial trace"));
+
+        // A run cut off by the event budget: the coverage error must be
+        // downgraded (and noted) identically on both paths.
+        let trunc = write_temp(
+            "trunc.jsonl",
+            "{\"type\":\"run\",\"engine\":\"event\",\"n\":3,\"lambda\":\"2\"}\n\
+             {\"type\":\"send\",\"seq\":0,\"src\":0,\"dst\":1,\"start\":\"0\",\"finish\":\"1\"}\n\
+             {\"type\":\"truncated\",\"processed\":2,\"limit\":2,\"at\":\"1\"}\n",
+        );
+        let p = trunc.to_str().unwrap();
+        let batch = call(&["lint", p]).unwrap();
+        assert!(batch.contains("cut short by the event budget"), "{batch}");
+        assert!(batch.contains("warning[P0005]"), "{batch}");
+        assert_eq!(batch, call(&["lint", p, "--stream"]).unwrap());
+    }
+
+    #[test]
+    fn lint_stream_rejects_schedule_json() {
+        let path = write_temp(
+            "stream-schedule.json",
+            r#"{"n": 2, "lambda": 2, "sends": [{"src":0,"dst":1,"at":0}]}"#,
+        );
+        assert!(matches!(
+            call(&["lint", path.to_str().unwrap(), "--stream"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_lint_inline_clean_run() {
+        let out = call(&["simulate", "bcast", "14", "1", "5/2", "--lint-inline"]).unwrap();
+        assert!(out.contains("completion: 15/2 units"), "{out}");
+        assert!(out.contains("sends:     13"), "{out}");
+        assert!(out.contains("inline lint: 0 diagnostic(s)"), "{out}");
+        assert!(out.contains("no stored trace"), "{out}");
+
+        let json = call(&[
+            "simulate",
+            "binary",
+            "10",
+            "2",
+            "2",
+            "--lint-inline",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"lint_inline\": true"), "{json}");
+        assert!(json.contains("\"diagnostics\": ["), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    }
+
+    #[test]
+    fn simulate_lint_inline_covers_the_broadcast_algorithms() {
+        for algo in [
+            "bcast",
+            "repeat",
+            "repeat-greedy",
+            "pack",
+            "pipeline",
+            "line",
+            "binary",
+            "star",
+            "dtree:3",
+        ] {
+            // BCAST carries exactly one message whatever m says; lint
+            // with m = 3 would rightly flag the run as too fast (P0007).
+            let m = if algo == "bcast" { "1" } else { "3" };
+            let out = call(&["simulate", algo, "10", m, "2", "--lint-inline"])
+                .unwrap_or_else(|e| panic!("{algo}: {e:?}"));
+            assert!(out.contains("model violations: 0"), "{algo}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn simulate_lint_inline_with_sampling_downgrades() {
+        let out = call(&[
+            "simulate",
+            "bcast",
+            "14",
+            "1",
+            "5/2",
+            "--lint-inline",
+            "--sample",
+            "rate:3",
+        ])
+        .unwrap();
+        assert!(out.contains("sampling: head,rate:3 —"), "{out}");
+        assert!(!out.contains("error[P0003]"), "{out}");
+        assert!(!out.contains("error[P0005]"), "{out}");
+    }
+
+    #[test]
+    fn lint_inline_rejects_bad_combinations() {
+        assert!(matches!(
+            call(&["simulate", "gossip", "10", "1", "2", "--lint-inline"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&[
+                "simulate",
+                "bcast",
+                "10",
+                "1",
+                "2",
+                "--lint-inline",
+                "--events-out",
+                "/tmp/postal-cli-test-inline.jsonl"
+            ]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["stats", "bcast", "10", "1", "2", "--lint-inline"]),
             Err(CliError::Invalid(_))
         ));
     }

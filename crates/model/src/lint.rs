@@ -53,6 +53,13 @@
 //! [`reference::lint_schedule_reference`]; the differential test suite
 //! asserts the two produce byte-identical diagnostics over the full
 //! acceptance grid.
+//!
+//! The [`stream`] module carries the suite one step further: a
+//! [`StreamingLint`] engine runs the same `P0001`–`P0007` checks over a
+//! send *stream* — fed live by the simulator or by a JSONL log — with
+//! O(n) memory and no materialized schedule at all, again pinned
+//! byte-identical to the batch output. See the [`stream`] module docs
+//! for the watermark/finalization protocol.
 
 use crate::ratio::Interval;
 use crate::schedule::{Schedule, TimedSend};
@@ -62,9 +69,14 @@ use std::fmt;
 pub mod index;
 pub mod passes;
 pub mod reference;
+pub mod stream;
 
 pub use index::ScheduleIndex;
 pub use passes::{LintPass, PassContext, PassManager, PassStage};
+pub use stream::{
+    lint_schedule_streaming, StreamContext, StreamEvent, StreamIndex, StreamingLint,
+    StreamingLintPass,
+};
 
 /// Stable diagnostic codes, one per paper rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

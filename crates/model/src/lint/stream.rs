@@ -1,0 +1,1297 @@
+//! The streaming lint engine: the `P0001`–`P0007` suite as an
+//! online analysis over a send stream, with bounded memory and no
+//! materialized schedule.
+//!
+//! The batch [`PassManager`](super::PassManager) needs the whole
+//! [`Schedule`] in memory before it can build
+//! its [`ScheduleIndex`](super::ScheduleIndex). At n = 10⁶ that schedule
+//! *is* the scale bottleneck — the simulator itself runs in flat arrays.
+//! [`StreamingLint`] removes it: callers push sends one at a time
+//! ([`StreamingLint::observe_send`]), advance a **watermark**
+//! ([`StreamingLint::advance_watermark`]) as simulated time progresses,
+//! and collect the final report from [`StreamingLint::finish`]. Memory
+//! is O(n + pending + findings), independent of the total send count.
+//!
+//! ## How order is recovered
+//!
+//! The batch engine's output contract is tied to *canonical schedule
+//! order* — sends sorted by `(send_start, src, dst)`. A live event
+//! stream is ordered by simulation time instead, and a send is observed
+//! when it is *issued*, which can precede its start time (output-port
+//! serialization). The engine therefore parks observed sends in a
+//! pending min-heap keyed on `(send_start, src, dst)` and **finalizes**
+//! — pops and feeds to the passes — every send whose key is strictly
+//! below the watermark. As long as the caller only advances the
+//! watermark to times `t` such that every send starting before `t` has
+//! already been observed (true for the engine's clock and for
+//! timestamp-sorted logs), finalization order is exactly canonical
+//! order, and each pass sees precisely the sweep the batch engine would
+//! run. A send observed *late* — starting below the current watermark —
+//! sets [`StreamingLint::out_of_order`]; callers should treat the
+//! report as unreliable and fall back to batch mode.
+//!
+//! Two pending heaps keep the hot path on machine integers: an `i64`
+//! half-unit lane for on-lattice starts (every grid the paper uses) and
+//! an exact-[`Time`] lane for the rest, merged by exact comparison at
+//! pop time.
+//!
+//! ## Online vs `finish`-time passes
+//!
+//! * `P0001`/`P0002` keep one previous send per output/input port and
+//!   emit overlaps online.
+//! * `P0003` decides violations online (a receipt informing a send can
+//!   never be observed after the send is finalized — see
+//!   [`StreamingCausalityPass`]) but renders messages at `finish`, when
+//!   first-receipt times are final.
+//! * `P0004` buffers malformed sends and replays them in schedule order
+//!   at `finish`.
+//! * `P0005`/`P0007` are pure `finish`-time checks over the running
+//!   first-receipt table and completion maximum.
+//! * `P0006` tracks one port cursor and the first idle gap per
+//!   processor online, and resolves the gap against the coverage
+//!   horizon at `finish`.
+//!
+//! The staged semantics (shape → broadcast → quality, with quality
+//! suppressed by any error) and the final stable sort replicate
+//! [`PassManager::run_with_index`](super::PassManager::run_with_index)
+//! exactly; `tests/lint_stream_differential.rs` pins the streamed
+//! diagnostics byte-identical (rendered and JSON) to the batch output
+//! over the full acceptance grid.
+
+use super::passes::PassStage;
+use super::{diag_order, Diagnostic, LintCode, LintOptions, Severity};
+use crate::fib::GenFib;
+use crate::latency::Latency;
+use crate::runtimes;
+use crate::schedule::{Schedule, TimedSend};
+use crate::time::{FastTime, Time};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::mem::size_of;
+
+/// Sentinel for "no value" in a [`TimeSlots`] half-unit lane. Larger
+/// than any representable half-unit value.
+const EMPTY: i64 = i64::MAX;
+/// Sentinel for "value lives in the exact side table".
+const EXACT: i64 = i64::MAX - 1;
+
+/// Per-processor time storage: an `i64` half-unit lane with an exact
+/// side table for off-lattice values. Costs 8 bytes per processor plus
+/// one hash entry per processor that ever held an off-lattice time
+/// (none on the paper's half-integer grids).
+struct TimeSlots {
+    half: Vec<i64>,
+    exact: HashMap<u32, Time>,
+}
+
+impl TimeSlots {
+    fn new(n: usize) -> TimeSlots {
+        TimeSlots {
+            half: vec![EMPTY; n],
+            exact: HashMap::new(),
+        }
+    }
+
+    fn get(&self, p: u32) -> Option<Time> {
+        match self.half[p as usize] {
+            EMPTY => None,
+            EXACT => self.exact.get(&p).copied(),
+            h => Some(Time::from_half_units(h)),
+        }
+    }
+
+    fn put(&mut self, p: u32, t: Time) {
+        match t.to_half_units() {
+            Some(h) if self.half[p as usize] != EXACT => self.half[p as usize] = h,
+            _ => {
+                self.half[p as usize] = EXACT;
+                self.exact.insert(p, t);
+            }
+        }
+    }
+
+    /// Lowers slot `p` toward `h` half-units without leaving the
+    /// integer lane (`EMPTY` is `i64::MAX`, so the bare `min` covers
+    /// the unset case).
+    fn set_min_half(&mut self, p: u32, h: i64) {
+        let slot = &mut self.half[p as usize];
+        if *slot == EXACT {
+            let t = Time::from_half_units(h);
+            let e = self.exact.get_mut(&p).expect("EXACT slot has an entry");
+            if t < *e {
+                *e = t;
+            }
+        } else if h < *slot {
+            *slot = h;
+        }
+    }
+
+    /// Lowers slot `p` toward `t`.
+    fn set_min(&mut self, p: u32, t: Time) {
+        match t.to_half_units() {
+            Some(h) => self.set_min_half(p, h),
+            None => match self.get(p) {
+                Some(c) if c <= t => {}
+                _ => self.put(p, t),
+            },
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.half.capacity() * size_of::<i64>()
+            + self.exact.capacity() * (size_of::<(u32, Time)>() + size_of::<u64>())
+    }
+}
+
+/// The running per-stream state every streaming pass shares: processor
+/// count, λ, per-processor first-receipt times (updated as sends are
+/// observed — the minimum is order-independent) and the running
+/// completion maximum over *all* observed sends, malformed included
+/// (mirroring [`Schedule::completion`]).
+pub struct StreamIndex {
+    n: u32,
+    latency: Latency,
+    lam_half: Option<i64>,
+    first_receipt: TimeSlots,
+    completion_half: i64,
+    completion_exact: Option<Time>,
+    sends: u64,
+    malformed: u64,
+}
+
+impl StreamIndex {
+    fn new(n: u32, latency: Latency) -> StreamIndex {
+        StreamIndex {
+            n,
+            latency,
+            lam_half: latency.as_time().to_half_units(),
+            first_receipt: TimeSlots::new(n as usize),
+            completion_half: i64::MIN,
+            completion_exact: None,
+            sends: 0,
+            malformed: 0,
+        }
+    }
+
+    /// Folds one observed send into the running aggregates.
+    fn record(&mut self, s: &TimedSend, well_formed: bool) {
+        let half = match (self.lam_half, s.send_start.to_half_units()) {
+            // Both ≤ FIXED_LIMIT = i64::MAX/4 in magnitude: no overflow.
+            (Some(l), Some(h)) => Some(h + l),
+            _ => None,
+        };
+        match half {
+            Some(h) => self.completion_half = self.completion_half.max(h),
+            None => {
+                let rf = s.recv_finish(self.latency);
+                self.completion_exact = Some(match self.completion_exact {
+                    Some(c) => c.max(rf),
+                    None => rf,
+                });
+            }
+        }
+        if well_formed {
+            self.sends += 1;
+            match half {
+                Some(h) => self.first_receipt.set_min_half(s.dst, h),
+                None => self
+                    .first_receipt
+                    .set_min(s.dst, s.recv_finish(self.latency)),
+            }
+        } else {
+            self.malformed += 1;
+        }
+    }
+
+    /// Processor count of the stream under lint.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// λ of the stream under lint.
+    pub fn latency(&self) -> Latency {
+        self.latency
+    }
+
+    /// When processor `p` first finishes receiving anything *observed
+    /// so far*, if ever. Final once the stream ends.
+    pub fn first_receipt(&self, p: u32) -> Option<Time> {
+        self.first_receipt.get(p)
+    }
+
+    /// The latest receive finish over every observed send (malformed
+    /// included), or zero for an empty stream — the streaming image of
+    /// [`Schedule::completion`].
+    pub fn completion(&self) -> Time {
+        let fast =
+            (self.completion_half != i64::MIN).then(|| Time::from_half_units(self.completion_half));
+        match (fast, self.completion_exact) {
+            (Some(a), Some(b)) => a.max(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => Time::ZERO,
+        }
+    }
+
+    /// Well-formed sends observed so far.
+    pub fn sends_observed(&self) -> u64 {
+        self.sends
+    }
+
+    /// Malformed sends observed so far.
+    pub fn malformed_observed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Currently reserved heap bytes, by container capacity.
+    pub fn memory_bytes(&self) -> usize {
+        self.first_receipt.memory_bytes()
+    }
+}
+
+/// One unit of streamed input, handed to every registered pass.
+pub enum StreamEvent<'a> {
+    /// A well-formed send, finalized in canonical
+    /// `(send_start, src, dst)` order — the batch arena sweep order.
+    Send(&'a TimedSend),
+    /// A structurally malformed send (`P0004` material), delivered at
+    /// observation time in stream order.
+    Malformed(&'a TimedSend),
+}
+
+/// What a streaming pass may look at alongside each event: the shared
+/// running index and the caller's options.
+pub struct StreamContext<'a> {
+    /// The shared running aggregates.
+    pub index: &'a StreamIndex,
+    /// What the stream is being linted as.
+    pub opts: &'a LintOptions,
+}
+
+/// One incremental check over the send stream: the streaming
+/// counterpart of [`LintPass`](super::LintPass).
+///
+/// `on_event` is called once per observed send — malformed sends at
+/// observation time, well-formed sends on finalization in canonical
+/// order — and `finish` once at end of stream. A pass must emit its
+/// `finish` diagnostics in the batch engine's canonical *emission*
+/// order for its code; the engine's final stable sort then reproduces
+/// the batch report byte for byte.
+pub trait StreamingLintPass {
+    /// Short stable name, matching the batch pass it mirrors.
+    fn name(&self) -> &'static str;
+    /// When in the staged sweep this pass's findings land.
+    fn stage(&self) -> PassStage;
+    /// Consumes one streamed send.
+    fn on_event(&mut self, cx: &StreamContext<'_>, ev: &StreamEvent<'_>);
+    /// Appends this pass's findings to `out` at end of stream.
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>);
+    /// Currently reserved heap bytes, by container capacity.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The streaming lint engine: feeds observed sends through the
+/// registered [`StreamingLintPass`]es with bounded memory.
+///
+/// See the [module docs](self) for the watermark/finalization protocol
+/// and the pass-by-pass incremental strategy.
+pub struct StreamingLint {
+    opts: LintOptions,
+    index: StreamIndex,
+    passes: Vec<Box<dyn StreamingLintPass + Send>>,
+    /// Pending sends on the half-unit lattice, keyed
+    /// `(start_half, src, dst)`.
+    pending_fast: BinaryHeap<Reverse<(i64, u32, u32)>>,
+    /// Pending off-lattice sends, keyed `(start, src, dst)`.
+    pending_exact: BinaryHeap<Reverse<(Time, u32, u32)>>,
+    watermark: Time,
+    watermark_half: Option<i64>,
+    out_of_order: bool,
+}
+
+impl StreamingLint {
+    /// Creates an engine over `MPS(n, λ)` with the standard pass suite
+    /// — the streaming image of
+    /// [`PassManager::standard`](super::PassManager::standard). When
+    /// `opts.broadcast` is off only the shape passes are registered,
+    /// matching the batch staging.
+    pub fn new(n: u32, latency: Latency, opts: LintOptions) -> StreamingLint {
+        let mut passes: Vec<Box<dyn StreamingLintPass + Send>> = vec![
+            Box::new(StreamingMalformedPass::new()),
+            Box::new(StreamingOutputPortPass::new(n as usize)),
+            Box::new(StreamingInputWindowPass::new(n as usize)),
+        ];
+        if opts.broadcast {
+            passes.push(Box::new(StreamingCausalityPass::new()));
+            passes.push(Box::new(StreamingCoveragePass));
+            passes.push(Box::new(StreamingIdlePortPass::new(n as usize)));
+            passes.push(Box::new(StreamingOptimalityPass));
+        }
+        StreamingLint {
+            opts,
+            index: StreamIndex::new(n, latency),
+            passes,
+            pending_fast: BinaryHeap::new(),
+            pending_exact: BinaryHeap::new(),
+            watermark: Time::ZERO,
+            watermark_half: Some(0),
+            out_of_order: false,
+        }
+    }
+
+    /// Observes one send. Malformed sends are classified and dispatched
+    /// immediately; well-formed sends are parked until the watermark
+    /// passes their start time.
+    pub fn observe_send(&mut self, src: u32, dst: u32, send_start: Time) {
+        let s = TimedSend {
+            src,
+            dst,
+            send_start,
+        };
+        let n = self.index.n;
+        let well_formed = src < n && dst < n && src != dst && send_start >= Time::ZERO;
+        self.index.record(&s, well_formed);
+        if !well_formed {
+            let cx = StreamContext {
+                index: &self.index,
+                opts: &self.opts,
+            };
+            let ev = StreamEvent::Malformed(&s);
+            for pass in &mut self.passes {
+                pass.on_event(&cx, &ev);
+            }
+            return;
+        }
+        if send_start < self.watermark {
+            // The watermark already passed this start: finalization
+            // order can no longer be canonical.
+            self.out_of_order = true;
+        }
+        match send_start.to_half_units() {
+            Some(h) => self.pending_fast.push(Reverse((h, src, dst))),
+            None => self.pending_exact.push(Reverse((send_start, src, dst))),
+        }
+    }
+
+    /// Raises the watermark to `t` (never lowers it) and finalizes
+    /// every pending send starting strictly before it. The caller
+    /// guarantees that all sends starting before `t` have been
+    /// observed; the engine's simulation clock and the timestamps of a
+    /// sorted event log both satisfy this.
+    pub fn advance_watermark(&mut self, t: Time) {
+        if t > self.watermark {
+            self.watermark_half = t.to_half_units();
+            self.watermark = t;
+        }
+        // Integer-only fast path: all pending on-lattice, watermark
+        // on-lattice.
+        if self.pending_exact.is_empty() {
+            if let Some(w) = self.watermark_half {
+                while let Some(&Reverse((h, src, dst))) = self.pending_fast.peek() {
+                    if h >= w {
+                        return;
+                    }
+                    self.pending_fast.pop();
+                    self.dispatch_send(TimedSend {
+                        src,
+                        dst,
+                        send_start: Time::from_half_units(h),
+                    });
+                }
+                return;
+            }
+        }
+        while let Some((key, s)) = self.peek_min() {
+            if key >= self.watermark {
+                return;
+            }
+            self.pop_min();
+            self.dispatch_send(s);
+        }
+    }
+
+    /// The smaller of the two heap tops, by exact key. A fast-lane and
+    /// an exact-lane entry can never carry the same start time (a time
+    /// either has a half-unit form or it does not), so the merge is
+    /// unambiguous.
+    fn peek_min(&self) -> Option<(Time, TimedSend)> {
+        let fast = self.pending_fast.peek().map(|&Reverse((h, src, dst))| {
+            (
+                Time::from_half_units(h),
+                TimedSend {
+                    src,
+                    dst,
+                    send_start: Time::from_half_units(h),
+                },
+            )
+        });
+        let exact = self.pending_exact.peek().map(|&Reverse((t, src, dst))| {
+            (
+                t,
+                TimedSend {
+                    src,
+                    dst,
+                    send_start: t,
+                },
+            )
+        });
+        match (fast, exact) {
+            (Some(f), Some(e)) => {
+                let fk = (f.0, f.1.src, f.1.dst);
+                let ek = (e.0, e.1.src, e.1.dst);
+                Some(if fk < ek { f } else { e })
+            }
+            (Some(f), None) => Some(f),
+            (None, Some(e)) => Some(e),
+            (None, None) => None,
+        }
+    }
+
+    fn pop_min(&mut self) {
+        match (self.pending_fast.peek(), self.pending_exact.peek()) {
+            (Some(&Reverse((h, fs, fd))), Some(&Reverse((t, es, ed)))) => {
+                if (Time::from_half_units(h), fs, fd) < (t, es, ed) {
+                    self.pending_fast.pop();
+                } else {
+                    self.pending_exact.pop();
+                }
+            }
+            (Some(_), None) => {
+                self.pending_fast.pop();
+            }
+            (None, Some(_)) => {
+                self.pending_exact.pop();
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn dispatch_send(&mut self, s: TimedSend) {
+        let cx = StreamContext {
+            index: &self.index,
+            opts: &self.opts,
+        };
+        let ev = StreamEvent::Send(&s);
+        for pass in &mut self.passes {
+            pass.on_event(&cx, &ev);
+        }
+    }
+
+    /// True when a send was observed after the watermark had already
+    /// passed its start: the streamed report is unreliable and the
+    /// caller should fall back to batch linting.
+    pub fn out_of_order(&self) -> bool {
+        self.out_of_order
+    }
+
+    /// The running aggregates (processor count, λ, first receipts,
+    /// completion).
+    pub fn index(&self) -> &StreamIndex {
+        &self.index
+    }
+
+    /// Sends observed but not yet finalized.
+    pub fn pending_len(&self) -> usize {
+        self.pending_fast.len() + self.pending_exact.len()
+    }
+
+    /// Currently reserved linter heap bytes, by container capacity:
+    /// pending heaps, the shared index, and every pass's state. This is
+    /// the number the `exp_stream_lint` budget gates.
+    pub fn memory_bytes(&self) -> usize {
+        self.pending_fast.capacity() * size_of::<Reverse<(i64, u32, u32)>>()
+            + self.pending_exact.capacity() * size_of::<Reverse<(Time, u32, u32)>>()
+            + self.index.memory_bytes()
+            + self.passes.iter().map(|p| p.memory_bytes()).sum::<usize>()
+    }
+
+    /// Finalizes every pending send, runs each pass's `finish` in the
+    /// batch engine's staged order, and returns the report.
+    ///
+    /// The staging replicates
+    /// [`PassManager::run_with_index`](super::PassManager::run_with_index):
+    /// shape findings first (returned unsorted when the stream is not
+    /// linted as a broadcast — the engine's historical ports-only
+    /// contract), then broadcast validity, then — only when no error
+    /// was found — the quality lints, with one final stable sort into
+    /// report order.
+    pub fn finish(mut self) -> Vec<Diagnostic> {
+        // Drain: everything still pending is final now.
+        while let Some((_, s)) = self.peek_min() {
+            self.pop_min();
+            self.dispatch_send(s);
+        }
+        let mut passes = std::mem::take(&mut self.passes);
+        let cx = StreamContext {
+            index: &self.index,
+            opts: &self.opts,
+        };
+        let mut diags = Vec::new();
+        let mut run_stage = |stage: PassStage, out: &mut Vec<Diagnostic>| {
+            for pass in &mut passes {
+                if pass.stage() == stage {
+                    pass.finish(&cx, out);
+                }
+            }
+        };
+        run_stage(PassStage::Shape, &mut diags);
+        if !self.opts.broadcast {
+            return diags;
+        }
+        run_stage(PassStage::Broadcast, &mut diags);
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            diags.sort_by_key(diag_order);
+            return diags;
+        }
+        run_stage(PassStage::Quality, &mut diags);
+        diags.sort_by_key(diag_order);
+        diags
+    }
+}
+
+/// Drives [`StreamingLint`] over a materialized schedule: the
+/// differential harness for pinning streamed output byte-identical to
+/// [`lint_schedule`](super::lint_schedule).
+pub fn lint_schedule_streaming(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic> {
+    let mut lint = StreamingLint::new(schedule.n(), schedule.latency(), *opts);
+    for s in schedule.sends() {
+        lint.advance_watermark(s.send_start);
+        lint.observe_send(s.src, s.dst, s.send_start);
+    }
+    lint.finish()
+}
+
+/// Whether `b` starts less than one unit after `a` — the shared
+/// `P0001`/`P0002` window condition, on machine integers whenever both
+/// starts sit on the half-unit lattice.
+fn lt_one_apart(a: Time, b: Time) -> bool {
+    match (a.to_half_units(), b.to_half_units()) {
+        (Some(x), Some(y)) => y < x + 2,
+        _ => b < a + Time::ONE,
+    }
+}
+
+/// `P0004`, streaming: malformed sends buffer at observation and
+/// replay in schedule order at `finish`.
+pub struct StreamingMalformedPass {
+    found: Vec<TimedSend>,
+}
+
+impl StreamingMalformedPass {
+    /// Creates the pass with an empty buffer.
+    pub fn new() -> StreamingMalformedPass {
+        StreamingMalformedPass { found: Vec::new() }
+    }
+}
+
+impl Default for StreamingMalformedPass {
+    fn default() -> StreamingMalformedPass {
+        StreamingMalformedPass::new()
+    }
+}
+
+impl StreamingLintPass for StreamingMalformedPass {
+    fn name(&self) -> &'static str {
+        "malformed-send"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn on_event(&mut self, _cx: &StreamContext<'_>, ev: &StreamEvent<'_>) {
+        if let StreamEvent::Malformed(s) = ev {
+            self.found.push(**s);
+        }
+    }
+
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        // Schedule order: `Schedule::new` sorts by (start, src, dst)
+        // and the batch index preserves that order in its malformed
+        // partition.
+        self.found.sort_by_key(|s| (s.send_start, s.src, s.dst));
+        let n = cx.index.n();
+        let lam = cx.index.latency();
+        for s in &self.found {
+            let what = if s.src == s.dst {
+                "self-send"
+            } else if s.src >= n || s.dst >= n {
+                "endpoint out of range"
+            } else {
+                "negative start time"
+            };
+            out.push(Diagnostic {
+                code: LintCode::MalformedSend,
+                severity: Severity::Error,
+                witness: None,
+                proc: Some(s.src),
+                sends: vec![*s],
+                related_time: None,
+                message: format!(
+                    "{what}: p{} -> p{} at t = {} in MPS({n}, {lam})",
+                    s.src, s.dst, s.send_start
+                ),
+            });
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.found.capacity() * size_of::<TimedSend>()
+    }
+}
+
+/// `P0001`, streaming: one previous send per output port; overlaps are
+/// detected online and grouped by processor at `finish`.
+pub struct StreamingOutputPortPass {
+    prev_start: TimeSlots,
+    prev_dst: Vec<u32>,
+    found: Vec<(u32, Diagnostic)>,
+}
+
+impl StreamingOutputPortPass {
+    /// Creates the pass for `n` processors.
+    pub fn new(n: usize) -> StreamingOutputPortPass {
+        StreamingOutputPortPass {
+            prev_start: TimeSlots::new(n),
+            prev_dst: vec![0; n],
+            found: Vec::new(),
+        }
+    }
+}
+
+impl StreamingLintPass for StreamingOutputPortPass {
+    fn name(&self) -> &'static str {
+        "output-port"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn on_event(&mut self, _cx: &StreamContext<'_>, ev: &StreamEvent<'_>) {
+        let StreamEvent::Send(b) = ev else {
+            return;
+        };
+        let src = b.src;
+        if let Some(a_start) = self.prev_start.get(src) {
+            if lt_one_apart(a_start, b.send_start) {
+                let a = TimedSend {
+                    src,
+                    dst: self.prev_dst[src as usize],
+                    send_start: a_start,
+                };
+                self.found.push((
+                    src,
+                    Diagnostic {
+                        code: LintCode::OutputPortOverlap,
+                        severity: Severity::Error,
+                        witness: None,
+                        proc: Some(src),
+                        sends: vec![a, **b],
+                        related_time: None,
+                        message: format!(
+                            "p{src} starts sends at t = {} and t = {} ({} < 1 unit apart)",
+                            a.send_start,
+                            b.send_start,
+                            b.send_start - a.send_start,
+                        ),
+                    },
+                ));
+            }
+        }
+        self.prev_start.put(src, b.send_start);
+        self.prev_dst[src as usize] = b.dst;
+    }
+
+    fn finish(&mut self, _cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        // The batch pass emits per src in ascending order; the stable
+        // sort keeps each processor's overlaps in detection (= bucket)
+        // order.
+        self.found.sort_by_key(|(src, _)| *src);
+        out.extend(self.found.drain(..).map(|(_, d)| d));
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.prev_start.memory_bytes()
+            + self.prev_dst.capacity() * size_of::<u32>()
+            + self.found.capacity() * size_of::<(u32, Diagnostic)>()
+    }
+}
+
+/// `P0002`, streaming: one previous receive window per input port;
+/// overlaps are detected online and grouped by processor at `finish`.
+pub struct StreamingInputWindowPass {
+    prev_start: TimeSlots,
+    prev_src: Vec<u32>,
+    found: Vec<(u32, Diagnostic)>,
+}
+
+impl StreamingInputWindowPass {
+    /// Creates the pass for `n` processors.
+    pub fn new(n: usize) -> StreamingInputWindowPass {
+        StreamingInputWindowPass {
+            prev_start: TimeSlots::new(n),
+            prev_src: vec![0; n],
+            found: Vec::new(),
+        }
+    }
+}
+
+impl StreamingLintPass for StreamingInputWindowPass {
+    fn name(&self) -> &'static str {
+        "input-window"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn on_event(&mut self, cx: &StreamContext<'_>, ev: &StreamEvent<'_>) {
+        let StreamEvent::Send(b) = ev else {
+            return;
+        };
+        let dst = b.dst;
+        if let Some(a_start) = self.prev_start.get(dst) {
+            // Receive finishes are send starts shifted by the constant
+            // λ, so the window condition is the same
+            // less-than-one-unit-apart comparison.
+            if lt_one_apart(a_start, b.send_start) {
+                let a = TimedSend {
+                    src: self.prev_src[dst as usize],
+                    dst,
+                    send_start: a_start,
+                };
+                let lam = cx.index.latency();
+                let (f0, f1) = (a.recv_finish(lam), b.recv_finish(lam));
+                self.found.push((
+                    dst,
+                    Diagnostic {
+                        code: LintCode::InputWindowOverlap,
+                        severity: Severity::Error,
+                        witness: None,
+                        proc: Some(dst),
+                        sends: vec![a, **b],
+                        related_time: None,
+                        message: format!(
+                            "p{dst}'s receive windows [{}, {}] and [{}, {}] overlap",
+                            f0 - Time::ONE,
+                            f0,
+                            f1 - Time::ONE,
+                            f1,
+                        ),
+                    },
+                ));
+            }
+        }
+        self.prev_start.put(dst, b.send_start);
+        self.prev_src[dst as usize] = b.src;
+    }
+
+    fn finish(&mut self, _cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        self.found.sort_by_key(|(dst, _)| *dst);
+        out.extend(self.found.drain(..).map(|(_, d)| d));
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.prev_start.memory_bytes()
+            + self.prev_src.capacity() * size_of::<u32>()
+            + self.found.capacity() * size_of::<(u32, Diagnostic)>()
+    }
+}
+
+/// `P0003`, streaming: the violation *decision* is made online — when a
+/// send is finalized at watermark `w > start`, every receipt finishing
+/// at or before `start` has already been observed (its informing send
+/// started at least λ earlier), so "the sender did not hold the message
+/// yet" is final. The message *text* needs the sender's eventual
+/// first-receipt time, so violations buffer in finalization (= arena)
+/// order and render at `finish`.
+pub struct StreamingCausalityPass {
+    found: Vec<TimedSend>,
+}
+
+impl StreamingCausalityPass {
+    /// Creates the pass with an empty buffer.
+    pub fn new() -> StreamingCausalityPass {
+        StreamingCausalityPass { found: Vec::new() }
+    }
+}
+
+impl Default for StreamingCausalityPass {
+    fn default() -> StreamingCausalityPass {
+        StreamingCausalityPass::new()
+    }
+}
+
+impl StreamingLintPass for StreamingCausalityPass {
+    fn name(&self) -> &'static str {
+        "causality"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Broadcast
+    }
+
+    fn on_event(&mut self, cx: &StreamContext<'_>, ev: &StreamEvent<'_>) {
+        let StreamEvent::Send(s) = ev else {
+            return;
+        };
+        if s.src == cx.opts.originator {
+            return;
+        }
+        let informed = matches!(cx.index.first_receipt(s.src), Some(t) if t <= s.send_start);
+        if !informed {
+            self.found.push(**s);
+        }
+    }
+
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        for s in &self.found {
+            let knows_at = cx.index.first_receipt(s.src);
+            out.push(Diagnostic {
+                code: LintCode::CausalityViolation,
+                severity: Severity::Error,
+                witness: None,
+                proc: Some(s.src),
+                sends: vec![*s],
+                related_time: knows_at,
+                message: match knows_at {
+                    Some(t) => format!(
+                        "p{} sends at t = {} but first holds the message at t = {}",
+                        s.src, s.send_start, t
+                    ),
+                    None => format!(
+                        "p{} sends at t = {} but never receives the message",
+                        s.src, s.send_start
+                    ),
+                },
+            });
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.found.capacity() * size_of::<TimedSend>()
+    }
+}
+
+/// `P0005`, streaming: a pure `finish`-time sweep of the running
+/// first-receipt table.
+pub struct StreamingCoveragePass;
+
+impl StreamingLintPass for StreamingCoveragePass {
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Broadcast
+    }
+
+    fn on_event(&mut self, _cx: &StreamContext<'_>, _ev: &StreamEvent<'_>) {}
+
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        let idx = cx.index;
+        for p in 0..idx.n() {
+            if p != cx.opts.originator && idx.first_receipt(p).is_none() {
+                out.push(Diagnostic {
+                    code: LintCode::UninformedProcessor,
+                    severity: Severity::Error,
+                    witness: None,
+                    proc: Some(p),
+                    sends: Vec::new(),
+                    related_time: None,
+                    message: format!("p{p} never receives the broadcast message"),
+                });
+            }
+        }
+    }
+}
+
+/// `P0006`, streaming: tracks each output port's busy cursor and its
+/// *first* idle gap online, and resolves that gap against the coverage
+/// horizon at `finish`.
+///
+/// Only the first gap matters: the batch pass reports the earliest gap
+/// whose hypothetical delivery beats some processor's actual receipt,
+/// and that test is monotone — the receipt it compares against does not
+/// depend on the gap, so if the earliest gap fails the test every later
+/// (larger) gap fails too.
+///
+/// The per-processor informed time is read from the running
+/// first-receipt table when the port's first send finalizes. In an
+/// error-free run that value is already final (causality holds, so the
+/// informing receipt precedes the first send, and later receipts finish
+/// strictly later); in a run with errors the quality stage is
+/// suppressed and the state is never read.
+pub struct StreamingIdlePortPass {
+    cursor: TimeSlots,
+    first_gap: HashMap<u32, Time>,
+}
+
+impl StreamingIdlePortPass {
+    /// Creates the pass for `n` processors.
+    pub fn new(n: usize) -> StreamingIdlePortPass {
+        StreamingIdlePortPass {
+            cursor: TimeSlots::new(n),
+            first_gap: HashMap::new(),
+        }
+    }
+}
+
+impl StreamingLintPass for StreamingIdlePortPass {
+    fn name(&self) -> &'static str {
+        "idle-port"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Quality
+    }
+
+    fn on_event(&mut self, cx: &StreamContext<'_>, ev: &StreamEvent<'_>) {
+        let StreamEvent::Send(s) = ev else {
+            return;
+        };
+        let src = s.src;
+        let start = FastTime::from_time(s.send_start);
+        let cur = match self.cursor.get(src) {
+            Some(c) => FastTime::from_time(c),
+            None => {
+                // First send from this port: the cursor opens at the
+                // processor's informed time (garbage-tolerant when the
+                // sender is not yet informed — that is a P0003 error
+                // and suppresses this stage).
+                let informed_at = if src == cx.opts.originator {
+                    Some(FastTime::ZERO)
+                } else {
+                    cx.index.first_receipt(src).map(FastTime::from_time)
+                };
+                informed_at.unwrap_or(start)
+            }
+        };
+        if start > cur {
+            self.first_gap.entry(src).or_insert_with(|| cur.to_time());
+        }
+        self.cursor
+            .put(src, cur.max(start + FastTime::ONE).to_time());
+    }
+
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        let idx = cx.index;
+        let n = idx.n();
+        let lam = FastTime::from_time(idx.latency().as_time());
+
+        // The coverage horizon and the two latest first-receipts
+        // (distinct processors): enough to answer "does any processor
+        // other than `src` first receive after time x?" in O(1).
+        let mut completion_of_coverage = FastTime::ZERO;
+        let mut latest: Option<(Time, u32)> = None;
+        let mut second: Option<(Time, u32)> = None;
+        for p in 0..n {
+            let Some(t) = idx.first_receipt(p) else {
+                continue;
+            };
+            completion_of_coverage = completion_of_coverage.max(FastTime::from_time(t));
+            if latest.is_none_or(|(lt, lp)| (t, p) > (lt, lp)) {
+                second = latest;
+                latest = Some((t, p));
+            } else if second.is_none_or(|(st, sp)| (t, p) > (st, sp)) {
+                second = Some((t, p));
+            }
+        }
+        let receipt_after = |x: FastTime, src: u32| -> Option<(Time, u32)> {
+            match latest {
+                Some((t, q)) if q != src && FastTime::from_time(t) > x => Some((t, q)),
+                Some((_, q)) if q == src => second.filter(|&(t, _)| FastTime::from_time(t) > x),
+                _ => None,
+            }
+        };
+
+        for src in 0..n {
+            let informed_at = if src == cx.opts.originator {
+                Some(FastTime::ZERO)
+            } else {
+                idx.first_receipt(src).map(FastTime::from_time)
+            };
+            let Some(informed_at) = informed_at else {
+                continue;
+            };
+            // The candidate gap: the first recorded idle gap, else the
+            // open-ended gap after the last send (the port's whole
+            // informed life, for a port that never sent).
+            let gap = match self.cursor.get(src) {
+                None => (informed_at < completion_of_coverage).then_some(informed_at),
+                Some(c) => match self.first_gap.get(&src) {
+                    Some(&g) => Some(FastTime::from_time(g)),
+                    None => {
+                        let c = FastTime::from_time(c);
+                        (c < completion_of_coverage).then_some(c)
+                    }
+                },
+            };
+            let Some(g) = gap else {
+                continue;
+            };
+            let hypothetical = g + lam;
+            // An uninformed-at-g processor whose eventual receipt
+            // is strictly later than the hypothetical delivery.
+            if let Some((t, q)) = receipt_after(hypothetical, src) {
+                out.push(Diagnostic {
+                    code: LintCode::IdlePortWaste,
+                    severity: Severity::Warn,
+                    witness: None,
+                    proc: Some(src),
+                    sends: Vec::new(),
+                    related_time: Some(g.to_time()),
+                    message: format!(
+                        "p{src} is informed and idle from t = {g} although a send then \
+                         would reach p{q} at t = {hypothetical}, earlier than its actual \
+                         receipt at t = {t}"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cursor.memory_bytes()
+            + self.first_gap.capacity() * (size_of::<(u32, Time)>() + size_of::<u64>())
+    }
+}
+
+/// `P0007`, streaming: a pure `finish`-time check of the running
+/// completion maximum against `f_λ(n)` / the Lemma 8 bound.
+pub struct StreamingOptimalityPass;
+
+impl StreamingLintPass for StreamingOptimalityPass {
+    fn name(&self) -> &'static str {
+        "optimality"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Quality
+    }
+
+    fn on_event(&mut self, _cx: &StreamContext<'_>, _ev: &StreamEvent<'_>) {}
+
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.index.n();
+        let lam = cx.index.latency();
+        // Only sensible when there is something to broadcast to.
+        if n < 2 {
+            return;
+        }
+        let completion = cx.index.completion();
+        let m = cx.opts.messages.max(1);
+        let optimal = if m == 1 {
+            GenFib::new(lam).index(n as u128)
+        } else {
+            runtimes::multi_lower_bound(n as u128, m, lam)
+        };
+        if completion < optimal {
+            out.push(Diagnostic {
+                code: LintCode::OptimalityGap,
+                severity: Severity::Error,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(optimal),
+                message: format!(
+                    "completes at t = {completion}, beating the proven lower bound {optimal} \
+                     for {m} message(s) in MPS({n}, {lam}) — the schedule cannot be a full \
+                     broadcast"
+                ),
+            });
+        } else if completion > optimal {
+            let (severity, bound_name) = if m == 1 {
+                (Severity::Warn, "the optimum f_lambda(n)")
+            } else {
+                // The Lemma 8 bound is not always attainable, so a gap
+                // against it is informational, not a defect.
+                (
+                    Severity::Info,
+                    "the Lemma 8 lower bound (m-1) + f_lambda(n)",
+                )
+            };
+            out.push(Diagnostic {
+                code: LintCode::OptimalityGap,
+                severity,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(optimal),
+                message: format!(
+                    "completes at t = {completion}; {bound_name} is {optimal} \
+                     (gap {} units)",
+                    completion - optimal
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lint_schedule, PassManager};
+    use super::*;
+
+    fn send(src: u32, dst: u32, num: i128, den: i128) -> TimedSend {
+        TimedSend {
+            src,
+            dst,
+            send_start: Time::new(num, den),
+        }
+    }
+
+    fn lam52() -> Latency {
+        Latency::from_ratio(5, 2)
+    }
+
+    /// A messy schedule exercising every pass at once.
+    fn messy() -> Schedule {
+        Schedule::new(
+            5,
+            lam52(),
+            vec![
+                send(0, 1, 0, 1),
+                send(0, 2, 1, 2), // P0001 + P0002 pressure
+                send(1, 3, 1, 1), // P0003: p1 not yet informed
+                send(2, 2, 0, 1), // P0004 self-send
+                send(0, 7, 2, 1), // P0004 out of range
+                                  // p4 never informed: P0005
+            ],
+        )
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_a_messy_schedule() {
+        for opts in [
+            LintOptions::default(),
+            LintOptions::ports_only(),
+            LintOptions::broadcast_of(3),
+        ] {
+            assert_eq!(
+                lint_schedule_streaming(&messy(), &opts),
+                PassManager::standard().run(&messy(), &opts),
+                "{opts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_clean_and_lazy_broadcasts() {
+        // Optimal two-hop (clean), then a lazy line (P0006 + P0007).
+        for sends in [
+            vec![send(0, 1, 0, 1), send(0, 2, 1, 1)],
+            vec![send(0, 1, 0, 1), send(1, 2, 5, 2)],
+        ] {
+            let s = Schedule::new(3, lam52(), sends);
+            let opts = LintOptions::default();
+            assert_eq!(lint_schedule_streaming(&s, &opts), lint_schedule(&s, &opts));
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_off_the_half_unit_lattice() {
+        // λ = 4/3 keeps every receive window off-lattice; the exact
+        // pending lane and exact slots must agree with batch.
+        let s = Schedule::new(
+            3,
+            Latency::from_ratio(4, 3),
+            vec![send(0, 1, 0, 1), send(0, 2, 1, 3), send(1, 2, 2, 1)],
+        );
+        for opts in [LintOptions::default(), LintOptions::ports_only()] {
+            assert_eq!(lint_schedule_streaming(&s, &opts), lint_schedule(&s, &opts));
+        }
+    }
+
+    #[test]
+    fn observation_order_within_a_watermark_step_is_immaterial() {
+        // Three same-instant sends observed in reverse processor order:
+        // the pending heap restores canonical order before any pass
+        // sees them.
+        let sends = [send(2, 3, 0, 1), send(1, 2, 0, 1), send(0, 1, 0, 1)];
+        let mut lint = StreamingLint::new(4, Latency::from_int(2), LintOptions::ports_only());
+        for s in &sends {
+            lint.observe_send(s.src, s.dst, s.send_start);
+        }
+        assert_eq!(lint.pending_len(), 3);
+        let streamed = lint.finish();
+        let batch = lint_schedule(
+            &Schedule::new(4, Latency::from_int(2), sends.to_vec()),
+            &LintOptions::ports_only(),
+        );
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn late_send_sets_the_out_of_order_flag() {
+        let mut lint = StreamingLint::new(4, Latency::from_int(2), LintOptions::default());
+        lint.observe_send(0, 1, Time::ZERO);
+        lint.advance_watermark(Time::from_int(3));
+        assert!(!lint.out_of_order());
+        lint.observe_send(0, 2, Time::ONE); // starts below the watermark
+        assert!(lint.out_of_order());
+    }
+
+    #[test]
+    fn a_send_starting_at_the_watermark_is_not_late() {
+        let mut lint = StreamingLint::new(3, Latency::from_int(2), LintOptions::default());
+        lint.advance_watermark(Time::ZERO);
+        lint.observe_send(0, 1, Time::ZERO);
+        lint.advance_watermark(Time::ONE);
+        lint.observe_send(0, 2, Time::ONE);
+        assert!(!lint.out_of_order());
+    }
+
+    #[test]
+    fn zero_event_stream_reports_coverage_errors_only() {
+        let diags = StreamingLint::new(4, lam52(), LintOptions::default()).finish();
+        assert_eq!(diags.len(), 3);
+        assert!(diags
+            .iter()
+            .all(|d| d.code == LintCode::UninformedProcessor));
+        let batch = lint_schedule(
+            &Schedule::new(4, lam52(), Vec::new()),
+            &LintOptions::default(),
+        );
+        assert_eq!(diags, batch);
+        // n = 1 with nothing to inform is clean.
+        assert!(StreamingLint::new(1, lam52(), LintOptions::default())
+            .finish()
+            .is_empty());
+    }
+
+    #[test]
+    fn index_tracks_completion_and_counts() {
+        let mut lint = StreamingLint::new(3, lam52(), LintOptions::default());
+        lint.observe_send(0, 1, Time::ZERO);
+        lint.observe_send(1, 1, Time::ONE); // malformed self-send
+        assert_eq!(lint.index().sends_observed(), 1);
+        assert_eq!(lint.index().malformed_observed(), 1);
+        // Completion counts malformed sends too, like
+        // Schedule::completion: 1 + 5/2 = 7/2.
+        assert_eq!(lint.index().completion(), Time::new(7, 2));
+        assert!(lint.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn time_slots_mix_lattice_and_exact_values() {
+        let mut slots = TimeSlots::new(2);
+        assert_eq!(slots.get(0), None);
+        slots.set_min(0, Time::new(5, 2));
+        assert_eq!(slots.get(0), Some(Time::new(5, 2)));
+        // An off-lattice minimum migrates the slot to the side table...
+        slots.set_min(0, Time::new(1, 3));
+        assert_eq!(slots.get(0), Some(Time::new(1, 3)));
+        // ...and later lattice values keep comparing exactly.
+        slots.set_min(0, Time::new(1, 4));
+        assert_eq!(slots.get(0), Some(Time::new(1, 4)));
+        slots.set_min(0, Time::from_int(7));
+        assert_eq!(slots.get(0), Some(Time::new(1, 4)));
+        slots.put(1, Time::new(1, 3));
+        slots.put(1, Time::from_int(2));
+        assert_eq!(slots.get(1), Some(Time::from_int(2)));
+    }
+}

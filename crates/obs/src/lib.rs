@@ -35,6 +35,13 @@
 //! [`StreamingHistogram`] — log-bucketed sketches computed in
 //! O(buckets) memory rather than from stored event vectors.
 //!
+//! One consumer runs *during* the run instead of after it:
+//! [`LintSink`] is a recorder that feeds the streaming lint engine in
+//! `postal-model` directly from the event stream, producing the full
+//! `P0001`–`P0007` report with O(n) memory and no stored trace — see
+//! [`lint_stream`] for the watermark policy that makes a live feed
+//! sound.
+//!
 //! ## Timing fidelity
 //!
 //! Events carry [`postal_model::Time`] (exact rationals). The JSONL
@@ -50,6 +57,7 @@ pub mod event;
 pub mod gantt;
 pub mod hist;
 pub mod jsonl;
+pub mod lint_stream;
 pub mod log;
 pub mod metrics;
 pub mod prometheus;
@@ -61,6 +69,7 @@ pub use chrome::to_chrome_trace;
 pub use event::{ObsEvent, PortSide, PortSpan};
 pub use hist::StreamingHistogram;
 pub use jsonl::{from_jsonl, to_jsonl, JsonlParser};
+pub use lint_stream::{LintSink, LintStream, StreamOrdering};
 pub use log::{port_busy_times, ObsError, ObsLog, RunMeta};
 pub use metrics::{Histogram, MetricsSummary};
 pub use prometheus::to_prometheus;

@@ -1,0 +1,307 @@
+//! Inline linting: feeding the streaming lint engine straight from an
+//! [`ObsEvent`] stream, with no materialized trace in between.
+//!
+//! [`LintStream`] adapts an event stream to
+//! [`postal_model::lint::StreamingLint`]: it extracts the send facts
+//! the lint passes consume and drives the engine's watermark from the
+//! stream's notion of time. [`LintSink`] wraps a `LintStream` in a
+//! [`Recorder`] so a simulation can lint itself *while it runs* —
+//! `Simulation::observe(&sink)` plus a trace-discarding run mode is a
+//! full `P0001`–`P0007` report in O(n) memory at any event count.
+//!
+//! ## Watermark policy
+//!
+//! The engine finalizes a pending send once the watermark strictly
+//! passes its start time, and relies on the caller never to advance the
+//! watermark past a send it has yet to observe. What "the stream's
+//! notion of time" means differs by source, so [`LintStream`] has two
+//! orderings:
+//!
+//! * [`StreamOrdering::Live`] — the stream comes from a running engine,
+//!   in *scheduling* order: a `Send` event carries a **future** start
+//!   time (the output port books ahead), so send timestamps must never
+//!   drive the watermark, and neither may `Crash` (fault plans are
+//!   announced up front, before the clock reaches them). A queued
+//!   `Recv`'s start can likewise lie ahead of the clock, so receives
+//!   advance the watermark by their *arrival* — the instant the engine
+//!   processed the delivery. Every other event (`Wake`, `Drop`,
+//!   `Violation`, `Truncated`) is emitted exactly when the clock
+//!   reaches its timestamp and advances the watermark as-is. Assumes a
+//!   single-threaded feed (the discrete-event engines); a threaded run
+//!   should record into a ring and replay the sorted snapshot instead.
+//! * [`StreamOrdering::SortedLog`] — the stream is sorted by timestamp
+//!   (a JSONL log, or a recorder snapshot's canonical order): *every*
+//!   event's [`ObsEvent::at`] may drive the watermark, including
+//!   `Send`s, because a send's `at` is its own start time and
+//!   finalization is strict-below. A genuinely out-of-order log trips
+//!   the engine's [`out_of_order`](LintStream::out_of_order) flag.
+//!
+//! Under either policy a `Truncated` event is also latched into
+//! [`LintStream::truncated`] so the caller can apply the usual
+//! absence-lint downgrades to the finished report.
+
+use crate::event::ObsEvent;
+use crate::recorder::Recorder;
+use postal_model::lint::{Diagnostic, LintOptions, StreamingLint};
+use postal_model::Latency;
+use std::sync::Mutex;
+
+/// How the event stream feeding a [`LintStream`] is ordered. See the
+/// [module docs](self) for the watermark policy each implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrdering {
+    /// Events arrive in engine emission order: sends are announced
+    /// ahead of their start times.
+    Live,
+    /// Events arrive sorted by [`ObsEvent::at`].
+    SortedLog,
+}
+
+/// An [`ObsEvent`]-to-lint adapter: push events, collect the finished
+/// `P0001`–`P0007` report. Construct one per run.
+pub struct LintStream {
+    inner: StreamingLint,
+    ordering: StreamOrdering,
+    truncated: bool,
+}
+
+impl LintStream {
+    /// Creates the adapter for a run over `MPS(n, λ)`, linted under
+    /// `opts`, fed in `ordering` order.
+    pub fn new(
+        n: u32,
+        latency: Latency,
+        opts: LintOptions,
+        ordering: StreamOrdering,
+    ) -> LintStream {
+        LintStream {
+            inner: StreamingLint::new(n, latency, opts),
+            ordering,
+            truncated: false,
+        }
+    }
+
+    /// Consumes one event: advances the watermark per the ordering's
+    /// policy and forwards send facts to the lint engine.
+    pub fn on_event(&mut self, ev: &ObsEvent) {
+        match self.ordering {
+            StreamOrdering::SortedLog => self.inner.advance_watermark(ev.at()),
+            // Live feeds announce sends (and crash plans) ahead of
+            // time; everything else is emitted at the current clock. A
+            // queued receive's `at()` (its start) can also lie ahead of
+            // the clock, so its arrival — the moment the engine
+            // processed the delivery — drives the watermark instead.
+            StreamOrdering::Live => match *ev {
+                ObsEvent::Send { .. } | ObsEvent::Crash { .. } => {}
+                ObsEvent::Recv { arrival, .. } => self.inner.advance_watermark(arrival),
+                _ => self.inner.advance_watermark(ev.at()),
+            },
+        }
+        match *ev {
+            ObsEvent::Send {
+                src, dst, start, ..
+            } => self.inner.observe_send(src, dst, start),
+            ObsEvent::Truncated { .. } => self.truncated = true,
+            _ => {}
+        }
+    }
+
+    /// Whether a `Truncated` event was seen: the report's absence lints
+    /// (`P0003`, `P0005`) should be downgraded.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Whether a send was observed after the watermark had passed its
+    /// start: the report is unreliable and batch mode should be used.
+    pub fn out_of_order(&self) -> bool {
+        self.inner.out_of_order()
+    }
+
+    /// Currently reserved linter heap bytes, by container capacity.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    /// Completion time over every send observed so far — the instant
+    /// the last delivery lands, matching `Schedule::completion`.
+    pub fn completion(&self) -> postal_model::Time {
+        self.inner.index().completion()
+    }
+
+    /// Well-formed sends observed so far.
+    pub fn sends_observed(&self) -> u64 {
+        self.inner.index().sends_observed()
+    }
+
+    /// Finalizes every pending send and returns the lint report, in the
+    /// batch engine's report order.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        self.inner.finish()
+    }
+}
+
+/// A [`Recorder`] that lints the run as it happens instead of storing
+/// it: attach with `Simulation::observe(&sink)`, then take the report
+/// with [`LintSink::finish`] after the run returns.
+///
+/// The stream is assumed [`StreamOrdering::Live`] unless constructed
+/// otherwise; for threaded feeds record into a
+/// [`RingRecorder`](crate::RingRecorder) and replay the sorted snapshot
+/// through a [`LintStream`] instead — a live watermark is only sound
+/// for a single-threaded engine clock.
+pub struct LintSink {
+    inner: Mutex<LintStream>,
+}
+
+impl LintSink {
+    /// Creates a sink linting a live run over `MPS(n, λ)` under `opts`.
+    pub fn new(n: u32, latency: Latency, opts: LintOptions) -> LintSink {
+        LintSink::with_ordering(n, latency, opts, StreamOrdering::Live)
+    }
+
+    /// Creates a sink with an explicit stream ordering.
+    pub fn with_ordering(
+        n: u32,
+        latency: Latency,
+        opts: LintOptions,
+        ordering: StreamOrdering,
+    ) -> LintSink {
+        LintSink {
+            inner: Mutex::new(LintStream::new(n, latency, opts, ordering)),
+        }
+    }
+
+    /// Stops recording and hands back the underlying [`LintStream`]
+    /// (call its [`finish`](LintStream::finish) for the report). A
+    /// poisoned lock is recovered — lint state is valid after every
+    /// `on_event`, so a panicking feeder loses nothing.
+    pub fn finish(self) -> LintStream {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Recorder for LintSink {
+    fn record(&self, event: ObsEvent) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .on_event(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postal_model::lint::lint_schedule;
+    use postal_model::schedule::{Schedule, TimedSend};
+    use postal_model::Time;
+
+    fn lam() -> Latency {
+        Latency::from_int(2)
+    }
+
+    /// A hand-rolled live feed for an optimal BCAST(3): sends announced
+    /// at issue time (before their starts), receives at completion.
+    fn live_feed() -> Vec<ObsEvent> {
+        let t = Time::from_int;
+        vec![
+            ObsEvent::Send {
+                seq: 0,
+                src: 0,
+                dst: 1,
+                start: t(0),
+                finish: t(1),
+            },
+            ObsEvent::Send {
+                seq: 1,
+                src: 0,
+                dst: 2,
+                start: t(1),
+                finish: t(2),
+            },
+            ObsEvent::Recv {
+                seq: 0,
+                src: 0,
+                dst: 1,
+                arrival: t(1),
+                start: t(1),
+                finish: t(2),
+                queued: false,
+            },
+            ObsEvent::Recv {
+                seq: 1,
+                src: 0,
+                dst: 2,
+                arrival: t(2),
+                start: t(2),
+                finish: t(3),
+                queued: false,
+            },
+        ]
+    }
+
+    fn batch_report() -> Vec<Diagnostic> {
+        let schedule = Schedule::new(
+            3,
+            lam(),
+            vec![
+                TimedSend {
+                    src: 0,
+                    dst: 1,
+                    send_start: Time::ZERO,
+                },
+                TimedSend {
+                    src: 0,
+                    dst: 2,
+                    send_start: Time::ONE,
+                },
+            ],
+        );
+        lint_schedule(&schedule, &LintOptions::default())
+    }
+
+    #[test]
+    fn live_feed_matches_batch() {
+        let mut stream = LintStream::new(3, lam(), LintOptions::default(), StreamOrdering::Live);
+        for ev in live_feed() {
+            stream.on_event(&ev);
+        }
+        assert!(!stream.out_of_order());
+        assert!(!stream.truncated());
+        assert_eq!(stream.finish(), batch_report());
+    }
+
+    #[test]
+    fn sorted_log_feed_matches_batch() {
+        let mut events = live_feed();
+        events.sort_by_key(|e| e.at());
+        let mut stream =
+            LintStream::new(3, lam(), LintOptions::default(), StreamOrdering::SortedLog);
+        for ev in &events {
+            stream.on_event(ev);
+        }
+        assert!(!stream.out_of_order());
+        assert_eq!(stream.finish(), batch_report());
+    }
+
+    #[test]
+    fn sink_records_and_finishes() {
+        let sink = LintSink::new(3, lam(), LintOptions::default());
+        for ev in live_feed() {
+            sink.record(ev);
+        }
+        assert_eq!(sink.finish().finish(), batch_report());
+    }
+
+    #[test]
+    fn truncated_event_is_latched() {
+        let mut stream = LintStream::new(3, lam(), LintOptions::default(), StreamOrdering::Live);
+        stream.on_event(&ObsEvent::Truncated {
+            processed: 7,
+            limit: 7,
+            at: Time::from_int(1),
+        });
+        assert!(stream.truncated());
+    }
+}

@@ -182,6 +182,7 @@ pub struct Simulation<'a> {
     config: SimConfig,
     faults: crate::faults::FaultPlan,
     recorder: Option<&'a dyn Recorder>,
+    discard_trace: bool,
 }
 
 impl<'a> Simulation<'a> {
@@ -201,6 +202,7 @@ impl<'a> Simulation<'a> {
             config: SimConfig::default(),
             faults: crate::faults::FaultPlan::none(),
             recorder: None,
+            discard_trace: false,
         }
     }
 
@@ -226,6 +228,19 @@ impl<'a> Simulation<'a> {
     /// wake-ups) into an observability recorder as the run executes.
     pub fn observe(mut self, recorder: &'a dyn Recorder) -> Simulation<'a> {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Runs trace-free: transfers are *not* accumulated into
+    /// [`RunReport::trace`], which comes back empty (and
+    /// [`RunReport::messages`] reads zero). The completion time is kept
+    /// as a running maximum instead, so [`RunReport::completion`] is
+    /// unchanged. This is the O(n)-memory mode for n → 10⁶ runs whose
+    /// analysis happens in-stream — pair it with an observing recorder
+    /// (e.g. a streaming lint sink) to keep the full correctness story
+    /// without the ~200 MB materialized trace.
+    pub fn discard_trace(mut self) -> Simulation<'a> {
+        self.discard_trace = true;
         self
     }
 
@@ -257,6 +272,7 @@ impl<'a> Simulation<'a> {
             });
         }
         let mut st = FastState::new(self.n, self.config, self.recorder, self.faults.clone());
+        st.discard_trace = self.discard_trace;
         for &(p, t) in &st.faults.crashes.clone() {
             st.emit(ObsEvent::Crash { proc: p.0, at: t });
         }
@@ -335,7 +351,13 @@ impl<'a> Simulation<'a> {
                     });
                     let now = transfer.recv_finish;
                     let payload = transfer.payload.clone();
-                    st.trace.push(transfer);
+                    if st.discard_trace {
+                        // `time` is this receive's finish instant; the
+                        // running max replaces Trace::completion_time.
+                        st.completion = st.completion.max(time);
+                    } else {
+                        st.trace.push(transfer);
+                    }
                     let mut ctx = EngineCtx {
                         me: ProcId(dst),
                         n: self.n,
@@ -366,7 +388,11 @@ impl<'a> Simulation<'a> {
         }
 
         Ok(RunReport {
-            completion: st.trace.completion_time(),
+            completion: if self.discard_trace {
+                st.completion.to_time()
+            } else {
+                st.trace.completion_time()
+            },
             trace: st.trace,
             violations: st.violations,
             proc_stats: st.proc_stats,
@@ -395,6 +421,7 @@ impl<'a> Simulation<'a> {
         }
         let mut engine = EngineState::new(self.n, self.config, self.recorder);
         engine.faults = self.faults.clone();
+        engine.discard_trace = self.discard_trace;
         for &(p, t) in &engine.faults.crashes.clone() {
             engine.emit(ObsEvent::Crash { proc: p.0, at: t });
         }
@@ -449,7 +476,12 @@ impl<'a> Simulation<'a> {
                         finish: d.transfer.recv_finish,
                         queued: d.transfer.was_queued(),
                     });
-                    engine.trace.push(d.transfer);
+                    if engine.discard_trace {
+                        // `entry.time` is this receive's finish instant.
+                        engine.completion = engine.completion.max(entry.time);
+                    } else {
+                        engine.trace.push(d.transfer);
+                    }
                     let mut ctx = EngineCtx {
                         me: dst,
                         n: self.n,
@@ -482,7 +514,11 @@ impl<'a> Simulation<'a> {
         }
 
         Ok(RunReport {
-            completion: engine.trace.completion_time(),
+            completion: if self.discard_trace {
+                engine.completion
+            } else {
+                engine.trace.completion_time()
+            },
             trace: engine.trace,
             violations: engine.violations,
             proc_stats: engine.proc_stats,
@@ -564,6 +600,10 @@ struct EngineState<'r, P> {
     /// When each processor's input port becomes free.
     in_free: Vec<Time>,
     trace: Trace<P>,
+    /// Running max receive-finish, maintained instead of `trace` when
+    /// the run discards it.
+    completion: Time,
+    discard_trace: bool,
     violations: Vec<Violation>,
     proc_stats: Vec<ProcStats>,
     next_seq: u64,
@@ -581,6 +621,8 @@ impl<'r, P: Clone> EngineState<'r, P> {
             out_free: vec![Time::ZERO; n],
             in_free: vec![Time::ZERO; n],
             trace: Trace::new(),
+            completion: Time::ZERO,
+            discard_trace: false,
             violations: Vec::new(),
             proc_stats: vec![ProcStats::default(); n],
             next_seq: 0,
@@ -757,6 +799,10 @@ struct FastState<'r, P> {
     /// When each processor's input port becomes free.
     in_free: Vec<FastTime>,
     trace: Trace<P>,
+    /// Running max receive-finish, maintained instead of `trace` when
+    /// the run discards it.
+    completion: FastTime,
+    discard_trace: bool,
     violations: Vec<Violation>,
     proc_stats: Vec<ProcStats>,
     next_seq: u64,
@@ -780,6 +826,8 @@ impl<'r, P: Clone> FastState<'r, P> {
             out_free: vec![FastTime::ZERO; n],
             in_free: vec![FastTime::ZERO; n],
             trace: Trace::new(),
+            completion: FastTime::ZERO,
+            discard_trace: false,
             violations: Vec::new(),
             proc_stats: vec![ProcStats::default(); n],
             next_seq: 0,
@@ -1081,6 +1129,43 @@ mod tests {
         report.assert_model_clean();
         assert_eq!(report.completion, Time::from_int(5));
         assert_eq!(report.messages(), 2);
+    }
+
+    #[test]
+    fn discard_trace_keeps_completion_on_both_engines() {
+        // p0 → p1 → p2 with λ = 5/2: completion = 2λ, trace-free.
+        let lam = Uniform(Latency::from_ratio(5, 2));
+        let programs = || -> Vec<Box<dyn Program<u8>>> {
+            vec![
+                Box::new(Spray(vec![1])),
+                Box::new(Relay(Some(2))),
+                Box::new(Relay(None)),
+            ]
+        };
+        let fast = Simulation::new(3, &lam)
+            .discard_trace()
+            .run(programs())
+            .unwrap();
+        let reference = Simulation::new(3, &lam)
+            .discard_trace()
+            .run_reference(programs())
+            .unwrap();
+        for report in [&fast, &reference] {
+            assert_eq!(report.completion, Time::from_int(5));
+            assert_eq!(report.messages(), 0, "trace must stay empty");
+            assert_eq!(report.proc_stats[2].recvs, 1);
+        }
+        // The discarded-trace run still streams its full event story.
+        let rec = postal_obs::MemoryRecorder::new();
+        let observed = Simulation::new(3, &lam)
+            .discard_trace()
+            .observe(&rec)
+            .run(programs())
+            .unwrap();
+        let log =
+            rec.into_log(postal_obs::RunMeta::new("event", 3).latency(Latency::from_ratio(5, 2)));
+        assert_eq!(log.deliveries(), 2);
+        assert_eq!(log.completion_time(), observed.completion);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use postal_model::lint::{
     is_clean, lint_schedule, max_severity, Diagnostic, LintCode, LintOptions, Severity,
 };
 pub use postal_obs::ObsError;
-pub use race::{detect_races, Race};
+pub use race::{detect_races, Race, RaceStream};
 
 use postal_model::latency::Latency;
 use postal_model::schedule::Schedule;
@@ -205,6 +205,10 @@ pub fn jsonl_to_schedule_file<R: std::io::BufRead>(
 /// port-overlap and shape lints (`P0001`, `P0002`, `P0004`) fire on the
 /// events that *are* present, so they keep their severity. With
 /// `dropped == 0` the diagnostics pass through untouched.
+///
+/// Composes with [`downgrade_truncated_trace`] in either order: a
+/// finding already downgraded for truncation is rewritten to carry
+/// **one** combined note naming both causes, never two stacked ones.
 pub fn downgrade_partial_trace(diags: Vec<Diagnostic>, dropped: u64) -> Vec<Diagnostic> {
     if dropped == 0 {
         return diags;
@@ -216,16 +220,34 @@ pub fn downgrade_partial_trace(diags: Vec<Diagnostic>, dropped: u64) -> Vec<Diag
                 d.code,
                 LintCode::CausalityViolation | LintCode::UninformedProcessor
             );
-            if absence_based && d.severity == Severity::Error {
-                d.severity = Severity::Warn;
-                d.message.push_str(&format!(
-                    " (downgraded: trace is partial, {dropped} events dropped by sampling)"
-                ));
+            if absence_based {
+                if d.severity == Severity::Error {
+                    d.severity = Severity::Warn;
+                    d.message.push_str(&format!(
+                        " (downgraded: trace is partial, {dropped} events dropped by sampling)"
+                    ));
+                } else if d.severity == Severity::Warn && d.message.ends_with(TRUNCATED_SUFFIX) {
+                    // Already downgraded for truncation: merge into the
+                    // combined note rather than stacking a second one.
+                    d.message.truncate(d.message.len() - TRUNCATED_SUFFIX.len());
+                    d.message.push_str(&format!(
+                        " (downgraded: trace is partial, {dropped} events dropped by sampling \
+                         and run truncated by the event budget)"
+                    ));
+                }
             }
             d
         })
         .collect()
 }
+
+/// The note [`downgrade_truncated_trace`] appends, recognized by
+/// [`downgrade_partial_trace`] when merging the two causes.
+const TRUNCATED_SUFFIX: &str = " (downgraded: run truncated by the event budget, trace ends early)";
+
+/// The tail of the note [`downgrade_partial_trace`] appends, recognized
+/// by [`downgrade_truncated_trace`] when merging the two causes.
+const SAMPLING_SUFFIX: &str = " events dropped by sampling)";
 
 /// Downgrades absence-based lints on a truncated trace.
 ///
@@ -240,6 +262,10 @@ pub fn downgrade_partial_trace(diags: Vec<Diagnostic>, dropped: u64) -> Vec<Diag
 /// [`Severity::Error`] to [`Severity::Warn`] and annotates the message;
 /// presence-based lints keep their severity. With `truncated == false`
 /// the diagnostics pass through untouched.
+///
+/// Composes with [`downgrade_partial_trace`] in either order: a
+/// finding already downgraded for sampling is rewritten to carry
+/// **one** combined note naming both causes, never two stacked ones.
 pub fn downgrade_truncated_trace(diags: Vec<Diagnostic>, truncated: bool) -> Vec<Diagnostic> {
     if !truncated {
         return diags;
@@ -251,10 +277,17 @@ pub fn downgrade_truncated_trace(diags: Vec<Diagnostic>, truncated: bool) -> Vec
                 d.code,
                 LintCode::CausalityViolation | LintCode::UninformedProcessor
             );
-            if absence_based && d.severity == Severity::Error {
-                d.severity = Severity::Warn;
-                d.message
-                    .push_str(" (downgraded: run truncated by the event budget, trace ends early)");
+            if absence_based {
+                if d.severity == Severity::Error {
+                    d.severity = Severity::Warn;
+                    d.message.push_str(TRUNCATED_SUFFIX);
+                } else if d.severity == Severity::Warn && d.message.ends_with(SAMPLING_SUFFIX) {
+                    // Already downgraded for sampling: extend its note
+                    // in place into the combined form.
+                    d.message.truncate(d.message.len() - 1);
+                    d.message
+                        .push_str(" and run truncated by the event budget)");
+                }
             }
             d
         })
@@ -474,5 +507,49 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.code == LintCode::UninformedProcessor && d.severity == Severity::Warn));
+    }
+
+    /// A trace can be sampled *and* budget-truncated at once; the two
+    /// downgrades must then merge into one combined note, identically
+    /// in either application order.
+    #[test]
+    fn sampled_and_truncated_downgrades_compose() {
+        use postal_model::lint::lint_schedule;
+
+        let file =
+            jsonl_to_schedule_file(std::io::Cursor::new(truncated_log().as_bytes())).unwrap();
+        let base = lint_schedule(&file.schedule, &LintOptions::default());
+
+        let partial_first =
+            downgrade_truncated_trace(downgrade_partial_trace(base.clone(), 3), true);
+        let truncated_first =
+            downgrade_partial_trace(downgrade_truncated_trace(base.clone(), true), 3);
+        assert_eq!(partial_first, truncated_first);
+
+        let causality = partial_first
+            .iter()
+            .find(|d| d.code == LintCode::CausalityViolation)
+            .expect("finding still reported, just softer");
+        assert_eq!(causality.severity, Severity::Warn);
+        assert!(
+            causality.message.ends_with(
+                "(downgraded: trace is partial, 3 events dropped by sampling \
+                 and run truncated by the event budget)"
+            ),
+            "{}",
+            causality.message
+        );
+        // One combined note, not two stacked ones.
+        assert_eq!(causality.message.matches("(downgraded:").count(), 1);
+
+        // Re-applying either downgrade is a no-op on the merged form.
+        assert_eq!(
+            downgrade_partial_trace(partial_first.clone(), 3),
+            partial_first
+        );
+        assert_eq!(
+            downgrade_truncated_trace(partial_first.clone(), true),
+            partial_first
+        );
     }
 }

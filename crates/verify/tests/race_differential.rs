@@ -5,8 +5,8 @@
 //! bytes — as `detect_races_reference` (full vector clocks), on both
 //! structured traffic and adversarial random flight sets.
 
-use postal_verify::race::{detect_races, detect_races_reference};
-use postal_verify::Flight;
+use postal_verify::race::{detect_races, detect_races_reference, RaceStream};
+use postal_verify::{Flight, Race};
 use proptest::prelude::*;
 
 fn fl(src: u32, dst: u32, send_at: f64, recv_at: f64, label: &str) -> Flight {
@@ -19,10 +19,26 @@ fn fl(src: u32, dst: u32, send_at: f64, recv_at: f64, label: &str) -> Flight {
     }
 }
 
+/// Feeds the streaming detector in send order; returns `None` when the
+/// input violates its ordering contract (the flag is its honest "use
+/// batch mode" answer, so there is nothing to compare).
+fn stream_races(n: u32, flights: &[Flight]) -> Option<Vec<Race>> {
+    let mut sorted = flights.to_vec();
+    sorted.sort_by(|a, b| a.send_at.total_cmp(&b.send_at));
+    let mut stream = RaceStream::new(n);
+    for f in sorted {
+        stream.push(f);
+    }
+    (!stream.out_of_order()).then(|| stream.finish())
+}
+
 fn assert_identical(n: u32, flights: &[Flight], context: &str) {
     let fast = detect_races(n, flights);
     let slow = detect_races_reference(n, flights);
     assert_eq!(fast, slow, "detectors diverge: {context}");
+    if let Some(streamed) = stream_races(n, flights) {
+        assert_eq!(streamed, fast, "streaming detector diverges: {context}");
+    }
 }
 
 #[test]
@@ -135,6 +151,10 @@ proptest! {
         let (n, flights) = case;
         let fast = detect_races(n, &flights);
         let slow = detect_races_reference(n, &flights);
-        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(&fast, &slow);
+        // The generator always gives latency ≥ 1, so the streaming
+        // detector's ordering contract holds and it must agree too.
+        let streamed = stream_races(n, &flights).expect("send-sorted feed is in order");
+        prop_assert_eq!(streamed, fast);
     }
 }
