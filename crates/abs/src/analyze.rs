@@ -21,7 +21,8 @@ use crate::engine::{AbsEngine, AbsRun};
 use crate::mutation::AbsMutation;
 use postal_model::lint::{Diagnostic, LintCode, Severity};
 use postal_model::schedule::TimedSend;
-use postal_model::{runtimes, Interval, Latency, Ratio, Time};
+use postal_model::topology::UNREACHABLE;
+use postal_model::{runtimes, Interval, Latency, Ratio, Time, Topology};
 use postal_sim::Program;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -72,6 +73,11 @@ pub struct Workload<'a, P> {
     pub tree: Option<TreeSpec<'a>>,
     /// Seeded defect, if any.
     pub mutation: Option<AbsMutation>,
+    /// Communication graph, when the system is sparse. Processors with
+    /// no path from the originator are reported as `P0019` (which
+    /// suppresses the per-run `P0013` for those processors — the
+    /// partition is the root cause). `None` means the complete graph.
+    pub topology: Option<&'a Topology>,
 }
 
 /// One analyzed λ sub-interval.
@@ -305,11 +311,13 @@ fn send_evidence(s: &crate::engine::AbsSend) -> TimedSend {
     }
 }
 
-/// Synthesizes `P0012`–`P0016` from the leaves, with root-cause
-/// suppression mirroring `model::lint`: dead sends (`P0012`) explain
-/// cascading unreachability and unmatched waits, so they suppress
-/// `P0013`/`P0016`; any structural error suppresses the quality codes
-/// `P0014`/`P0015`'s envelope checks.
+/// Synthesizes `P0012`–`P0016` (and, under a sparse topology, `P0019`)
+/// from the leaves, with root-cause suppression mirroring `model::lint`:
+/// dead sends (`P0012`) explain cascading unreachability and unmatched
+/// waits, so they suppress `P0013`/`P0016`; a topology partition
+/// (`P0019`) explains a processor's unreachability in *every* run, so
+/// it suppresses `P0013` for the partitioned processors; any structural
+/// error suppresses the quality codes `P0014`/`P0015`'s envelope checks.
 fn synthesize<P>(w: &Workload<'_, P>, leaves: &[Leaf], _cfg: &AbsConfig) -> Vec<Diagnostic> {
     let mut merged: BTreeMap<(LintCode, Option<u32>), Diagnostic> = BTreeMap::new();
     let mut push = |d: Diagnostic| {
@@ -330,6 +338,23 @@ fn synthesize<P>(w: &Workload<'_, P>, leaves: &[Leaf], _cfg: &AbsConfig) -> Vec<
     let truncated = leaves.iter().any(|l| l.lo.truncated || l.hi.truncated);
     let mut any_dead = false;
     let mut any_unreachable = false;
+
+    // Processors cut off from the originator by the communication graph
+    // itself. Their unreachability is a property of the topology, not of
+    // any particular run, so it is diagnosed once as `P0019` below and
+    // excluded from the per-run `P0013` sweep.
+    let mut partitioned: BTreeSet<u32> = BTreeSet::new();
+    if let Some(topo) = w.topology {
+        if !topo.is_complete() {
+            let dist = topo.bfs_distances(0);
+            for p in 1..w.n {
+                if dist.get(p as usize).copied().unwrap_or(UNREACHABLE) == UNREACHABLE {
+                    partitioned.insert(p);
+                }
+            }
+        }
+    }
+    let any_partition = !partitioned.is_empty();
 
     // P0012 — dead sends.
     for leaf in leaves {
@@ -362,10 +387,21 @@ fn synthesize<P>(w: &Workload<'_, P>, leaves: &[Leaf], _cfg: &AbsConfig) -> Vec<
     // P0013 — unreachable processors: zero arrivals and no path in the
     // recorded-send graph (dead sends count as edges: their
     // unreachability is already explained by P0012).
+    let mut suppressed_p0013: BTreeSet<u32> = BTreeSet::new();
     if !any_dead {
         for leaf in leaves {
             for run in [&leaf.lo, &leaf.hi] {
-                let unreached = unreachable_procs(w.n, run);
+                let unreached: Vec<u32> = unreachable_procs(w.n, run)
+                    .into_iter()
+                    .filter(|p| {
+                        if partitioned.contains(p) {
+                            suppressed_p0013.insert(*p);
+                            false
+                        } else {
+                            true
+                        }
+                    })
+                    .collect();
                 if let Some(&first) = unreached.first() {
                     any_unreachable = true;
                     push(Diagnostic {
@@ -413,7 +449,37 @@ fn synthesize<P>(w: &Workload<'_, P>, leaves: &[Leaf], _cfg: &AbsConfig) -> Vec<
         }
     }
 
-    let structural = any_dead || any_unreachable || any_wait;
+    // P0019 — topology partition. λ-independent: the witness is the
+    // whole analyzed range, and the finding holds for every schedule the
+    // workload could produce, not just the recorded runs.
+    if let Some(topo) = w.topology {
+        let hull = match (leaves.first(), leaves.last()) {
+            (Some(a), Some(b)) => Some(Interval::new(a.lambda.lo(), b.lambda.hi())),
+            _ => None,
+        };
+        for &p in &partitioned {
+            let note = if suppressed_p0013.contains(&p) {
+                " (suppresses the per-run P0013)"
+            } else {
+                ""
+            };
+            push(Diagnostic {
+                code: LintCode::TopologyPartitionUnreachable,
+                severity: Severity::Error,
+                proc: Some(p),
+                sends: Vec::new(),
+                related_time: None,
+                witness: hull,
+                message: format!(
+                    "p{p} has no path from the originator p0 in the {} topology — \
+                     no schedule can inform it, for any lambda{note}",
+                    topo.spec(),
+                ),
+            });
+        }
+    }
+
+    let structural = any_dead || any_unreachable || any_wait || any_partition;
 
     // Quality codes reason about completion; they are only meaningful
     // for a structurally sound run on a system with someone to inform.
@@ -573,6 +639,7 @@ mod tests {
                 envelope: Some(&env),
                 tree: None,
                 mutation: None,
+                topology: None,
             },
             Interval::point(Ratio::new(5, 2)),
             &AbsConfig::default(),
@@ -597,6 +664,7 @@ mod tests {
                 envelope: Some(&env),
                 tree: None,
                 mutation: None,
+                topology: None,
             },
             Interval::new(Ratio::ONE, Ratio::from_int(4)),
             &AbsConfig::default(),
@@ -625,6 +693,77 @@ mod tests {
     }
 
     #[test]
+    fn topology_partition_trips_p0019_and_suppresses_p0013() {
+        use postal_sim::{Context, Idle, ProcId, Program};
+
+        // p0 informs p1 only; p2 stays silent. On the complete graph
+        // that is a per-run P0013; with a 2-processor ring oracle over a
+        // 3-processor system, p2 is partitioned and the graph-level
+        // P0019 takes over as the root cause.
+        struct SendOnce;
+        impl Program<u8> for SendOnce {
+            fn on_start(&mut self, ctx: &mut dyn Context<u8>) {
+                ctx.send(ProcId(1), 0);
+            }
+            fn on_receive(&mut self, _ctx: &mut dyn Context<u8>, _from: ProcId, _p: u8) {}
+        }
+        let factory = |_lam: Latency| -> Vec<Box<dyn Program<u8>>> {
+            vec![Box::new(SendOnce), Box::new(Idle), Box::new(Idle)]
+        };
+        let lambda = Interval::new(Ratio::ONE, Ratio::from_int(2));
+        let plain = analyze(
+            &Workload {
+                name: "partial",
+                n: 3,
+                m: 1,
+                factory: &factory,
+                envelope: None,
+                tree: None,
+                mutation: None,
+                topology: None,
+            },
+            lambda,
+            &AbsConfig::default(),
+        );
+        let codes: Vec<LintCode> = plain.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![LintCode::UnreachableProcessor], "{codes:?}");
+
+        let topo = "ring"
+            .parse::<postal_model::TopologySpec>()
+            .unwrap()
+            .instantiate(2)
+            .unwrap();
+        let sparse = analyze(
+            &Workload {
+                name: "partial",
+                n: 3,
+                m: 1,
+                factory: &factory,
+                envelope: None,
+                tree: None,
+                mutation: None,
+                topology: Some(&topo),
+            },
+            lambda,
+            &AbsConfig::default(),
+        );
+        let codes: Vec<LintCode> = sparse.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![LintCode::TopologyPartitionUnreachable],
+            "{codes:?}"
+        );
+        let d = &sparse.diagnostics[0];
+        assert_eq!(d.proc, Some(2));
+        assert!(
+            d.message.ends_with("(suppresses the per-run P0013)"),
+            "{}",
+            d.message
+        );
+        assert_eq!(d.witness, Some(lambda));
+    }
+
+    #[test]
     fn stalled_start_trips_p0014_only() {
         let (factory, env) = bcast_workload(8);
         let report = analyze(
@@ -639,6 +778,7 @@ mod tests {
                     proc: 0,
                     by: Time::from_int(10),
                 }),
+                topology: None,
             },
             Interval::new(Ratio::ONE, Ratio::from_int(2)),
             &AbsConfig::default(),

@@ -23,6 +23,12 @@
 //! | DTREE fan-out and Lemma 18's envelope hold over the whole range | `P0015` |
 //! | no processor waits on a receive nothing can match | `P0016` |
 //!
+//! Under a sparse [`postal_model::Topology`] (see
+//! [`analyze_algo_with_topology`]), processors the graph cuts off from
+//! the originator are additionally reported as `P0019`, which
+//! suppresses the per-run `P0013` for them — the partition, not any
+//! particular run, is the root cause.
+//!
 //! Each finding carries a **witness λ sub-interval** in
 //! [`Diagnostic::witness`](postal_model::lint::Diagnostic), rendered by
 //! `postal-verify` as `= witness: lambda in [a, b]`.
@@ -77,4 +83,4 @@ pub use analyze::{analyze, AbsConfig, AbsReport, SubReport, TreeSpec, Workload};
 pub use engine::{AbsEngine, AbsRun, AbsSend, Signature};
 pub use mutation::AbsMutation;
 pub use soundness::{cross_check_point, cross_check_range, SoundnessOutcome};
-pub use workload::{analyze_algo, analyze_dtree_inflated};
+pub use workload::{analyze_algo, analyze_algo_with_topology, analyze_dtree_inflated};

@@ -15,7 +15,7 @@ use postal_algos::pipeline::pipeline_programs;
 use postal_algos::repeat::repeat_programs;
 use postal_algos::{bcast_programs, Pacing};
 use postal_mc::Algo;
-use postal_model::{runtimes, Interval, Latency, Time};
+use postal_model::{runtimes, Interval, Latency, Time, Topology};
 
 /// Abstractly analyzes one paper algorithm over the λ-range `lambda`.
 ///
@@ -31,6 +31,24 @@ pub fn analyze_algo(
     mutation: Option<AbsMutation>,
     cfg: &AbsConfig,
 ) -> AbsReport {
+    analyze_algo_with_topology(algo, n, m, lambda, mutation, None, cfg)
+}
+
+/// Like [`analyze_algo`], but holds the workload to a sparse
+/// communication graph: processors the topology cuts off from the
+/// originator are reported as `P0019` (suppressing the per-run `P0013`
+/// for them), and quality envelopes are suppressed under a partition.
+/// `topology: None` (or the complete graph) recovers [`analyze_algo`]
+/// exactly.
+pub fn analyze_algo_with_topology(
+    algo: Algo,
+    n: u32,
+    m: u32,
+    lambda: Interval,
+    mutation: Option<AbsMutation>,
+    topology: Option<&Topology>,
+    cfg: &AbsConfig,
+) -> AbsReport {
     let nu = n as usize;
     let nn = n as u128;
     let m = m.max(1);
@@ -43,6 +61,7 @@ pub fn analyze_algo(
         m: eff_m,
         lambda,
         mutation,
+        topology,
     };
 
     match algo {
@@ -65,10 +84,16 @@ pub fn analyze_algo(
         Algo::Pipeline => general.analyze(cfg, &|lam| pipeline_programs(nu, m, lam), &|lam| {
             runtimes::pipeline_time(nn, m as u64, lam)
         }),
-        Algo::Line => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |_| clamp(1)),
-        Algo::Binary => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |_| clamp(2)),
-        Algo::Star => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |_| clamp(n as u64)),
-        Algo::Dtree => analyze_tree(algo, n, m, lambda, mutation, cfg, &move |lam| {
+        Algo::Line => analyze_tree(algo, n, m, lambda, mutation, topology, cfg, &move |_| {
+            clamp(1)
+        }),
+        Algo::Binary => analyze_tree(algo, n, m, lambda, mutation, topology, cfg, &move |_| {
+            clamp(2)
+        }),
+        Algo::Star => analyze_tree(algo, n, m, lambda, mutation, topology, cfg, &move |_| {
+            clamp(n as u64)
+        }),
+        Algo::Dtree => analyze_tree(algo, n, m, lambda, mutation, topology, cfg, &move |lam| {
             clamp(runtimes::latency_matched_degree(nn, lam) as u64)
         }),
     }
@@ -82,6 +107,7 @@ struct GeneralSpec<'a> {
     m: u64,
     lambda: Interval,
     mutation: Option<AbsMutation>,
+    topology: Option<&'a Topology>,
 }
 
 impl GeneralSpec<'_> {
@@ -100,6 +126,7 @@ impl GeneralSpec<'_> {
                 envelope: Some(envelope),
                 tree: None,
                 mutation: self.mutation,
+                topology: self.topology,
             },
             self.lambda,
             cfg,
@@ -107,12 +134,14 @@ impl GeneralSpec<'_> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn analyze_tree(
     algo: Algo,
     n: u32,
     m: u32,
     lambda: Interval,
     mutation: Option<AbsMutation>,
+    topology: Option<&Topology>,
     cfg: &AbsConfig,
     degree: &dyn Fn(Latency) -> u64,
 ) -> AbsReport {
@@ -132,6 +161,7 @@ fn analyze_tree(
                 bound: &bound,
             }),
             mutation,
+            topology,
         },
         lambda,
         cfg,
@@ -166,6 +196,7 @@ pub fn analyze_dtree_inflated(n: u32, m: u32, lambda: Interval, cfg: &AbsConfig)
                 bound: &bound,
             }),
             mutation: None,
+            topology: None,
         },
         lambda,
         cfg,

@@ -102,6 +102,7 @@ impl MultiReport {
                 completion: self.report.completion,
                 trace: self.report.trace.clone(),
                 violations: Vec::new(),
+                edge_violations: Vec::new(),
                 proc_stats: self.report.proc_stats.clone(),
                 events: self.report.events,
             },

@@ -60,6 +60,12 @@ USAGE:
                                              P0001-P0007): the streaming lint engine
                                              rides the recorder, the trace is never
                                              stored; composes with --sample
+           [--topology SPEC]                 hold the run to a sparse communication
+                                             graph (complete | ring | torus:RxC |
+                                             hypercube:D | mbg:N): sends across
+                                             non-edges are counted and reported; with
+                                             --lint-inline the streaming linter also
+                                             emits the topology codes P0017-P0019
     postal stats <algo> <n> <m> <lambda>     observed-run metrics: gap to f_λ(n), port
                                              utilization, p50/p90/p99 latency, idle-port
                                              waste (P0006)
@@ -76,6 +82,11 @@ USAGE:
            [--stream]                        fold a JSONL log through the streaming
                                              lint engine line by line (O(n) memory,
                                              identical report)
+           [--topology SPEC]                 lint against a sparse communication graph
+                                             (complete | ring | torus:RxC | hypercube:D
+                                             | mbg:N): adds the graph-grounded codes
+                                             P0017-P0019; a schedule file's own
+                                             \"topology\" field is the default
     postal check --algo <name|all> --n N --lambda L
                                              model-check every interleaving (DPOR):
                                              codes P0008-P0011 over the whole state
@@ -86,6 +97,9 @@ USAGE:
                                              λ-range: codes P0012-P0016, each with a
                                              witness λ sub-interval
            [--m N] [--max-depth N] [--format text|json] [--deny warn|error]
+           [--topology SPEC]                 analyze against a sparse communication
+                                             graph: processors the graph cuts off from
+                                             the originator are reported as P0019
 
 <lambda> accepts integers, fractions and decimals: 3, 5/2, 2.5";
 
@@ -216,6 +230,7 @@ fn lint(args: &[String]) -> Result<String, CliError> {
     let mut as_json = false;
     let mut m_override: Option<u64> = None;
     let mut stream_mode = false;
+    let mut topology_arg: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag_value = |i: usize| {
@@ -262,6 +277,10 @@ fn lint(args: &[String]) -> Result<String, CliError> {
                 stream_mode = true;
                 i += 1;
             }
+            "--topology" => {
+                topology_arg = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
             s if s.starts_with('-') => {
                 return Err(CliError::Invalid(format!("unknown lint flag {s:?}")));
             }
@@ -287,7 +306,14 @@ fn lint(args: &[String]) -> Result<String, CliError> {
     let is_jsonl = first_line.contains("\"type\":\"run\"");
     if stream_mode {
         return lint_streaming(
-            path, first_line, reader, is_jsonl, m_override, deny, as_json,
+            path,
+            first_line,
+            reader,
+            is_jsonl,
+            m_override,
+            topology_arg,
+            deny,
+            as_json,
         );
     }
     let invalid = |e: &dyn std::fmt::Display| CliError::Invalid(format!("{path}: {e}"));
@@ -300,13 +326,20 @@ fn lint(args: &[String]) -> Result<String, CliError> {
     };
     let dropped = parsed.dropped_events.unwrap_or(0);
     let truncated = parsed.truncated;
+    // The flag wins; a schedule file's own "topology" field is the default.
+    let topo_spec = topology_arg.or(parsed.topology.clone());
     let (schedule, file_messages) = (parsed.schedule, parsed.messages);
     let messages = m_override.or(file_messages).unwrap_or(1);
+    let opts_l = LintOptions::broadcast_of(messages);
+    let raw = match &topo_spec {
+        Some(spec) => {
+            let topo = parse_topology(spec, schedule.n())?;
+            postal_verify::lint_schedule_with_topology(&schedule, &opts_l, &topo)
+        }
+        None => lint_schedule(&schedule, &opts_l),
+    };
     let diags = postal_verify::downgrade_truncated_trace(
-        postal_verify::downgrade_partial_trace(
-            lint_schedule(&schedule, &LintOptions::broadcast_of(messages)),
-            dropped,
-        ),
+        postal_verify::downgrade_partial_trace(raw, dropped),
         truncated,
     );
     lint_outcome(
@@ -419,12 +452,14 @@ fn lint_outcome(
 /// The `lint --stream` path: folds a JSONL event log through the
 /// streaming lint engine line by line — O(n) linter memory, no
 /// materialized schedule — and renders the exact batch report.
+#[allow(clippy::too_many_arguments)]
 fn lint_streaming(
     path: &str,
     first_line: String,
     reader: std::io::BufReader<std::fs::File>,
     is_jsonl: bool,
     m_override: Option<u64>,
+    topology_arg: Option<String>,
     deny: postal_verify::Severity,
     as_json: bool,
 ) -> Result<String, CliError> {
@@ -457,12 +492,21 @@ fn lint_streaming(
                 let messages = m_override.or(meta.messages).unwrap_or(1);
                 let dropped = meta.dropped_events.unwrap_or(0);
                 header = Some((meta.n, lam, messages, dropped));
-                stream = Some(LintStream::new(
-                    meta.n,
-                    lam,
-                    LintOptions::broadcast_of(messages),
-                    StreamOrdering::Live,
-                ));
+                stream = Some(match &topology_arg {
+                    Some(spec) => LintStream::with_topology(
+                        meta.n,
+                        lam,
+                        LintOptions::broadcast_of(messages),
+                        StreamOrdering::Live,
+                        &parse_topology(spec, meta.n)?,
+                    ),
+                    None => LintStream::new(
+                        meta.n,
+                        lam,
+                        LintOptions::broadcast_of(messages),
+                        StreamOrdering::Live,
+                    ),
+                });
             }
         }
         if let (Some(ev), Some(s)) = (event, stream.as_mut()) {
@@ -673,7 +717,7 @@ fn check(args: &[String]) -> Result<String, CliError> {
 
 /// The `analyze` subcommand: abstract interpretation over a λ-range.
 fn analyze(args: &[String]) -> Result<String, CliError> {
-    use postal_abs::{analyze_algo, AbsConfig};
+    use postal_abs::{analyze_algo_with_topology, AbsConfig};
     use postal_mc::Algo;
     use postal_verify::{render, Severity};
     let mut algo_arg: Option<String> = None;
@@ -683,6 +727,7 @@ fn analyze(args: &[String]) -> Result<String, CliError> {
     let mut cfg = AbsConfig::default();
     let mut as_json = false;
     let mut deny = Severity::Error;
+    let mut topology_arg: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag_value = |i: usize| {
@@ -748,6 +793,10 @@ fn analyze(args: &[String]) -> Result<String, CliError> {
                 };
                 i += 2;
             }
+            "--topology" => {
+                topology_arg = Some(flag_value(i)?.to_string());
+                i += 2;
+            }
             s => {
                 return Err(CliError::Invalid(format!("unknown analyze flag {s:?}")));
             }
@@ -775,6 +824,11 @@ fn analyze(args: &[String]) -> Result<String, CliError> {
         })?]
     };
 
+    let topo = match &topology_arg {
+        Some(spec) => Some(parse_topology(spec, n as u32)?),
+        None => None,
+    };
+
     let iv = |x: postal_model::Interval| format!("[\"{}\", \"{}\"]", x.lo(), x.hi());
     let mut out = String::new();
     let mut failed = false;
@@ -782,7 +836,7 @@ fn analyze(args: &[String]) -> Result<String, CliError> {
         out.push_str("[\n");
     }
     for (idx, algo) in algos.iter().enumerate() {
-        let rep = analyze_algo(*algo, n as u32, m, range, None, &cfg);
+        let rep = analyze_algo_with_topology(*algo, n as u32, m, range, None, topo.as_ref(), &cfg);
         failed |= rep.diagnostics.iter().any(|d| d.severity >= deny);
         if as_json {
             if idx > 0 {
@@ -792,6 +846,9 @@ fn analyze(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "  \"algo\": \"{}\",", rep.name);
             let _ = writeln!(out, "  \"n\": {},", rep.n);
             let _ = writeln!(out, "  \"m\": {},", rep.m);
+            if let Some(t) = &topo {
+                let _ = writeln!(out, "  \"topology\": \"{}\",", t.spec());
+            }
             let _ = writeln!(out, "  \"lambda_range\": {},", iv(rep.lambda));
             let _ = writeln!(out, "  \"completion\": {},", iv(rep.completion));
             let _ = writeln!(out, "  \"lower_bound\": {},", iv(rep.lower_bound));
@@ -867,6 +924,14 @@ fn parse_lambda_range(s: &str) -> Result<postal_model::Interval, CliError> {
 fn parse_lambda(s: &str) -> Result<Latency, CliError> {
     s.parse()
         .map_err(|e| CliError::Invalid(format!("bad lambda {s:?}: {e}")))
+}
+
+/// Parses a [`postal_model::TopologySpec`] string and instantiates it
+/// against the system size `n`.
+fn parse_topology(spec: &str, n: u32) -> Result<postal_model::Topology, CliError> {
+    spec.parse::<postal_model::TopologySpec>()
+        .and_then(|s| s.instantiate(n))
+        .map_err(|e| CliError::Invalid(format!("--topology: {e}")))
 }
 
 fn parse_n(s: &str) -> Result<usize, CliError> {
@@ -965,6 +1030,7 @@ struct OutputOpts {
     sample: Option<SampleSpec>,
     ring_capacity: Option<usize>,
     lint_inline: bool,
+    topology: Option<String>,
 }
 
 impl OutputOpts {
@@ -1018,6 +1084,10 @@ fn split_output_flags(args: &[String]) -> Result<(Vec<String>, OutputOpts), CliE
             "--lint-inline" => {
                 opts.lint_inline = true;
                 i += 1;
+            }
+            "--topology" => {
+                opts.topology = Some(flag_value(i)?.to_string());
+                i += 2;
             }
             "--format" => {
                 opts.as_json = match flag_value(i)? {
@@ -1160,7 +1230,23 @@ fn simulate(
     if opts.lint_inline {
         return simulate_lint_inline(algo, n, m, lam, opts);
     }
+    let topo = match &opts.topology {
+        Some(spec) => Some(parse_topology(spec, n as u32)?),
+        None => None,
+    };
     let mut run = run_workload(algo, n, m, lam)?;
+    // Count non-edge sends against the full log, before any sampling
+    // drops events — the same set `Simulation::restrict_to` records.
+    let edge_violations = topo.map(|t| {
+        run.log
+            .events()
+            .iter()
+            .filter(|e| match e {
+                postal_obs::ObsEvent::Send { src, dst, .. } => !t.is_edge(*src, *dst),
+                _ => false,
+            })
+            .count()
+    });
     run.log = apply_ring(run.log, opts);
     let notes = write_exports(&run.log, opts)?;
     let lb = runtimes::multi_lower_bound(n as u128, m as u64, lam);
@@ -1178,6 +1264,10 @@ fn simulate(
         let _ = writeln!(out, "  \"completion_units\": {},", run.completion.to_f64());
         let _ = writeln!(out, "  \"messages\": {},", run.messages);
         let _ = writeln!(out, "  \"violations\": {},", run.violations);
+        if let (Some(spec), Some(ev)) = (&opts.topology, edge_violations) {
+            let _ = writeln!(out, "  \"topology\": \"{spec}\",");
+            let _ = writeln!(out, "  \"edge_violations\": {ev},");
+        }
         if let Some(s) = &sample {
             let _ = writeln!(out, "  \"sample\": \"{s}\",");
             let _ = writeln!(out, "  \"recorded_events\": {recorded},");
@@ -1192,6 +1282,9 @@ fn simulate(
          messages:  {}\nmodel violations: {}\nlower bound (Lemma 8): {lb}",
         run.completion, run.messages, run.violations
     );
+    if let (Some(spec), Some(ev)) = (&opts.topology, edge_violations) {
+        let _ = write!(out, "\nedge violations ({spec} topology): {ev}");
+    }
     if let Some(s) = &sample {
         let _ = write!(
             out,
@@ -1212,6 +1305,7 @@ fn simulate(
 struct InlineLint {
     completion: Time,
     violations: usize,
+    edge_violations: usize,
     sends: u64,
     diags: Vec<postal_verify::Diagnostic>,
     dropped: u64,
@@ -1308,22 +1402,29 @@ fn run_lint_inline<P: Clone>(
     use postal_verify::LintOptions;
     let model = Uniform(lam);
     let lint_opts = LintOptions::broadcast_of(m as u64);
+    let topo = match &opts.topology {
+        Some(spec) => Some(parse_topology(spec, n as u32)?),
+        None => None,
+    };
     let sim_failed = |e: postal_sim::SimError| CliError::Invalid(format!("simulation failed: {e}"));
-    let (stream, completion, violations, dropped, sample) = if opts.uses_ring() {
+    let (stream, completion, violations, edge_violations, dropped, sample) = if opts.uses_ring() {
         let spec = opts.sample.unwrap_or_else(SampleSpec::all);
         let cap = opts
             .ring_capacity
             .unwrap_or(postal_obs::ring::DEFAULT_CAPACITY);
         let ring = RingRecorder::with_spec(cap, spec);
-        let report = Simulation::new(n, &model)
-            .observe(&ring)
-            .discard_trace()
-            .run(programs)
-            .map_err(sim_failed)?;
+        let mut sim = Simulation::new(n, &model).observe(&ring).discard_trace();
+        if let Some(t) = &topo {
+            sim = sim.restrict_to(t);
+        }
+        let report = sim.run(programs).map_err(sim_failed)?;
         let log = ring.into_log(postal_obs::RunMeta::new("event", n as u32));
         let mut events = log.events().to_vec();
         events.sort_by_key(|e| e.at());
-        let mut stream = LintStream::new(n as u32, lam, lint_opts, StreamOrdering::Live);
+        let mut stream = match &topo {
+            Some(t) => LintStream::with_topology(n as u32, lam, lint_opts, StreamOrdering::Live, t),
+            None => LintStream::new(n as u32, lam, lint_opts, StreamOrdering::Live),
+        };
         for ev in &events {
             stream.on_event(ev);
         }
@@ -1333,20 +1434,25 @@ fn run_lint_inline<P: Clone>(
             stream,
             report.completion,
             report.violations.len(),
+            report.edge_violations.len(),
             dropped,
             sample,
         )
     } else {
-        let sink = LintSink::new(n as u32, lam, lint_opts);
-        let report = Simulation::new(n, &model)
-            .observe(&sink)
-            .discard_trace()
-            .run(programs)
-            .map_err(sim_failed)?;
+        let sink = match &topo {
+            Some(t) => LintSink::with_topology(n as u32, lam, lint_opts, t),
+            None => LintSink::new(n as u32, lam, lint_opts),
+        };
+        let mut sim = Simulation::new(n, &model).observe(&sink).discard_trace();
+        if let Some(t) = &topo {
+            sim = sim.restrict_to(t);
+        }
+        let report = sim.run(programs).map_err(sim_failed)?;
         (
             sink.finish(),
             report.completion,
             report.violations.len(),
+            report.edge_violations.len(),
             0,
             None,
         )
@@ -1368,6 +1474,7 @@ fn run_lint_inline<P: Clone>(
     Ok(InlineLint {
         completion,
         violations,
+        edge_violations,
         sends,
         diags,
         dropped,
@@ -1401,6 +1508,10 @@ fn render_inline(
         let _ = writeln!(out, "  \"completion_units\": {},", run.completion.to_f64());
         let _ = writeln!(out, "  \"sends\": {},", run.sends);
         let _ = writeln!(out, "  \"violations\": {},", run.violations);
+        if let Some(spec) = &opts.topology {
+            let _ = writeln!(out, "  \"topology\": \"{spec}\",");
+            let _ = writeln!(out, "  \"edge_violations\": {},", run.edge_violations);
+        }
         if let Some(s) = &run.sample {
             let _ = writeln!(out, "  \"sample\": \"{s}\",");
             let _ = writeln!(out, "  \"dropped_events\": {},", run.dropped);
@@ -1421,6 +1532,13 @@ fn render_inline(
              sends:     {}\nmodel violations: {}\nlower bound (Lemma 8): {lb}\n",
             run.completion, run.sends, run.violations
         );
+        if let Some(spec) = &opts.topology {
+            let _ = writeln!(
+                out,
+                "edge violations ({spec} topology): {}",
+                run.edge_violations
+            );
+        }
         let _ = writeln!(
             out,
             "inline lint: {} diagnostic(s) — linter memory {} KiB, no stored trace",
@@ -1460,6 +1578,11 @@ fn stats(
     if opts.lint_inline {
         return Err(CliError::Invalid(
             "--lint-inline applies to `simulate` only".into(),
+        ));
+    }
+    if opts.topology.is_some() {
+        return Err(CliError::Invalid(
+            "--topology applies to `simulate`, `lint` and `analyze` only".into(),
         ));
     }
     let mut run = run_workload(algo, n, m, lam)?;
@@ -1800,6 +1923,192 @@ mod tests {
         ));
         assert!(matches!(
             call(&["lint", p, "--m", "0"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn lint_topology_flags_a_ring_chord() {
+        // p0 → p2 is a chord of the 4-cycle: P0017.
+        let path = write_temp(
+            "chord.json",
+            r#"{"n": 4, "lambda": 2,
+                "sends": [{"src":0,"dst":1,"at":0}, {"src":0,"dst":2,"at":1},
+                          {"src":1,"dst":3,"at":2}]}"#,
+        );
+        let err = call(&["lint", path.to_str().unwrap(), "--topology", "ring"]).unwrap_err();
+        let CliError::LintFailed(report) = err else {
+            panic!("expected LintFailed, got {err:?}");
+        };
+        assert!(report.contains("error[P0017]"), "{report}");
+        assert!(
+            report.contains("not an edge of the ring topology"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn lint_topology_complete_is_byte_identical() {
+        let schedule = r#"{"n": 3, "lambda": "5/2",
+            "sends": [{"src":0,"dst":1,"at":"0"}, {"src":0,"dst":2,"at":"1"}]}"#;
+        let path = write_temp("complete.json", schedule);
+        let p = path.to_str().unwrap();
+        let plain = call(&["lint", p]).unwrap();
+        let complete = call(&["lint", p, "--topology", "complete"]).unwrap();
+        assert_eq!(plain, complete);
+        let plain_json = call(&["lint", p, "--format", "json"]).unwrap();
+        let complete_json =
+            call(&["lint", p, "--topology", "complete", "--format", "json"]).unwrap();
+        assert_eq!(plain_json, complete_json);
+    }
+
+    #[test]
+    fn lint_uses_the_files_topology_field_as_default() {
+        // Same chord schedule, topology recorded in the file itself.
+        let path = write_temp(
+            "chord-field.json",
+            r#"{"n": 4, "lambda": 2, "topology": "ring",
+                "sends": [{"src":0,"dst":1,"at":0}, {"src":0,"dst":2,"at":1},
+                          {"src":1,"dst":3,"at":2}]}"#,
+        );
+        let p = path.to_str().unwrap();
+        let err = call(&["lint", p]).unwrap_err();
+        let CliError::LintFailed(report) = err else {
+            panic!("expected LintFailed, got {err:?}");
+        };
+        assert!(report.contains("error[P0017]"), "{report}");
+        // The flag overrides the file's field.
+        assert!(call(&["lint", p, "--topology", "complete"]).is_ok());
+    }
+
+    #[test]
+    fn lint_rejects_bad_topologies() {
+        let path = write_temp(
+            "topo-bad.json",
+            r#"{"n": 3, "lambda": 2, "sends": [{"src":0,"dst":1,"at":0}, {"src":0,"dst":2,"at":1}]}"#,
+        );
+        let p = path.to_str().unwrap();
+        // Unknown spec, and a size mismatch (hypercube:2 needs n = 4).
+        assert!(matches!(
+            call(&["lint", p, "--topology", "pentagon"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            call(&["lint", p, "--topology", "hypercube:2"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_topology_counts_edge_violations() {
+        // BCAST(4) at λ = 1 sends 0→1, 0→2, 1→3 (or similar): at least
+        // one send crosses a ring chord. Completion must be unchanged.
+        let free = call(&["simulate", "bcast", "8", "1", "2"]).unwrap();
+        let out = call(&["simulate", "bcast", "8", "1", "2", "--topology", "ring"]).unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("edge violations"))
+            .expect(&out);
+        assert!(line.contains("(ring topology)"), "{out}");
+        let count: usize = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count > 0, "{out}");
+        // Timing is untouched: all other lines match the free run.
+        let free_completion = free.lines().find(|l| l.starts_with("completion")).unwrap();
+        assert!(out.contains(free_completion), "{out}");
+
+        let json = call(&[
+            "simulate",
+            "bcast",
+            "8",
+            "1",
+            "2",
+            "--topology",
+            "ring",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"topology\": \"ring\""), "{json}");
+        assert!(
+            json.contains(&format!("\"edge_violations\": {count}")),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn simulate_lint_inline_topology_reports_p0017() {
+        let err = call(&[
+            "simulate",
+            "bcast",
+            "8",
+            "1",
+            "2",
+            "--lint-inline",
+            "--topology",
+            "ring",
+        ])
+        .unwrap_err();
+        let CliError::LintFailed(report) = err else {
+            panic!("expected LintFailed, got {err:?}");
+        };
+        assert!(report.contains("error[P0017]"), "{report}");
+        assert!(
+            report.contains("edge violations (ring topology)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn analyze_topology_checks_size_and_preserves_clean_runs() {
+        // Every named construction is size-checked at instantiation, so
+        // a partitioned-by-mismatch graph is rejected up front (the
+        // library-level P0019 path is covered by postal-abs tests).
+        assert!(matches!(
+            call(&[
+                "analyze",
+                "--algo",
+                "bcast",
+                "--n",
+                "8",
+                "--lambda-range",
+                "1..2",
+                "--topology",
+                "torus:2x2",
+            ]),
+            Err(CliError::Invalid(_))
+        ));
+
+        // The full hypercube is connected: clean, and byte-identical to
+        // the topology-free analysis.
+        let plain = call(&[
+            "analyze",
+            "--algo",
+            "bcast",
+            "--n",
+            "8",
+            "--lambda-range",
+            "1..2",
+        ])
+        .unwrap();
+        let cube = call(&[
+            "analyze",
+            "--algo",
+            "bcast",
+            "--n",
+            "8",
+            "--lambda-range",
+            "1..2",
+            "--topology",
+            "hypercube:3",
+        ])
+        .unwrap();
+        assert_eq!(plain, cube);
+    }
+
+    #[test]
+    fn stats_rejects_topology() {
+        assert!(matches!(
+            call(&["stats", "bcast", "8", "1", "2", "--topology", "ring"]),
             Err(CliError::Invalid(_))
         ));
     }

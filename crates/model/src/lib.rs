@@ -32,6 +32,9 @@
 //! * [`lint`] — the schedule lint engine behind that validator: stable
 //!   codes `P0001`–`P0007` covering every validity rule plus quality
 //!   checks (idle ports, optimality gaps against `f_λ(n)`);
+//! * [`topology`] — sparse communication graphs (ring, torus, hypercube,
+//!   bounded-degree broadcast graphs per arXiv:1312.1523) with the
+//!   BFS oracle behind the topology-aware lint codes `P0017`–`P0019`;
 //! * [`step_fn`] — the paper's generic step-function/index-function
 //!   machinery (Claims 1–2), with `F_λ` as one instance;
 //! * [`corollaries`] — the elementary upper bounds of Corollaries 11,
@@ -71,8 +74,10 @@ pub mod runtimes;
 pub mod schedule;
 pub mod step_fn;
 pub mod time;
+pub mod topology;
 
 pub use fib::GenFib;
 pub use latency::Latency;
 pub use ratio::{Interval, Ratio};
 pub use time::{FastTime, Time};
+pub use topology::{Topology, TopologyError, TopologySpec};

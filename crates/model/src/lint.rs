@@ -24,6 +24,9 @@
 //! | `P0014` | warn/error | symbolic optimality gap over a λ-range (vs the family envelope / Lemma 8) |
 //! | `P0015` | error | DTREE degree-bound violation (fan-out or the Lemma 18 envelope) |
 //! | `P0016` | error | unbounded wait (a receive with no abstractly-reachable matching send) |
+//! | `P0017` | error | non-edge send (a transfer crosses a pair that is not an edge of the topology) |
+//! | `P0018` | warn/error | topology optimality gap against the BFS bound `(m−1) + λ·ecc(originator)` |
+//! | `P0019` | error | topology partition (a processor unreachable from the originator in the graph) |
 //!
 //! `P0001`–`P0007` are produced by [`lint_schedule`] over a static
 //! schedule. `P0008`–`P0011` are whole-state-space properties — they
@@ -33,7 +36,12 @@
 //! `postal-verify` renderer. `P0012`–`P0016` are *symbolic* properties
 //! over a whole λ-interval, produced by the `postal-abs` abstract
 //! interpreter without running a simulation; each carries a witness
-//! λ sub-interval in [`Diagnostic::witness`].
+//! λ sub-interval in [`Diagnostic::witness`]. `P0017`–`P0019` are
+//! *topology-grounded* properties checked against a sparse
+//! [`crate::topology::Topology`] oracle by [`lint_schedule_with_topology`]
+//! (and the streaming equivalent); on the complete graph they are
+//! vacuous by construction, so complete-graph output is byte-identical
+//! to the plain linter.
 //!
 //! The engine is the single source of truth for schedule validity: the
 //! `postal-verify` crate layers trace analysis, race detection, and
@@ -74,8 +82,8 @@ pub mod stream;
 pub use index::ScheduleIndex;
 pub use passes::{LintPass, PassContext, PassManager, PassStage};
 pub use stream::{
-    lint_schedule_streaming, StreamContext, StreamEvent, StreamIndex, StreamingLint,
-    StreamingLintPass,
+    lint_schedule_streaming, lint_schedule_streaming_with_topology, StreamContext, StreamEvent,
+    StreamIndex, StreamingLint, StreamingLintPass,
 };
 
 /// Stable diagnostic codes, one per paper rule.
@@ -149,6 +157,25 @@ pub enum LintCode {
     /// abstractly-reachable send can ever match, so it would wait
     /// forever for any λ in the range. Emitted by `postal-abs`.
     UnboundedWait,
+    /// `P0017` — non-edge send: a transfer connects two processors that
+    /// are not adjacent in the communication graph, so it cannot happen
+    /// on the target topology. Emitted by the topology-aware passes of
+    /// [`lint_schedule_with_topology`].
+    NonEdgeSend,
+    /// `P0018` — topology optimality gap: the schedule's completion time
+    /// is above the graph-theoretic lower bound
+    /// `(m−1) + λ·ecc(originator)` obtained by static BFS over the
+    /// topology (warn/info), or *below* it, which is impossible on the
+    /// graph and reported as an error. The sparse-graph analogue of
+    /// `P0007`/`P0014`'s Lemma 8 gap. Never emitted for the complete
+    /// graph, where the stronger `f_λ(n)` bound of `P0007` applies.
+    TopologyOptimalityGap,
+    /// `P0019` — topology partition: a processor has no path from the
+    /// originator in the communication graph, so *no* schedule can
+    /// inform it. Root-cause-suppresses the timing-level `P0005`/`P0013`
+    /// for the same processor, the way `P0012` silences downstream
+    /// findings.
+    TopologyPartitionUnreachable,
 }
 
 impl LintCode {
@@ -171,6 +198,9 @@ impl LintCode {
             LintCode::SymbolicOptimalityGap => "P0014",
             LintCode::DegreeBoundViolation => "P0015",
             LintCode::UnboundedWait => "P0016",
+            LintCode::NonEdgeSend => "P0017",
+            LintCode::TopologyOptimalityGap => "P0018",
+            LintCode::TopologyPartitionUnreachable => "P0019",
         }
     }
 
@@ -193,6 +223,9 @@ impl LintCode {
             "P0014" => LintCode::SymbolicOptimalityGap,
             "P0015" => LintCode::DegreeBoundViolation,
             "P0016" => LintCode::UnboundedWait,
+            "P0017" => LintCode::NonEdgeSend,
+            "P0018" => LintCode::TopologyOptimalityGap,
+            "P0019" => LintCode::TopologyPartitionUnreachable,
             _ => return None,
         })
     }
@@ -284,6 +317,28 @@ impl LintCode {
                  message arrives; a receive no abstractly-reachable send can \
                  match waits forever, for every lambda in the range \
                  (model definition, Section 2)"
+            }
+            LintCode::NonEdgeSend => {
+                "in a sparse message-passing system a processor can send only \
+                 to its neighbors in the communication graph; a transfer \
+                 across a non-edge cannot happen on the target topology \
+                 (sparse extension of the complete-graph MPS(n, lambda), \
+                 Section 2; minimum-broadcast-graph constructions after \
+                 arXiv:1312.1523)"
+            }
+            LintCode::TopologyOptimalityGap => {
+                "a message reaching a processor at graph distance d from the \
+                 originator traverses d edges and each hop costs lambda, so \
+                 broadcasting m messages over a sparse topology takes at \
+                 least (m-1) + lambda*ecc(originator) time (static BFS lower \
+                 bound; the sparse-graph analogue of Lemma 8)"
+            }
+            LintCode::TopologyPartitionUnreachable => {
+                "a broadcast must deliver the originator's message to all n-1 \
+                 other processors; a processor with no path from the \
+                 originator in the communication graph can never be informed, \
+                 by any schedule (problem statement, Section 1, over a sparse \
+                 topology)"
             }
         }
     }
@@ -403,6 +458,20 @@ impl LintOptions {
 /// [`ScheduleIndex`] build, one sweep of every `P0001`--`P0007` pass.
 pub fn lint_schedule(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic> {
     PassManager::standard().run(schedule, opts)
+}
+
+/// [`lint_schedule`] plus the topology-grounded passes `P0017`–`P0019`
+/// checked against `topology` (see [`PassManager::standard_with_topology`]).
+///
+/// On the complete graph the topology passes are vacuous, so the output
+/// is byte-identical to [`lint_schedule`] — pinned by the differential
+/// suite in `tests/topology_differential.rs`.
+pub fn lint_schedule_with_topology(
+    schedule: &Schedule,
+    opts: &LintOptions,
+    topology: &crate::topology::Topology,
+) -> Vec<Diagnostic> {
+    PassManager::standard_with_topology(topology).run(schedule, opts)
 }
 
 /// The deterministic report order: by code, then processor, then the
@@ -625,6 +694,9 @@ mod tests {
             LintCode::SymbolicOptimalityGap,
             LintCode::DegreeBoundViolation,
             LintCode::UnboundedWait,
+            LintCode::NonEdgeSend,
+            LintCode::TopologyOptimalityGap,
+            LintCode::TopologyPartitionUnreachable,
         ] {
             assert_eq!(LintCode::parse(code.as_str()), Some(code));
             assert!(!code.paper_rule().is_empty());

@@ -27,6 +27,7 @@ use crate::fib::GenFib;
 use crate::runtimes;
 use crate::schedule::Schedule;
 use crate::time::{FastTime, Time};
+use crate::topology::{Topology, UNREACHABLE};
 
 /// When in the sweep a pass runs (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,34 @@ impl PassManager {
                 Box::new(CoveragePass),
                 Box::new(IdlePortPass),
                 Box::new(OptimalityPass),
+            ],
+        }
+    }
+
+    /// [`PassManager::standard`] plus the topology-grounded passes:
+    /// `P0017` (Shape, after `P0002`), `P0019` (Broadcast, after
+    /// `P0005`, which it root-cause-suppresses), and `P0018` (Quality,
+    /// after `P0007`). On the complete graph all three are vacuous —
+    /// every pair is an edge, every processor is reachable, and the
+    /// BFS bound defers to the stronger `f_λ(n)` of `P0007` — so the
+    /// output is byte-identical to [`PassManager::standard`].
+    ///
+    /// `topology` must be instantiated for the schedule's processor
+    /// count (out-of-range processors read as non-edges/unreachable).
+    pub fn standard_with_topology(topology: &Topology) -> PassManager {
+        let topo = *topology;
+        PassManager {
+            passes: vec![
+                Box::new(MalformedSendPass),
+                Box::new(OutputPortPass),
+                Box::new(InputWindowPass),
+                Box::new(NonEdgeSendPass { topo }),
+                Box::new(CausalityPass),
+                Box::new(CoveragePass),
+                Box::new(TopologyReachabilityPass { topo }),
+                Box::new(IdlePortPass),
+                Box::new(OptimalityPass),
+                Box::new(TopologyOptimalityPass { topo }),
             ],
         }
     }
@@ -516,6 +545,187 @@ impl LintPass for OptimalityPass {
     }
 }
 
+/// `P0017` — non-edge send: a transfer connects two processors that are
+/// not adjacent in the communication graph. Sweeps the well-formed
+/// arena in canonical order; malformed sends (`P0004`) have no defined
+/// endpoints on the graph and are not re-reported here.
+pub struct NonEdgeSendPass {
+    /// The communication graph to check adjacency against.
+    pub topo: Topology,
+}
+
+impl LintPass for NonEdgeSendPass {
+    fn name(&self) -> &'static str {
+        "non-edge"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        if self.topo.is_complete() {
+            return;
+        }
+        let spec = self.topo.spec();
+        for s in cx.index.arena() {
+            if !self.topo.is_edge(s.src, s.dst) {
+                out.push(Diagnostic {
+                    code: LintCode::NonEdgeSend,
+                    severity: Severity::Error,
+                    witness: None,
+                    proc: Some(s.src),
+                    sends: vec![*s],
+                    related_time: None,
+                    message: format!(
+                        "p{} sends to p{} at t = {}, but p{}-p{} is not an edge \
+                         of the {spec} topology",
+                        s.src, s.dst, s.send_start, s.src, s.dst
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `P0019` — topology partition: a processor with no path from the
+/// originator in the graph can never be informed, by any schedule.
+/// Root-cause-suppresses the timing-level `P0005` for the same
+/// processor (the graph-level fact explains the timing-level absence),
+/// mirroring how `P0012` silences downstream findings in `postal-abs`.
+pub struct TopologyReachabilityPass {
+    /// The communication graph to check reachability over.
+    pub topo: Topology,
+}
+
+impl LintPass for TopologyReachabilityPass {
+    fn name(&self) -> &'static str {
+        "topology-reachability"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Broadcast
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        if self.topo.is_complete() {
+            return;
+        }
+        let n = cx.index.n();
+        let orig = cx.opts.originator;
+        let spec = self.topo.spec();
+        let dist = self.topo.bfs_distances(orig);
+        let cut: Vec<u32> = (0..n)
+            .filter(|&p| {
+                p != orig && dist.get(p as usize).copied().unwrap_or(UNREACHABLE) == UNREACHABLE
+            })
+            .collect();
+        if cut.is_empty() {
+            return;
+        }
+        // The graph-level finding replaces the timing-level one: drop
+        // the P0005 already emitted for each partitioned processor.
+        let mut suppressed: Vec<u32> = Vec::new();
+        out.retain(|d| {
+            let cover = d.code == LintCode::UninformedProcessor
+                && d.proc.is_some_and(|p| cut.binary_search(&p).is_ok());
+            if cover {
+                suppressed.push(d.proc.unwrap_or(u32::MAX));
+            }
+            !cover
+        });
+        for p in cut {
+            let note = if suppressed.contains(&p) {
+                " (suppresses the timing-level P0005)"
+            } else {
+                ""
+            };
+            out.push(Diagnostic {
+                code: LintCode::TopologyPartitionUnreachable,
+                severity: Severity::Error,
+                witness: None,
+                proc: Some(p),
+                sends: Vec::new(),
+                related_time: None,
+                message: format!(
+                    "p{p} has no path from the originator p{orig} in the {spec} \
+                     topology — no schedule can inform it{note}"
+                ),
+            });
+        }
+    }
+}
+
+/// `P0018` — topology optimality gap against the static BFS lower
+/// bound `(m−1) + λ·ecc(originator)`: a message reaching a processor
+/// at graph distance `d` traverses `d` edges at λ per hop. The
+/// sparse-graph analogue of `P0007`'s Lemma 8 gap; never emitted for
+/// the complete graph, where `P0007`'s `f_λ(n)` bound is stronger.
+pub struct TopologyOptimalityPass {
+    /// The communication graph whose eccentricity grounds the bound.
+    pub topo: Topology,
+}
+
+impl LintPass for TopologyOptimalityPass {
+    fn name(&self) -> &'static str {
+        "topology-optimality"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Quality
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.index.n();
+        if self.topo.is_complete() || n < 2 {
+            return;
+        }
+        let lam = cx.index.latency();
+        let spec = self.topo.spec();
+        let orig = cx.opts.originator;
+        let completion = cx.schedule.completion();
+        let m = cx.opts.messages.max(1);
+        let ecc = self.topo.eccentricity(orig);
+        let bound = Time::from_int(m as i128 - 1) + lam.as_time().mul_int(ecc as i128);
+        if completion < bound {
+            out.push(Diagnostic {
+                code: LintCode::TopologyOptimalityGap,
+                severity: Severity::Error,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(bound),
+                message: format!(
+                    "completes at t = {completion}, beating the {spec} topology \
+                     lower bound {bound} for {m} message(s) from p{orig} — some \
+                     transfer must bypass the graph"
+                ),
+            });
+        } else if completion > bound {
+            // Like the Lemma 8 bound, λ·ecc is not always attainable:
+            // a gap is suspect for one message, informational beyond.
+            let severity = if m == 1 {
+                Severity::Warn
+            } else {
+                Severity::Info
+            };
+            out.push(Diagnostic {
+                code: LintCode::TopologyOptimalityGap,
+                severity,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(bound),
+                message: format!(
+                    "completes at t = {completion}; the {spec} topology lower \
+                     bound (m-1) + lambda*ecc(p{orig}) is {bound} (gap {} units)",
+                    completion - bound
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::reference::lint_schedule_reference;
@@ -574,6 +784,101 @@ mod tests {
                 lint_schedule_reference(&s, &opts)
             );
         }
+    }
+
+    fn topo(spec: &str, n: u32) -> Topology {
+        spec.parse::<crate::topology::TopologySpec>()
+            .unwrap()
+            .instantiate(n)
+            .unwrap()
+    }
+
+    #[test]
+    fn topology_passes_are_vacuous_on_complete() {
+        let complete = Topology::complete(5);
+        for opts in [
+            LintOptions::default(),
+            LintOptions::ports_only(),
+            LintOptions::broadcast_of(3),
+        ] {
+            assert_eq!(
+                PassManager::standard_with_topology(&complete).run(&messy(), &opts),
+                PassManager::standard().run(&messy(), &opts),
+            );
+        }
+    }
+
+    #[test]
+    fn p0017_fires_on_a_ring_chord() {
+        // 0 -> 2 is a chord of the 4-ring; 0 -> 1 is an edge.
+        let s = Schedule::new(
+            4,
+            Latency::from_int(2),
+            vec![send(0, 1, 0, 1), send(0, 2, 1, 1)],
+        );
+        let diags = PassManager::standard_with_topology(&topo("ring", 4))
+            .run(&s, &LintOptions::ports_only());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::NonEdgeSend);
+        assert_eq!(diags[0].proc, Some(0));
+        assert_eq!(
+            diags[0].message,
+            "p0 sends to p2 at t = 1, but p0-p2 is not an edge of the ring topology"
+        );
+    }
+
+    #[test]
+    fn p0018_warns_on_a_gap_and_errors_below_the_bound() {
+        // Ring of 3 = triangle, ecc = 1, bound = λ = 1; the two-hop line
+        // completes at 2 → warn with gap 1. (f_1(3) = 2, so P0007 stays
+        // silent — the graph bound is the only finding.)
+        let lam = Latency::from_int(1);
+        let s = Schedule::new(3, lam, vec![send(0, 1, 0, 1), send(1, 2, 1, 1)]);
+        let diags =
+            PassManager::standard_with_topology(&topo("ring", 3)).run(&s, &LintOptions::default());
+        assert_eq!(
+            diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![LintCode::TopologyOptimalityGap]
+        );
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert_eq!(diags[0].related_time, Some(Time::from_int(1)));
+
+        // Beating λ·ecc requires bypassing the graph; drive the pass
+        // alone so the P0017 error does not suppress the quality stage.
+        let fast = Schedule::new(
+            4,
+            Latency::from_ratio(5, 2),
+            vec![send(0, 1, 0, 1), send(0, 3, 1, 1), send(0, 2, 2, 1)],
+        );
+        let only = PassManager::empty().with_pass(Box::new(TopologyOptimalityPass {
+            topo: topo("ring", 4),
+        }));
+        let diags = only.run(&fast, &LintOptions::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::TopologyOptimalityGap);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn p0019_suppresses_p0005_for_partitioned_processors() {
+        // A 2-ring oracle against a 3-processor schedule: p2 is outside
+        // the graph entirely, the degenerate image of a partition. The
+        // timing-level P0005 must fold into the graph-level P0019.
+        let s = Schedule::new(3, Latency::from_int(2), vec![send(0, 1, 0, 1)]);
+        let diags =
+            PassManager::standard_with_topology(&topo("ring", 2)).run(&s, &LintOptions::default());
+        assert_eq!(
+            diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![LintCode::TopologyPartitionUnreachable]
+        );
+        assert_eq!(diags[0].proc, Some(2));
+        assert!(
+            diags[0]
+                .message
+                .ends_with("(suppresses the timing-level P0005)"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ use crate::latency::Latency;
 use crate::runtimes;
 use crate::schedule::{Schedule, TimedSend};
 use crate::time::{FastTime, Time};
+use crate::topology::{Topology, UNREACHABLE};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::mem::size_of;
@@ -341,6 +342,34 @@ impl StreamingLint {
         }
     }
 
+    /// [`StreamingLint::new`] plus the topology-grounded passes — the
+    /// streaming image of
+    /// [`PassManager::standard_with_topology`](super::PassManager::standard_with_topology),
+    /// with identical registration order per stage. On the complete
+    /// graph the extra passes are vacuous and the output is
+    /// byte-identical to [`StreamingLint::new`]'s.
+    pub fn with_topology(
+        n: u32,
+        latency: Latency,
+        opts: LintOptions,
+        topology: &Topology,
+    ) -> StreamingLint {
+        let topo = *topology;
+        let mut engine = StreamingLint::new(n, latency, opts);
+        engine
+            .passes
+            .push(Box::new(StreamingNonEdgePass::new(topo)));
+        if opts.broadcast {
+            engine
+                .passes
+                .push(Box::new(StreamingTopologyReachabilityPass { topo }));
+            engine
+                .passes
+                .push(Box::new(StreamingTopologyOptimalityPass { topo }));
+        }
+        engine
+    }
+
     /// Observes one send. Malformed sends are classified and dispatched
     /// immediately; well-formed sends are parked until the watermark
     /// passes their start time.
@@ -556,6 +585,23 @@ impl StreamingLint {
 /// [`lint_schedule`](super::lint_schedule).
 pub fn lint_schedule_streaming(schedule: &Schedule, opts: &LintOptions) -> Vec<Diagnostic> {
     let mut lint = StreamingLint::new(schedule.n(), schedule.latency(), *opts);
+    for s in schedule.sends() {
+        lint.advance_watermark(s.send_start);
+        lint.observe_send(s.src, s.dst, s.send_start);
+    }
+    lint.finish()
+}
+
+/// [`lint_schedule_streaming`] with the topology-grounded passes of
+/// [`StreamingLint::with_topology`]: the streaming counterpart of
+/// [`lint_schedule_with_topology`](super::lint_schedule_with_topology),
+/// pinned byte-identical to it by `tests/topology_differential.rs`.
+pub fn lint_schedule_streaming_with_topology(
+    schedule: &Schedule,
+    opts: &LintOptions,
+    topology: &Topology,
+) -> Vec<Diagnostic> {
+    let mut lint = StreamingLint::with_topology(schedule.n(), schedule.latency(), *opts, topology);
     for s in schedule.sends() {
         lint.advance_watermark(s.send_start);
         lint.observe_send(s.src, s.dst, s.send_start);
@@ -1125,6 +1171,203 @@ impl StreamingLintPass for StreamingOptimalityPass {
                     "completes at t = {completion}; {bound_name} is {optimal} \
                      (gap {} units)",
                     completion - optimal
+                ),
+            });
+        }
+    }
+}
+
+/// `P0017`, streaming: well-formed sends arrive in canonical arena
+/// order (the finalization protocol's guarantee), so non-edge findings
+/// are detected online and appended verbatim at `finish` — the same
+/// order the batch pass produces by sweeping the arena.
+pub struct StreamingNonEdgePass {
+    topo: Topology,
+    found: Vec<Diagnostic>,
+}
+
+impl StreamingNonEdgePass {
+    /// Creates the pass over the given communication graph.
+    pub fn new(topo: Topology) -> StreamingNonEdgePass {
+        StreamingNonEdgePass {
+            topo,
+            found: Vec::new(),
+        }
+    }
+}
+
+impl StreamingLintPass for StreamingNonEdgePass {
+    fn name(&self) -> &'static str {
+        "non-edge"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Shape
+    }
+
+    fn on_event(&mut self, _cx: &StreamContext<'_>, ev: &StreamEvent<'_>) {
+        let StreamEvent::Send(s) = ev else {
+            return;
+        };
+        if self.topo.is_complete() || self.topo.is_edge(s.src, s.dst) {
+            return;
+        }
+        let spec = self.topo.spec();
+        self.found.push(Diagnostic {
+            code: LintCode::NonEdgeSend,
+            severity: Severity::Error,
+            witness: None,
+            proc: Some(s.src),
+            sends: vec![**s],
+            related_time: None,
+            message: format!(
+                "p{} sends to p{} at t = {}, but p{}-p{} is not an edge \
+                 of the {spec} topology",
+                s.src, s.dst, s.send_start, s.src, s.dst
+            ),
+        });
+    }
+
+    fn finish(&mut self, _cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        out.append(&mut self.found);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.found.capacity() * size_of::<Diagnostic>()
+    }
+}
+
+/// `P0019`, streaming: a pure `finish`-time BFS over the topology,
+/// root-cause-suppressing the `P0005`s the coverage pass (registered
+/// earlier in the Broadcast stage) already emitted for partitioned
+/// processors — identical logic to the batch pass.
+pub struct StreamingTopologyReachabilityPass {
+    /// The communication graph to check reachability over.
+    pub topo: Topology,
+}
+
+impl StreamingLintPass for StreamingTopologyReachabilityPass {
+    fn name(&self) -> &'static str {
+        "topology-reachability"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Broadcast
+    }
+
+    fn on_event(&mut self, _cx: &StreamContext<'_>, _ev: &StreamEvent<'_>) {}
+
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        if self.topo.is_complete() {
+            return;
+        }
+        let n = cx.index.n();
+        let orig = cx.opts.originator;
+        let spec = self.topo.spec();
+        let dist = self.topo.bfs_distances(orig);
+        let cut: Vec<u32> = (0..n)
+            .filter(|&p| {
+                p != orig && dist.get(p as usize).copied().unwrap_or(UNREACHABLE) == UNREACHABLE
+            })
+            .collect();
+        if cut.is_empty() {
+            return;
+        }
+        let mut suppressed: Vec<u32> = Vec::new();
+        out.retain(|d| {
+            let cover = d.code == LintCode::UninformedProcessor
+                && d.proc.is_some_and(|p| cut.binary_search(&p).is_ok());
+            if cover {
+                suppressed.push(d.proc.unwrap_or(u32::MAX));
+            }
+            !cover
+        });
+        for p in cut {
+            let note = if suppressed.contains(&p) {
+                " (suppresses the timing-level P0005)"
+            } else {
+                ""
+            };
+            out.push(Diagnostic {
+                code: LintCode::TopologyPartitionUnreachable,
+                severity: Severity::Error,
+                witness: None,
+                proc: Some(p),
+                sends: Vec::new(),
+                related_time: None,
+                message: format!(
+                    "p{p} has no path from the originator p{orig} in the {spec} \
+                     topology — no schedule can inform it{note}"
+                ),
+            });
+        }
+    }
+}
+
+/// `P0018`, streaming: a pure `finish`-time check of the running
+/// completion maximum against the BFS bound `(m−1) + λ·ecc(originator)`
+/// — identical arithmetic to the batch pass.
+pub struct StreamingTopologyOptimalityPass {
+    /// The communication graph whose eccentricity grounds the bound.
+    pub topo: Topology,
+}
+
+impl StreamingLintPass for StreamingTopologyOptimalityPass {
+    fn name(&self) -> &'static str {
+        "topology-optimality"
+    }
+
+    fn stage(&self) -> PassStage {
+        PassStage::Quality
+    }
+
+    fn on_event(&mut self, _cx: &StreamContext<'_>, _ev: &StreamEvent<'_>) {}
+
+    fn finish(&mut self, cx: &StreamContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.index.n();
+        if self.topo.is_complete() || n < 2 {
+            return;
+        }
+        let lam = cx.index.latency();
+        let spec = self.topo.spec();
+        let orig = cx.opts.originator;
+        let completion = cx.index.completion();
+        let m = cx.opts.messages.max(1);
+        let ecc = self.topo.eccentricity(orig);
+        let bound = Time::from_int(m as i128 - 1) + lam.as_time().mul_int(ecc as i128);
+        if completion < bound {
+            out.push(Diagnostic {
+                code: LintCode::TopologyOptimalityGap,
+                severity: Severity::Error,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(bound),
+                message: format!(
+                    "completes at t = {completion}, beating the {spec} topology \
+                     lower bound {bound} for {m} message(s) from p{orig} — some \
+                     transfer must bypass the graph"
+                ),
+            });
+        } else if completion > bound {
+            // Like the Lemma 8 bound, λ·ecc is not always attainable:
+            // a gap is suspect for one message, informational beyond.
+            let severity = if m == 1 {
+                Severity::Warn
+            } else {
+                Severity::Info
+            };
+            out.push(Diagnostic {
+                code: LintCode::TopologyOptimalityGap,
+                severity,
+                witness: None,
+                proc: None,
+                sends: Vec::new(),
+                related_time: Some(bound),
+                message: format!(
+                    "completes at t = {completion}; the {spec} topology lower \
+                     bound (m-1) + lambda*ecc(p{orig}) is {bound} (gap {} units)",
+                    completion - bound
                 ),
             });
         }

@@ -81,6 +81,23 @@ impl LintStream {
         }
     }
 
+    /// Like [`LintStream::new`], but lints against a sparse
+    /// communication graph, adding the topology codes `P0017`–`P0019`.
+    /// The complete graph yields the exact [`LintStream::new`] report.
+    pub fn with_topology(
+        n: u32,
+        latency: Latency,
+        opts: LintOptions,
+        ordering: StreamOrdering,
+        topology: &postal_model::Topology,
+    ) -> LintStream {
+        LintStream {
+            inner: StreamingLint::with_topology(n, latency, opts, topology),
+            ordering,
+            truncated: false,
+        }
+    }
+
     /// Consumes one event: advances the watermark per the ordering's
     /// policy and forwards send facts to the lint engine.
     pub fn on_event(&mut self, ev: &ObsEvent) {
@@ -169,6 +186,25 @@ impl LintSink {
     ) -> LintSink {
         LintSink {
             inner: Mutex::new(LintStream::new(n, latency, opts, ordering)),
+        }
+    }
+
+    /// Creates a sink linting a live run against a sparse communication
+    /// graph (topology codes `P0017`–`P0019` included).
+    pub fn with_topology(
+        n: u32,
+        latency: Latency,
+        opts: LintOptions,
+        topology: &postal_model::Topology,
+    ) -> LintSink {
+        LintSink {
+            inner: Mutex::new(LintStream::with_topology(
+                n,
+                latency,
+                opts,
+                StreamOrdering::Live,
+                topology,
+            )),
         }
     }
 

@@ -45,7 +45,7 @@ use crate::ids::{ProcId, SendSeq};
 use crate::latency_model::LatencyModel;
 use crate::program::{Context, Program};
 use crate::trace::{Trace, Transfer};
-use postal_model::{FastTime, Time};
+use postal_model::{FastTime, Time, Topology};
 use postal_obs::{ObsEvent, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -99,6 +99,24 @@ pub struct Violation {
     pub port_busy_until: Time,
 }
 
+/// A send across a pair that is not an edge of the restricting topology
+/// (see [`Simulation::restrict_to`]). The message is still delivered —
+/// the engine records the violation honestly instead of silently
+/// dropping or rerouting it — so completion times are unchanged and the
+/// report shows exactly which transfers a sparse network could not have
+/// carried. The static counterpart is lint code `P0017`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeViolation {
+    /// The offending transfer's sequence number.
+    pub seq: SendSeq,
+    /// Sender.
+    pub src: ProcId,
+    /// Receiver; `src`–`dst` is not an edge of the topology.
+    pub dst: ProcId,
+    /// When the send started.
+    pub send_start: Time,
+}
+
 /// Per-processor activity counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProcStats {
@@ -117,6 +135,9 @@ pub struct RunReport<P> {
     pub trace: Trace<P>,
     /// Strict-mode receive overlaps (always empty in `Queued` mode).
     pub violations: Vec<Violation>,
+    /// Sends across non-edges of the restricting topology (always empty
+    /// without [`Simulation::restrict_to`]).
+    pub edge_violations: Vec<EdgeViolation>,
     /// Per-processor send/receive counters.
     pub proc_stats: Vec<ProcStats>,
     /// Number of events processed.
@@ -134,6 +155,12 @@ impl<P> RunReport<P> {
             "postal-model violation: {:?} (total {})",
             self.violations[0],
             self.violations.len()
+        );
+        assert!(
+            self.edge_violations.is_empty(),
+            "topology violation: {:?} (total {})",
+            self.edge_violations[0],
+            self.edge_violations.len()
         );
     }
 
@@ -183,6 +210,7 @@ pub struct Simulation<'a> {
     faults: crate::faults::FaultPlan,
     recorder: Option<&'a dyn Recorder>,
     discard_trace: bool,
+    topology: Option<Topology>,
 }
 
 impl<'a> Simulation<'a> {
@@ -203,7 +231,20 @@ impl<'a> Simulation<'a> {
             faults: crate::faults::FaultPlan::none(),
             recorder: None,
             discard_trace: false,
+            topology: None,
         }
+    }
+
+    /// Restricts communication to the edges of `topology`: every send
+    /// across a non-adjacent pair is recorded as an [`EdgeViolation`] in
+    /// [`RunReport::edge_violations`]. The message is still delivered —
+    /// timing, traces and the observability stream are byte-identical to
+    /// an unrestricted run — so the report separates "what happened"
+    /// from "what a sparse network could have carried". On the complete
+    /// graph this never fires.
+    pub fn restrict_to(mut self, topology: &Topology) -> Simulation<'a> {
+        self.topology = Some(*topology);
+        self
     }
 
     /// Selects the input-port contention policy.
@@ -273,6 +314,7 @@ impl<'a> Simulation<'a> {
         }
         let mut st = FastState::new(self.n, self.config, self.recorder, self.faults.clone());
         st.discard_trace = self.discard_trace;
+        st.topology = self.topology;
         for &(p, t) in &st.faults.crashes.clone() {
             st.emit(ObsEvent::Crash { proc: p.0, at: t });
         }
@@ -395,6 +437,7 @@ impl<'a> Simulation<'a> {
             },
             trace: st.trace,
             violations: st.violations,
+            edge_violations: st.edge_violations,
             proc_stats: st.proc_stats,
             events: st.events,
         })
@@ -422,6 +465,7 @@ impl<'a> Simulation<'a> {
         let mut engine = EngineState::new(self.n, self.config, self.recorder);
         engine.faults = self.faults.clone();
         engine.discard_trace = self.discard_trace;
+        engine.topology = self.topology;
         for &(p, t) in &engine.faults.crashes.clone() {
             engine.emit(ObsEvent::Crash { proc: p.0, at: t });
         }
@@ -521,6 +565,7 @@ impl<'a> Simulation<'a> {
             },
             trace: engine.trace,
             violations: engine.violations,
+            edge_violations: engine.edge_violations,
             proc_stats: engine.proc_stats,
             events: engine.events,
         })
@@ -605,6 +650,8 @@ struct EngineState<'r, P> {
     completion: Time,
     discard_trace: bool,
     violations: Vec<Violation>,
+    topology: Option<Topology>,
+    edge_violations: Vec<EdgeViolation>,
     proc_stats: Vec<ProcStats>,
     next_seq: u64,
     next_counter: u64,
@@ -624,6 +671,8 @@ impl<'r, P: Clone> EngineState<'r, P> {
             completion: Time::ZERO,
             discard_trace: false,
             violations: Vec::new(),
+            topology: None,
+            edge_violations: Vec::new(),
             proc_stats: vec![ProcStats::default(); n],
             next_seq: 0,
             next_counter: 0,
@@ -662,6 +711,16 @@ impl<'r, P: Clone> EngineState<'r, P> {
             self.proc_stats[src.index()].sends += 1;
             let seq = SendSeq(self.next_seq);
             self.next_seq += 1;
+            if let Some(t) = &self.topology {
+                if !t.is_edge(src.0, dst.0) {
+                    self.edge_violations.push(EdgeViolation {
+                        seq,
+                        src,
+                        dst,
+                        send_start,
+                    });
+                }
+            }
             let lam = latency.latency(src, dst, send_start);
             let arrival = send_start + lam.as_time() - Time::ONE;
             self.emit(ObsEvent::Send {
@@ -804,6 +863,8 @@ struct FastState<'r, P> {
     completion: FastTime,
     discard_trace: bool,
     violations: Vec<Violation>,
+    topology: Option<Topology>,
+    edge_violations: Vec<EdgeViolation>,
     proc_stats: Vec<ProcStats>,
     next_seq: u64,
     events: u64,
@@ -829,6 +890,8 @@ impl<'r, P: Clone> FastState<'r, P> {
             completion: FastTime::ZERO,
             discard_trace: false,
             violations: Vec::new(),
+            topology: None,
+            edge_violations: Vec::new(),
             proc_stats: vec![ProcStats::default(); n],
             next_seq: 0,
             events: 0,
@@ -862,6 +925,16 @@ impl<'r, P: Clone> FastState<'r, P> {
             self.proc_stats[src.index()].sends += 1;
             let seq = self.next_seq;
             self.next_seq += 1;
+            if let Some(t) = &self.topology {
+                if !t.is_edge(src.0, dst.0) {
+                    self.edge_violations.push(EdgeViolation {
+                        seq: SendSeq(seq),
+                        src,
+                        dst,
+                        send_start: send_start.to_time(),
+                    });
+                }
+            }
             let lam = latency.latency(src, dst, send_start.to_time());
             let arrival = send_start + lam.as_fast_time() - FastTime::ONE;
             if self.recorder.is_some() {
@@ -1072,6 +1145,55 @@ mod tests {
             .collect();
         assert_eq!(sends, vec![Time::ZERO, Time::ONE, Time::from_int(2)]);
         assert_eq!(report.completion, Time::from_int(5)); // 2 + λ
+    }
+
+    #[test]
+    fn restrict_to_records_non_edge_sends_without_changing_timing() {
+        // On ring:4, p0's send to p2 crosses a chord; p0 → p1 is fine.
+        // Both messages are still delivered, so the trace and completion
+        // match the unrestricted run exactly.
+        let topo: Topology = "ring"
+            .parse::<postal_model::TopologySpec>()
+            .unwrap()
+            .instantiate(4)
+            .unwrap();
+        let lam = Uniform(Latency::from_int(2));
+        let free = Simulation::new(4, &lam)
+            .run(spray_programs(4, vec![1, 2]))
+            .unwrap();
+        let restricted = Simulation::new(4, &lam)
+            .restrict_to(&topo)
+            .run(spray_programs(4, vec![1, 2]))
+            .unwrap();
+        assert_eq!(restricted.completion, free.completion);
+        assert_eq!(
+            restricted.trace.transfers().len(),
+            free.trace.transfers().len()
+        );
+        assert_eq!(restricted.edge_violations.len(), 1);
+        let v = &restricted.edge_violations[0];
+        assert_eq!((v.src, v.dst), (ProcId(0), ProcId(2)));
+        assert_eq!(v.send_start, Time::ONE);
+        assert!(free.edge_violations.is_empty());
+
+        // Both engines agree.
+        let reference = Simulation::new(4, &lam)
+            .restrict_to(&topo)
+            .run_reference(spray_programs(4, vec![1, 2]))
+            .unwrap();
+        assert_eq!(reference.edge_violations, restricted.edge_violations);
+    }
+
+    #[test]
+    fn restrict_to_complete_never_fires() {
+        let topo = Topology::complete(4);
+        let lam = Uniform(Latency::from_int(2));
+        let report = Simulation::new(4, &lam)
+            .restrict_to(&topo)
+            .run(spray_programs(4, vec![1, 2, 3]))
+            .unwrap();
+        report.assert_model_clean();
+        assert!(report.edge_violations.is_empty());
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub mod trace;
 
 /// One-stop imports for writing and running programs.
 pub mod prelude {
-    pub use crate::engine::{PortMode, RunReport, SimConfig, SimError, Simulation, Violation};
+    pub use crate::engine::{
+        EdgeViolation, PortMode, RunReport, SimConfig, SimError, Simulation, Violation,
+    };
     pub use crate::faults::FaultPlan;
     pub use crate::gantt::render_gantt;
     pub use crate::ids::{ProcId, SendSeq};
@@ -85,7 +87,7 @@ pub mod prelude {
 }
 
 pub use calendar::{CalendarQueue, Lane};
-pub use engine::{PortMode, RunReport, SimConfig, SimError, Simulation};
+pub use engine::{EdgeViolation, PortMode, RunReport, SimConfig, SimError, Simulation};
 pub use faults::FaultPlan;
 pub use ids::{ProcId, SendSeq};
 pub use jitter::Jittered;

@@ -371,6 +371,7 @@ fn run_lockstep_inner<P: Clone>(
         completion: trace.completion_time(),
         trace,
         violations,
+        edge_violations: Vec::new(),
         proc_stats,
         events,
     })

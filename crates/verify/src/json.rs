@@ -43,6 +43,11 @@ pub struct ScheduleFile {
     /// hit its event budget and aborted, so the trace stops mid-run
     /// (JSONL logs only; schedule files are always complete).
     pub truncated: bool,
+    /// `"topology"` field, when present: a `TopologySpec` string
+    /// (`complete`, `ring`, `torus:RxC`, `hypercube:D`, `mbg:N`) naming
+    /// the communication graph the schedule targets. `postal-cli lint`
+    /// uses it as the default when `--topology` is not given.
+    pub topology: Option<String>,
 }
 
 impl ScheduleFile {
@@ -315,6 +320,11 @@ pub fn parse_schedule(text: &str) -> Result<ScheduleFile, JsonError> {
         None => None,
         Some(v) => Some(as_u64(v, "messages")?),
     };
+    let topology = match top.get("topology") {
+        None => None,
+        Some(Value::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(JsonError("\"topology\" must be a string".into())),
+    };
     let Some(Value::Arr(raw_sends)) = top.get("sends") else {
         return Err(JsonError("missing \"sends\" array".into()));
     };
@@ -350,6 +360,7 @@ pub fn parse_schedule(text: &str) -> Result<ScheduleFile, JsonError> {
         dropped_events: None,
         sample: None,
         truncated: false,
+        topology,
     })
 }
 
@@ -671,6 +682,7 @@ pub fn parse_schedule_reader<R: std::io::BufRead>(reader: R) -> Result<ScheduleF
 
     let (mut n, mut lambda, mut messages): (Option<Scalar>, Option<Scalar>, Option<Scalar>) =
         (None, None, None);
+    let mut topology: Option<Scalar> = None;
     let mut sends: Option<Vec<TimedSend>> = None;
     p.skip_ws()?;
     if p.peek()? == Some(b'}') {
@@ -685,6 +697,7 @@ pub fn parse_schedule_reader<R: std::io::BufRead>(reader: R) -> Result<ScheduleF
                 "n" => n = Some(p.scalar()?),
                 "lambda" => lambda = Some(p.scalar()?),
                 "messages" => messages = Some(p.scalar()?),
+                "topology" => topology = Some(p.scalar()?),
                 "sends" => {
                     p.skip_ws()?;
                     if p.peek()? == Some(b'[') {
@@ -748,6 +761,11 @@ pub fn parse_schedule_reader<R: std::io::BufRead>(reader: R) -> Result<ScheduleF
         None => None,
         Some(v) => Some(v.as_u64("messages")?),
     };
+    let topology = match topology {
+        None => None,
+        Some(Scalar::Str(s)) => Some(s),
+        Some(_) => return Err(JsonError("\"topology\" must be a string".into())),
+    };
     let Some(sends) = sends else {
         return Err(JsonError("missing \"sends\" array".into()));
     };
@@ -757,6 +775,7 @@ pub fn parse_schedule_reader<R: std::io::BufRead>(reader: R) -> Result<ScheduleF
         dropped_events: None,
         sample: None,
         truncated: false,
+        topology,
     })
 }
 
@@ -778,6 +797,18 @@ fn esc(s: &str) -> String {
 
 /// Serializes a schedule in the format [`parse_schedule`] reads.
 pub fn schedule_to_json(schedule: &Schedule, messages: Option<u64>) -> String {
+    schedule_to_json_with_topology(schedule, messages, None)
+}
+
+/// Like [`schedule_to_json`], but also records an optional `"topology"`
+/// field (a [`TopologySpec`](postal_model::TopologySpec) string such as
+/// `"ring"` or `"torus:4x6"`) so that `postal-cli lint` can pick the
+/// communication graph up from the file itself.
+pub fn schedule_to_json_with_topology(
+    schedule: &Schedule,
+    messages: Option<u64>,
+    topology: Option<&str>,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{{\n  \"n\": {},\n  \"lambda\": \"{}\",\n",
@@ -786,6 +817,9 @@ pub fn schedule_to_json(schedule: &Schedule, messages: Option<u64>) -> String {
     ));
     if let Some(m) = messages {
         out.push_str(&format!("  \"messages\": {m},\n"));
+    }
+    if let Some(t) = topology {
+        out.push_str(&format!("  \"topology\": \"{}\",\n", esc(t)));
     }
     out.push_str("  \"sends\": [\n");
     let body: Vec<String> = schedule

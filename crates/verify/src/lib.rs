@@ -45,8 +45,10 @@ pub mod render;
 
 pub use flight::{flights_from_deliveries, flights_from_trace, schedule_from_trace, Flight};
 pub use postal_model::lint::{
-    is_clean, lint_schedule, max_severity, Diagnostic, LintCode, LintOptions, Severity,
+    is_clean, lint_schedule, lint_schedule_with_topology, max_severity, Diagnostic, LintCode,
+    LintOptions, Severity,
 };
+pub use postal_model::{Topology, TopologyError, TopologySpec};
 pub use postal_obs::ObsError;
 pub use race::{detect_races, Race, RaceStream};
 
@@ -190,6 +192,7 @@ pub fn jsonl_to_schedule_file<R: std::io::BufRead>(
         dropped_events: meta.dropped_events,
         sample: meta.sample,
         truncated,
+        topology: None,
     })
 }
 

@@ -1,0 +1,282 @@
+//! Differential acceptance grid for the **topology-aware** lint path.
+//!
+//! `--topology complete` must be a no-op in the strongest sense: both
+//! the batch pass manager (`lint_schedule_with_topology`) and the
+//! streaming engine (`lint_schedule_streaming_with_topology`) must be
+//! **byte-identical** — same diagnostics, same rendered report, same
+//! `--format json` output — to their topology-free counterparts on the
+//! complete graph, over the full acceptance grid (every shipped
+//! broadcast algorithm, n ≤ 64, λ ∈ {1, 2, 5/2, 7/3}, m ≤ 4) and over
+//! adversarially dirtied schedules where `P0001`–`P0007` actually fire.
+//!
+//! The property half pins the sparse graphs themselves: a BFS-tree
+//! schedule built from a ring / torus / hypercube oracle only ever
+//! sends along edges of that graph, so it must be `P0017`- and
+//! `P0019`-clean (and free of hard validity errors) for random shapes
+//! and latencies.
+
+use postal::algos::{
+    flood_schedule, run_bcast, run_dtree, run_pack, run_pipeline, run_repeat, run_repeat_greedy,
+    BroadcastTree, ToSchedule,
+};
+use postal::model::lint::{lint_schedule_streaming, lint_schedule_streaming_with_topology};
+use postal::model::schedule::{Schedule, TimedSend};
+use postal::model::{Latency, Time, Topology, TopologySpec};
+use postal::verify::{
+    json, lint_schedule, lint_schedule_with_topology, render, LintCode, LintOptions, Severity,
+};
+use proptest::prelude::*;
+
+fn lambdas() -> Vec<Latency> {
+    vec![
+        Latency::from_int(1),
+        Latency::from_int(2),
+        Latency::from_ratio(5, 2),
+        Latency::from_ratio(7, 3),
+    ]
+}
+
+/// Asserts that handing both engines the complete graph changes not a
+/// byte: batch-with-topology vs batch, streaming-with-topology vs
+/// streaming, rendered report and JSON array included.
+fn assert_complete_identical(schedule: &Schedule, opts: &LintOptions, context: &str) {
+    let complete = Topology::complete(schedule.n());
+
+    let batch = lint_schedule(schedule, opts);
+    let batch_topo = lint_schedule_with_topology(schedule, opts, &complete);
+    assert_eq!(batch_topo, batch, "batch diagnostics diverge: {context}");
+
+    let streamed = lint_schedule_streaming(schedule, opts);
+    let streamed_topo = lint_schedule_streaming_with_topology(schedule, opts, &complete);
+    assert_eq!(
+        streamed_topo, streamed,
+        "streaming diagnostics diverge: {context}"
+    );
+
+    assert_eq!(
+        render::render_report(&batch_topo, context),
+        render::render_report(&batch, context),
+        "rendered report diverges: {context}"
+    );
+    assert_eq!(
+        json::diagnostics_to_json(&batch_topo),
+        json::diagnostics_to_json(&batch),
+        "JSON output diverges: {context}"
+    );
+    assert_eq!(
+        render::render_report(&streamed_topo, context),
+        render::render_report(&streamed, context),
+        "streaming rendered report diverges: {context}"
+    );
+    assert_eq!(
+        json::diagnostics_to_json(&streamed_topo),
+        json::diagnostics_to_json(&streamed),
+        "streaming JSON output diverges: {context}"
+    );
+}
+
+#[test]
+fn single_message_grid_is_byte_identical_on_complete() {
+    for lam in lambdas() {
+        for n in 2..=64u64 {
+            let opts = LintOptions::default();
+            let report = run_bcast(n as usize, lam);
+            let bcast = report.trace.to_schedule(n as u32, lam);
+            assert_complete_identical(&bcast, &opts, &format!("bcast n={n} λ={lam}"));
+
+            let tree = BroadcastTree::build(n, lam).to_schedule();
+            assert_complete_identical(&tree, &opts, &format!("tree n={n} λ={lam}"));
+
+            let flood = flood_schedule(n, lam);
+            assert_complete_identical(&flood.schedule, &opts, &format!("flood n={n} λ={lam}"));
+        }
+    }
+}
+
+#[test]
+fn multi_message_grid_is_byte_identical_on_complete() {
+    for lam in lambdas() {
+        for &n in &[2usize, 5, 9, 14, 24, 33, 48, 64] {
+            for m in 1..=4u32 {
+                let opts = LintOptions::broadcast_of(m as u64);
+                for (name, report) in [
+                    ("repeat", run_repeat(n, m, lam)),
+                    ("repeat-greedy", run_repeat_greedy(n, m, lam)),
+                    ("pack", run_pack(n, m, lam)),
+                    ("pipeline", run_pipeline(n, m, lam)),
+                    ("line", run_dtree(n, m, lam, 1)),
+                    ("binary", run_dtree(n, m, lam, 2)),
+                    ("star", run_dtree(n, m, lam, n as u64 - 1)),
+                ] {
+                    let schedule = report.report.trace.to_schedule(n as u32, lam);
+                    assert_complete_identical(
+                        &schedule,
+                        &opts,
+                        &format!("{name} n={n} m={m} λ={lam}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shifts send `idx` one unit earlier, keeping everything else intact.
+fn shift_back_one(schedule: &Schedule, idx: usize) -> Schedule {
+    let mut sends: Vec<TimedSend> = schedule.sends().to_vec();
+    sends[idx].send_start -= Time::ONE;
+    Schedule::new(schedule.n(), schedule.latency(), sends)
+}
+
+/// Drops send `idx`, typically uninforming a subtree (`P0005`).
+fn drop_send(schedule: &Schedule, idx: usize) -> Schedule {
+    let mut sends: Vec<TimedSend> = schedule.sends().to_vec();
+    sends.remove(idx);
+    Schedule::new(schedule.n(), schedule.latency(), sends)
+}
+
+/// Redirects send `idx` out of range (`P0004`).
+fn corrupt_dst(schedule: &Schedule, idx: usize) -> Schedule {
+    let mut sends: Vec<TimedSend> = schedule.sends().to_vec();
+    sends[idx].dst = schedule.n() + 7;
+    Schedule::new(schedule.n(), schedule.latency(), sends)
+}
+
+#[test]
+fn dirty_schedules_are_byte_identical_on_complete() {
+    // The complete-graph no-op must hold on *broken* inputs too — where
+    // suppression kicks in and report ordering actually matters.
+    for lam in lambdas() {
+        for n in 2..=24u64 {
+            let tree = BroadcastTree::build(n, lam).to_schedule();
+            for idx in 0..tree.len() {
+                for (what, dirty) in [
+                    ("shift", shift_back_one(&tree, idx)),
+                    ("drop", drop_send(&tree, idx)),
+                    ("corrupt", corrupt_dst(&tree, idx)),
+                ] {
+                    for opts in [LintOptions::default(), LintOptions::ports_only()] {
+                        assert_complete_identical(
+                            &dirty,
+                            &opts,
+                            &format!("{what} idx={idx} tree n={n} λ={lam}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property half: BFS-tree schedules on the sparse constructions.
+// ---------------------------------------------------------------------
+
+/// Builds the greedy BFS-tree broadcast schedule for `topo` from p0:
+/// BFS order fixes each processor's parent, and every informed
+/// processor then sends to its BFS children back-to-back, one unit
+/// apart, starting no earlier than the instant it was informed. Every
+/// transfer follows a tree edge, so the schedule is edge-respecting by
+/// construction.
+fn bfs_tree_schedule(topo: &Topology, lam: Latency) -> Schedule {
+    let n = topo.n();
+    let mut parent = vec![u32::MAX; n as usize];
+    let mut order = vec![0u32];
+    let mut seen = vec![false; n as usize];
+    seen[0] = true;
+    let mut head = 0;
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        for v in topo.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = u;
+                order.push(v);
+            }
+        }
+    }
+    assert_eq!(order.len(), n as usize, "construction graphs are connected");
+
+    let mut informed = vec![Time::ZERO; n as usize];
+    let mut next_free = vec![Time::ZERO; n as usize];
+    let mut sends = Vec::with_capacity(n as usize - 1);
+    for &v in order.iter().skip(1) {
+        let u = parent[v as usize];
+        let start = informed[u as usize].max(next_free[u as usize]);
+        next_free[u as usize] = start + Time::ONE;
+        informed[v as usize] = start + lam.as_time();
+        sends.push(TimedSend {
+            src: u,
+            dst: v,
+            send_start: start,
+        });
+    }
+    Schedule::new(n, lam, sends)
+}
+
+/// Random λ = p/q with 1 ≤ λ ≤ 8 and a small lattice (q ≤ 4).
+fn arb_latency8() -> impl Strategy<Value = Latency> {
+    (1i128..=4, 1i128..=8).prop_map(|(q, mult)| Latency::from_ratio(q * mult, q))
+}
+
+fn assert_topology_clean(topo: &Topology, lam: Latency) -> Result<(), TestCaseError> {
+    let schedule = bfs_tree_schedule(topo, lam);
+    let diags = lint_schedule_with_topology(&schedule, &LintOptions::default(), topo);
+    prop_assert!(
+        !diags.iter().any(|d| matches!(
+            d.code,
+            LintCode::NonEdgeSend | LintCode::TopologyPartitionUnreachable
+        )),
+        "{}: BFS tree tripped a topology code: {:?}",
+        topo.spec(),
+        diags
+    );
+    // The graph bound may leave a P0018 *warning* (port serialization
+    // is not in the BFS bound), but nothing may be an error.
+    prop_assert!(
+        diags.iter().all(|d| d.severity < Severity::Error),
+        "{}: BFS tree not error-clean: {:?}",
+        topo.spec(),
+        diags
+    );
+    // The streaming engine agrees byte-for-byte on sparse graphs too.
+    let streamed = lint_schedule_streaming_with_topology(&schedule, &LintOptions::default(), topo);
+    prop_assert_eq!(streamed, diags);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ring_bfs_trees_are_topology_clean(lam in arb_latency8(), n in 2u32..=96) {
+        let topo = TopologySpec::Ring.instantiate(n).unwrap();
+        assert_topology_clean(&topo, lam)?;
+    }
+
+    #[test]
+    fn torus_bfs_trees_are_topology_clean(
+        lam in arb_latency8(),
+        rows in 1u32..=10,
+        cols in 1u32..=10,
+    ) {
+        let topo = TopologySpec::Torus { rows, cols }
+            .instantiate(rows * cols)
+            .unwrap();
+        assert_topology_clean(&topo, lam)?;
+    }
+
+    #[test]
+    fn hypercube_bfs_trees_are_topology_clean(lam in arb_latency8(), dim in 0u32..=7) {
+        let topo = TopologySpec::Hypercube { dim }.instantiate(1 << dim).unwrap();
+        assert_topology_clean(&topo, lam)?;
+    }
+
+    #[test]
+    fn mbg_bfs_trees_are_topology_clean(lam in arb_latency8(), half in 1u32..=48) {
+        // The Knödel construction needs an even processor count.
+        let n = 2 * half;
+        let topo = TopologySpec::Mbg { n }.instantiate(n).unwrap();
+        assert_topology_clean(&topo, lam)?;
+    }
+}
